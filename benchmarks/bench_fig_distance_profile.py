@@ -1,0 +1,66 @@
+"""Figure D (implicit): stretch by distance regime.
+
+The schemes' case analyses treat nearby and distant targets differently:
+ball hits are exact, cluster hits are exact, and only the far cases pay
+the full stretch.  This bench stratifies pairs into distance quartiles and
+prints per-quartile max/avg stretch for Theorem 11 and TZ k=3.  Expected
+shape: every quartile stays under the bound, and the *farthest* quartile
+has the mildest worst case — the detour through representatives and
+landmarks is bounded by a multiple of the ball/cluster radii, which
+amortizes over long distances, while short pairs just above the ball
+radius pay the largest relative detours.
+"""
+
+import pytest
+
+from repro.baselines.thorup_zwick import ThorupZwickScheme
+from repro.eval.workloads import stratified_pairs
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.graph.metric import MetricView
+from repro.routing.simulator import measure_stretch
+from repro.schemes import Stretch5PlusScheme
+
+N = 320
+SECTION = "Fig D: stretch by distance quartile (weighted ER, n=320)"
+
+
+@pytest.fixture(scope="module")
+def world():
+    g = with_random_weights(erdos_renyi(N, 0.02, seed=921), seed=922)
+    m = MetricView(g)
+    return g, m, stratified_pairs(m, per_bucket=120, buckets=4, seed=923)
+
+
+@pytest.mark.parametrize(
+    "factory,kwargs",
+    [
+        pytest.param(Stretch5PlusScheme, {"eps": 0.6}, id="thm11"),
+        pytest.param(ThorupZwickScheme, {"k": 3}, id="tz3"),
+    ],
+)
+def test_distance_profile(benchmark, report, world, factory, kwargs):
+    g, metric, buckets = world
+
+    def build_and_route():
+        scheme = factory(g, metric=metric, seed=25, **kwargs)
+        rows = []
+        for name in sorted(buckets):
+            rep = measure_stretch(scheme, metric, buckets[name])
+            rows.append((name, rep))
+        return scheme, rows
+
+    scheme, rows = benchmark.pedantic(build_and_route, rounds=1, iterations=1)
+    bound = scheme.stretch_bound()
+    bound = bound[0] if isinstance(bound, tuple) else bound
+    report.section(SECTION)
+    report.line(f"{scheme.name} (bound {bound:.2f}):")
+    for name, rep in rows:
+        assert rep.max_stretch <= bound + 1e-6
+        report.line(
+            f"  {name}: pairs={rep.pairs:<5} max={rep.max_stretch:<7.3f} "
+            f"avg={rep.avg_stretch:.3f}"
+        )
+    # Shape: worst-case stretch amortizes with distance — the farthest
+    # quartile's max stretch does not exceed the nearest quartile's.
+    nearest, farthest = rows[0][1], rows[-1][1]
+    assert farthest.max_stretch <= nearest.max_stretch + 0.25

@@ -1,0 +1,76 @@
+"""Figure B (implicit): eps sensitivity of the new techniques.
+
+The techniques pay ``b = O(1/eps)`` words per stored waypoint sequence for
+a ``(1+eps)`` guarantee.  This bench sweeps eps for the warm-up scheme on
+a weighted grid (long shortest paths — the regime where the waypoint
+budget is actually consumed) and reports the measured stretch plus the
+words spent on the Lemma 7 sequence category.  Expected shape: sequence
+words grow and average stretch falls as eps shrinks, saturating once
+``2b+2`` exceeds the grid's path lengths.  The per-eps *worst-case*
+response of the raw techniques is measured in bench_techniques.py.
+
+Scale note (DESIGN.md §4): ``q`` and ``alpha`` are pinned below the
+defaults because at n=256 the asymptotic ``q̃ = sqrt(n) log n`` ball would
+cover half the graph and collapse every sequence to one ball hop.
+"""
+
+import pytest
+
+from repro.eval.harness import evaluate_scheme
+from repro.eval.workloads import sample_pairs
+from repro.graph.generators import grid, with_random_weights
+from repro.graph.metric import MetricView
+from repro.schemes import Warmup3Scheme
+
+SECTION = "Fig B: eps sensitivity (1/eps cost of Technique 1)"
+
+EPS_VALUES = [2.0, 1.0, 0.5, 0.25]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return with_random_weights(grid(16, 16), seed=842, low=1.0, high=3.0)
+
+
+@pytest.fixture(scope="module")
+def metric(graph):
+    return MetricView(graph)
+
+
+@pytest.fixture(scope="module")
+def pairs(graph):
+    return sample_pairs(graph.n, 350, seed=843)
+
+
+def test_eps_sweep(benchmark, report, graph, metric, pairs):
+    def sweep():
+        out = []
+        for eps in EPS_VALUES:
+            ev = evaluate_scheme(
+                graph, Warmup3Scheme, pairs, metric=metric,
+                eps=eps, q=8, alpha=0.5, seed=51,
+            )
+            assert ev.within_bound, ev.row()
+            seq_words = ev.stats.table_breakdown_max.get("t1:seq", 0)
+            out.append((eps, ev, seq_words))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report.section(SECTION)
+    report.line(
+        f"  {'eps':<6} {'bound':<8} {'max-stretch':<12} {'avg-stretch':<12} "
+        f"{'seq-words(max)':<15} hdr-max"
+    )
+    for eps, ev, seq_words in results:
+        report.line(
+            f"  {eps:<6} {ev.bound[0]:<8.2f} {ev.stretch.max_stretch:<12.3f} "
+            f"{ev.stretch.avg_stretch:<12.3f} {seq_words:<15} "
+            f"{ev.stretch.max_header_words}"
+        )
+
+    # Shape: smaller eps => (weakly) more sequence words, (weakly) better
+    # average stretch.
+    seq = [s for _, _, s in results]
+    avg = [ev.stretch.avg_stretch for _, ev, _ in results]
+    assert seq[-1] >= seq[0]
+    assert avg[-1] <= avg[0] + 1e-9

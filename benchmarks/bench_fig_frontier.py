@@ -1,0 +1,98 @@
+"""Figure A (implicit): the space/stretch frontier.
+
+The paper's thesis is that its routing schemes almost match the distance
+oracle frontier.  This bench places every implemented scheme and both
+oracles on one graph and prints the measured frontier (max stretch vs
+average per-vertex words), sorted by stretch.  Expected shape: stretch
+decreases monotonically as table size grows, and each theorem sits near
+its matching oracle row.
+"""
+
+import pytest
+
+from repro.baselines.pr_oracle import PROracle
+from repro.baselines.thorup_zwick import ThorupZwickScheme
+from repro.baselines.tz_oracle import TZOracle
+from repro.eval.harness import evaluate_oracle, evaluate_scheme
+from repro.eval.workloads import sample_pairs
+from repro.graph.generators import erdos_renyi
+from repro.graph.metric import MetricView
+from repro.schemes import (
+    GeneralMinusScheme,
+    GeneralPlusScheme,
+    NameIndependent3Eps,
+    Stretch2Plus1Scheme,
+    Stretch5PlusScheme,
+    Warmup3Scheme,
+)
+
+N = 300
+SECTION = "Fig A: space/stretch frontier (unweighted ER, n=300)"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(N, 0.022, seed=831)
+
+
+@pytest.fixture(scope="module")
+def metric(graph):
+    return MetricView(graph)
+
+
+@pytest.fixture(scope="module")
+def pairs(graph):
+    return sample_pairs(graph.n, 400, seed=832)
+
+
+def test_frontier(benchmark, report, graph, metric, pairs):
+    def build_all():
+        rows = []
+        scheme_cases = [
+            (Stretch2Plus1Scheme, {"eps": 0.5}),
+            (GeneralMinusScheme, {"ell": 2, "eps": 1.0, "alpha": 0.5}),
+            (GeneralMinusScheme, {"ell": 3, "eps": 1.0, "alpha": 0.5}),
+            (Warmup3Scheme, {"eps": 0.5}),
+            (NameIndependent3Eps, {"eps": 0.5}),
+            (GeneralPlusScheme, {"ell": 2, "eps": 1.0, "alpha": 0.5}),
+            (Stretch5PlusScheme, {"eps": 0.6}),
+            (ThorupZwickScheme, {"k": 2}),
+            (ThorupZwickScheme, {"k": 3}),
+        ]
+        for factory, kwargs in scheme_cases:
+            ev = evaluate_scheme(
+                graph, factory, pairs, metric=metric, seed=41, **kwargs
+            )
+            assert ev.within_bound, ev.row()
+            rows.append(
+                (ev.stretch.max_stretch, ev.stats.avg_table_words,
+                 ev.name, "routing")
+            )
+        for factory, kwargs in [
+            (PROracle, {}),
+            (TZOracle, {"k": 2}),
+            (TZOracle, {"k": 3}),
+        ]:
+            ev = evaluate_oracle(
+                graph, factory, pairs, metric=metric, seed=41, **kwargs
+            )
+            assert ev.within_bound
+            rows.append(
+                (ev.max_stretch, ev.total_words / graph.n, ev.name, "oracle")
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    report.section(SECTION)
+    report.line(f"{'scheme':<30} {'kind':<8} {'max-stretch':<12} avg words/vertex")
+    for stretch, words, name, kind in sorted(rows):
+        report.line(f"{name:<30} {kind:<8} {stretch:<12.3f} {words:.0f}")
+
+    # Frontier shape: the best-stretch routing scheme (Thm 10 class) uses
+    # the most space among routing rows; the cheapest rows have the worst
+    # guaranteed stretch.
+    routing = [(s, w, n) for s, w, n, k in rows if k == "routing"]
+    best_stretch = min(routing)
+    assert best_stretch[2].startswith("Thm 10") or best_stretch[1] >= (
+        sorted(w for _, w, _ in routing)[len(routing) // 2]
+    )

@@ -1,0 +1,134 @@
+"""Figure C (implicit): table-size scaling exponents.
+
+The paper's Table 1 states per-vertex table sizes as ``Õ(n^e)`` for
+exponents ``e ∈ {2/3, 1/2, 1/3}``.  This bench sweeps ``n``, measures the
+average per-vertex table words of Theorem 10 (expect ~2/3), TZ k=2
+(expect ~1/2), Theorem 11 and TZ k=3 (expect ~1/3), fits the growth
+exponent (with one log factor divided out, matching the Õ) and prints the
+series.  At reproduction scale the polylog terms are large, so the check
+is an ordering check — Theorem 10 must grow visibly faster than the
+``n^{1/3}``-class schemes — plus a loose window per exponent.
+"""
+
+import pytest
+
+from repro.baselines.thorup_zwick import ThorupZwickScheme
+from repro.eval.harness import evaluate_scheme
+from repro.eval.metrics import polylog_normalized_exponent
+from repro.eval.workloads import sample_pairs
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.graph.metric import MetricView
+from repro.schemes import Stretch2Plus1Scheme, Stretch5PlusScheme
+
+SECTION = "Fig C: per-vertex table growth (fitted exponents, one log removed)"
+
+SIZES = [180, 300, 440, 620]
+
+
+def _avg_degree_p(n):
+    return 7.0 / (n - 1)
+
+
+@pytest.fixture(scope="module")
+def worlds():
+    out = []
+    for i, n in enumerate(SIZES):
+        g = erdos_renyi(n, _avg_degree_p(n), seed=851 + i)
+        gw = with_random_weights(g, seed=861 + i)
+        out.append(
+            {
+                "n": n,
+                "g": g,
+                "gw": gw,
+                "m": MetricView(g),
+                "mw": MetricView(gw),
+                "pairs": sample_pairs(n, 200, seed=871 + i),
+            }
+        )
+    return out
+
+
+CASES = [
+    pytest.param(
+        Stretch2Plus1Scheme, {"eps": 0.5}, False, 2.0 / 3.0, id="thm10-n23"
+    ),
+    pytest.param(
+        ThorupZwickScheme, {"k": 2}, True, 1.0 / 2.0, id="tz2-n12"
+    ),
+    pytest.param(
+        Stretch5PlusScheme, {"eps": 0.6}, True, 1.0 / 3.0, id="thm11-n13"
+    ),
+    pytest.param(
+        ThorupZwickScheme, {"k": 3}, True, 1.0 / 3.0, id="tz3-n13"
+    ),
+]
+
+
+@pytest.mark.parametrize("factory,kwargs,weighted,expect_e", CASES)
+def test_scaling(benchmark, report, worlds, factory, kwargs, weighted, expect_e):
+    def sweep():
+        # Randomized landmark sampling is noisy at these sizes; average the
+        # table words over a few construction seeds per point.
+        series = []
+        for world in worlds:
+            g = world["gw"] if weighted else world["g"]
+            metric = world["mw"] if weighted else world["m"]
+            words, name = [], ""
+            for s in range(3):
+                ev = evaluate_scheme(
+                    g, factory, world["pairs"], metric=metric,
+                    seed=61 + s, **kwargs
+                )
+                assert ev.within_bound, ev.row()
+                words.append(ev.stats.avg_table_words)
+                name = ev.name
+            series.append((world["n"], sum(words) / len(words), name))
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    sizes = [n for n, _, _ in series]
+    words = [w for _, w, _ in series]
+    fitted = polylog_normalized_exponent(sizes, words)
+    report.section(SECTION)
+    name = series[0][2]
+    points = "  ".join(f"n={n}:{w:.0f}w" for n, w, _ in series)
+    report.line(
+        f"{name:<28} paper n^{expect_e:.2f}  fitted n^{fitted:.2f}  [{points}]"
+    )
+    # Loose per-scheme window: polylog effects dominate at this scale, so
+    # allow a generous band around the asymptotic exponent.
+    assert expect_e - 0.45 <= fitted <= expect_e + 0.45, (
+        f"{name}: fitted exponent {fitted:.2f} far from n^{expect_e:.2f}"
+    )
+
+
+def test_exponent_ordering(benchmark, report, worlds):
+    """The ordering the paper's Table 1 implies: Theorem 10's tables grow
+    strictly faster than Theorem 11's."""
+
+    def sweep():
+        fitted = {}
+        for factory, kwargs, weighted, label in [
+            (Stretch2Plus1Scheme, {"eps": 0.5}, False, "thm10"),
+            (Stretch5PlusScheme, {"eps": 0.6}, True, "thm11"),
+        ]:
+            sizes, words = [], []
+            for world in worlds:
+                g = world["gw"] if weighted else world["g"]
+                metric = world["mw"] if weighted else world["m"]
+                ev = evaluate_scheme(
+                    g, factory, world["pairs"][:100], metric=metric,
+                    seed=62, **kwargs
+                )
+                sizes.append(world["n"])
+                words.append(ev.stats.avg_table_words)
+            fitted[label] = polylog_normalized_exponent(sizes, words)
+        return fitted
+
+    fitted = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report.section(SECTION)
+    report.line(
+        f"ordering check: thm10 exponent {fitted['thm10']:.2f} > "
+        f"thm11 exponent {fitted['thm11']:.2f}"
+    )
+    assert fitted["thm10"] > fitted["thm11"]

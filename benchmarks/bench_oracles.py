@@ -1,0 +1,89 @@
+"""Distance-oracle comparison: the rows the routing schemes are measured
+against.
+
+Reproduces the oracle side of the paper's comparisons:
+
+* TZ (2k-1) for k = 1..4 — the classic stretch/space ladder,
+* the PR-style (2,1) oracle — what Theorem 10 almost matches.
+
+Expected shape: total space drops by roughly ``n^{1/k}``-factors down the
+TZ ladder while worst-case stretch rises as ``2k-1``; the PR oracle sits
+between k=1 and k=2 (stretch ≤ 2d+1 at ``Õ(n^{5/3})`` total space).
+"""
+
+import pytest
+
+from repro.baselines.pr_oracle import PROracle
+from repro.baselines.tz_oracle import TZOracle
+from repro.eval.harness import evaluate_oracle
+from repro.eval.workloads import sample_pairs
+from repro.graph.generators import erdos_renyi
+from repro.graph.metric import MetricView
+
+N = 400
+SECTION = "Distance oracles: TZ ladder and the PR (2,1) oracle"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(N, 0.016, seed=881)
+
+
+@pytest.fixture(scope="module")
+def metric(graph):
+    return MetricView(graph)
+
+
+@pytest.fixture(scope="module")
+def pairs(graph):
+    return sample_pairs(graph.n, 900, seed=882)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4])
+def test_tz_oracle_ladder(benchmark, report, graph, metric, pairs, k):
+    def build():
+        return evaluate_oracle(
+            graph, TZOracle, pairs, metric=metric, k=k, seed=81
+        )
+
+    ev = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert ev.within_bound
+    report.section(SECTION)
+    report.line("   " + ev.row())
+
+
+def test_pr_oracle(benchmark, report, graph, metric, pairs):
+    def build():
+        return evaluate_oracle(
+            graph, PROracle, pairs, metric=metric, seed=81
+        )
+
+    ev = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert ev.within_bound
+    report.section(SECTION)
+    report.line("   " + ev.row())
+
+
+def test_oracle_space_ladder_shape(benchmark, report, graph, metric, pairs):
+    """Total space decreases down the TZ ladder; PR sits between k=1 and
+    k=2 in space as the paper's comparison implies."""
+
+    def build():
+        spaces = {}
+        for k in (1, 2, 3):
+            spaces[f"tz{k}"] = TZOracle(
+                graph, k=k, metric=metric, seed=82
+            ).space_words()["total"]
+        spaces["pr"] = PROracle(graph, metric=metric, seed=82).space_words()[
+            "total"
+        ]
+        return spaces
+
+    spaces = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert spaces["tz1"] > spaces["tz2"] > spaces["tz3"]
+    assert spaces["tz1"] > spaces["pr"] > spaces["tz3"]
+    report.section(SECTION)
+    report.line(
+        "space ladder (total words): "
+        + "  ".join(f"{k}={v}" for k, v in sorted(spaces.items()))
+    )

@@ -1,0 +1,61 @@
+"""Figure F (implicit): where routed messages spend their hops.
+
+Each theorem's stretch proof decomposes a route into legs — ball routing
+to a representative, a technique leg, a tree delivery.  The simulator tags
+every hop with its header phase; this bench aggregates the tags over a
+workload for Theorem 11 and the warm-up scheme.  Expected shape: hop mass
+splits between the ball phase (local + to-representative) and the
+technique/tree phases, with the technique leg carrying most of the
+long-haul hops.
+"""
+
+import pytest
+
+from repro.eval.workloads import sample_pairs
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.graph.metric import MetricView
+from repro.routing.simulator import route
+from repro.schemes import Stretch5PlusScheme, Warmup3Scheme
+
+N = 280
+SECTION = "Fig F: hops per routing phase (weighted ER, n=280)"
+
+
+@pytest.fixture(scope="module")
+def world():
+    g = with_random_weights(erdos_renyi(N, 0.024, seed=951), seed=952)
+    return g, MetricView(g), sample_pairs(N, 400, seed=953)
+
+
+@pytest.mark.parametrize(
+    "factory,kwargs",
+    [
+        pytest.param(Warmup3Scheme, {"eps": 0.5}, id="warmup3"),
+        pytest.param(Stretch5PlusScheme, {"eps": 0.6}, id="thm11"),
+    ],
+)
+def test_phase_breakdown(benchmark, report, world, factory, kwargs):
+    g, metric, pairs = world
+
+    def run():
+        scheme = factory(g, metric=metric, seed=27, **kwargs)
+        totals: dict = {}
+        hops = 0
+        for s, t in pairs:
+            result = route(scheme, s, t)
+            hops += result.hops
+            for phase, count in result.phase_hops.items():
+                totals[phase] = totals.get(phase, 0) + count
+        return scheme, totals, hops
+
+    scheme, totals, hops = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sum(totals.values()) == hops
+    report.section(SECTION)
+    parts = "  ".join(
+        f"{phase}={count} ({100.0 * count / max(hops, 1):.0f}%)"
+        for phase, count in sorted(totals.items(), key=lambda kv: -kv[1])
+    )
+    report.line(f"{scheme.name:<26} total hops={hops}: {parts}")
+    # Every observed phase must be one the scheme defines.
+    known = {"ball", "torep", "t1", "t2", "atz", "ctree", "tox", "atree", "tree"}
+    assert set(totals) <= known

@@ -1,0 +1,104 @@
+"""Preprocessing (construction) cost of the main schemes.
+
+The paper only bounds table *sizes*; a practical release also reports the
+centralized preprocessing cost.  This bench times construction of the two
+headline schemes and the TZ baseline over an n-sweep, plus routing
+throughput (routed messages per second through the fixed-port simulator).
+"""
+
+import pytest
+
+from repro.baselines.thorup_zwick import ThorupZwickScheme
+from repro.eval.workloads import sample_pairs
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.graph.metric import MetricView
+from repro.routing.simulator import route
+from repro.schemes import Stretch2Plus1Scheme, Stretch5PlusScheme
+
+SECTION = "Preprocessing cost and routing throughput"
+
+SIZES = [150, 300, 450]
+
+
+@pytest.fixture(scope="module")
+def worlds():
+    out = {}
+    for i, n in enumerate(SIZES):
+        g = erdos_renyi(n, 7.0 / (n - 1), seed=891 + i)
+        gw = with_random_weights(g, seed=901 + i)
+        out[n] = {
+            "g": g,
+            "gw": gw,
+            "m": MetricView(g),
+            "mw": MetricView(gw),
+        }
+    return out
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_build_thm10(benchmark, report, worlds, n):
+    world = worlds[n]
+
+    def build():
+        return Stretch2Plus1Scheme(
+            world["g"], eps=0.5, metric=world["m"], seed=91
+        )
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    report.section(SECTION)
+    report.line(
+        f"Thm 10 build n={n}: {benchmark.stats['mean']*1000:.0f} ms"
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_build_thm11(benchmark, report, worlds, n):
+    world = worlds[n]
+
+    def build():
+        return Stretch5PlusScheme(
+            world["gw"], eps=0.6, metric=world["mw"], seed=91
+        )
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    report.section(SECTION)
+    report.line(
+        f"Thm 11 build n={n}: {benchmark.stats['mean']*1000:.0f} ms"
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_build_tz3(benchmark, report, worlds, n):
+    world = worlds[n]
+
+    def build():
+        return ThorupZwickScheme(
+            world["gw"], k=3, metric=world["mw"], seed=91
+        )
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    report.section(SECTION)
+    report.line(
+        f"TZ k=3 build n={n}: {benchmark.stats['mean']*1000:.0f} ms"
+    )
+
+
+def test_routing_throughput(benchmark, report, worlds):
+    """Messages routed per second through the simulator (Theorem 11)."""
+    world = worlds[SIZES[-1]]
+    scheme = Stretch5PlusScheme(
+        world["gw"], eps=0.6, metric=world["mw"], seed=92
+    )
+    pairs = sample_pairs(SIZES[-1], 300, seed=93)
+
+    def run():
+        for s, t in pairs:
+            route(scheme, s, t)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    per_msg_us = benchmark.stats["mean"] / len(pairs) * 1e6
+    report.section(SECTION)
+    report.line(
+        f"Thm 11 routing throughput (n={SIZES[-1]}): "
+        f"{per_msg_us:.0f} us/message"
+    )

@@ -1,0 +1,66 @@
+"""Spanner size/stretch tradeoff (the paper's Section 1 framing).
+
+The paper motivates its routing tradeoffs by the spanner tradeoff:
+``(2k-1)``-stretch with ``O(n^{1+1/k})`` edges, tight under the girth
+conjecture.  This bench builds the greedy and Baswana–Sen spanners for
+k = 1..3 and prints measured edge counts against the ``n^{1+1/k}``
+reference.  Expected shape: sizes drop with k and sit near (well under,
+for sparse inputs) the bound.
+"""
+
+import pytest
+
+from repro.baselines.spanners import (
+    baswana_sen_spanner,
+    greedy_spanner,
+    spanner_stretch_ok,
+)
+from repro.graph.generators import erdos_renyi, with_random_weights
+
+N = 220
+SECTION = "Spanners (Sec. 1 framing): size vs (2k-1) stretch"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return with_random_weights(
+        erdos_renyi(N, 0.12, seed=931), seed=932
+    )
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_greedy_spanner(benchmark, report, graph, k):
+    spanner = benchmark.pedantic(
+        lambda: greedy_spanner(graph, k), rounds=1, iterations=1
+    )
+    assert spanner_stretch_ok(graph, spanner, 2 * k - 1)
+    bound = N ** (1 + 1 / k)
+    report.section(SECTION)
+    report.line(
+        f"greedy      k={k} stretch<={2*k-1}: {spanner.m} edges "
+        f"(input {graph.m}; n^(1+1/k) = {bound:.0f})"
+    )
+
+
+@pytest.mark.parametrize("k", [2, 3])
+def test_baswana_sen_spanner(benchmark, report, graph, k):
+    spanner = benchmark.pedantic(
+        lambda: baswana_sen_spanner(graph, k, seed=933),
+        rounds=1, iterations=1,
+    )
+    assert spanner_stretch_ok(graph, spanner, 2 * k - 1)
+    report.section(SECTION)
+    report.line(
+        f"baswana-sen k={k} stretch<={2*k-1}: {spanner.m} edges "
+        f"(input {graph.m})"
+    )
+
+
+def test_size_ordering(benchmark, report, graph):
+    def build():
+        return [greedy_spanner(graph, k).m for k in (1, 2, 3)]
+
+    sizes = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert sizes[0] >= sizes[1] >= sizes[2]
+    report.section(SECTION)
+    report.line(f"greedy size ladder k=1..3: {sizes}")

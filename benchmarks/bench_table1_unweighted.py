@@ -1,0 +1,89 @@
+"""Table 1, unweighted block: Theorems 10, 13 (l=3) and 15 (l=2).
+
+Regenerates the unweighted rows of the paper's Table 1 — measured maximum
+and average stretch plus measured per-vertex table words — next to the
+paper's asymptotic claims.  The Abraham–Gavoille row is reference-only (see
+DESIGN.md substitutions); the (2,1) *oracle* bound it matches is measured
+in bench_oracles.py.
+
+The timed quantity is scheme construction (preprocessing), once per scheme.
+"""
+
+import pytest
+
+from repro.eval.harness import evaluate_scheme
+from repro.eval.reporting import PAPER_TABLE1_REFERENCE, reference_row
+from repro.eval.workloads import sample_pairs
+from repro.graph.generators import erdos_renyi
+from repro.graph.metric import MetricView
+from repro.schemes import (
+    GeneralMinusScheme,
+    GeneralPlusScheme,
+    Stretch2Plus1Scheme,
+)
+
+N = 360
+SECTION = "Table 1 (unweighted rows): measured vs paper"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(N, 0.018, seed=811)
+
+
+@pytest.fixture(scope="module")
+def metric(graph):
+    return MetricView(graph)
+
+
+@pytest.fixture(scope="module")
+def pairs(graph):
+    return sample_pairs(graph.n, 500, seed=812)
+
+
+CASES = [
+    pytest.param(
+        Stretch2Plus1Scheme,
+        {"eps": 0.5},
+        "Theorem 10  (2+eps,1)  tables Õ(n^2/3 /eps)",
+        id="thm10",
+    ),
+    pytest.param(
+        GeneralMinusScheme,
+        {"ell": 3, "eps": 1.0, "alpha": 0.5},
+        "Theorem 13 l=3  (2 1/3+eps,2)  tables Õ(n^3/5 /eps)",
+        id="thm13-l3",
+    ),
+    pytest.param(
+        GeneralPlusScheme,
+        {"ell": 2, "eps": 1.0, "alpha": 0.5},
+        "Theorem 15 l=2  (4+eps,2)  tables Õ(n^2/5 /eps)",
+        id="thm15-l2",
+    ),
+]
+
+
+@pytest.mark.parametrize("factory,kwargs,paper_claim", CASES)
+def test_table1_unweighted(
+    benchmark, report, graph, metric, pairs, factory, kwargs, paper_claim
+):
+    def build():
+        return factory(graph, metric=metric, seed=31, **kwargs)
+
+    scheme = benchmark.pedantic(build, rounds=1, iterations=1)
+    ev = evaluate_scheme(
+        graph, lambda g, metric: scheme, pairs, metric=metric
+    )
+    assert ev.within_bound, ev.row()
+    report.section(SECTION)
+    report.line(f"paper: {paper_claim}")
+    report.line("   " + ev.row())
+
+
+def test_table1_reference_rows(benchmark, report):
+    """Prints the paper's own Table 1 rows for side-by-side comparison."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report.section(SECTION)
+    for entry in PAPER_TABLE1_REFERENCE:
+        if entry[1] == "unweighted":
+            report.line(reference_row(entry))

@@ -1,0 +1,135 @@
+"""Lemma 7 / Lemma 8 microbenchmarks: stretch and header cost vs b.
+
+The techniques promise ``(1+eps)``-stretch with ``b = O(1/eps)`` waypoints
+per stored sequence.  This bench routes intra-class (Lemma 7) and
+class-to-targets (Lemma 8) traffic for several ``b`` on a grid — the
+worst case for waypoint sequences (long shortest paths, slow ball growth)
+— and prints measured stretch and sequence lengths.  Expected shape:
+measured max stretch ≤ 1 + 2/b (Lemma 7) resp. 1 + 2/(b-1) (Lemma 8),
+approaching 1 as b grows.
+"""
+
+import pytest
+
+from repro.core.technique1 import Technique1
+from repro.core.technique2 import Technique2
+from repro.graph.generators import grid
+from repro.graph.metric import MetricView
+from repro.routing.ball_routing import BallRoutingTables
+from repro.routing.model import SizedTable
+from repro.routing.ports import PortAssignment
+from repro.structures.balls import BallFamily
+from repro.structures.coloring import color_classes, find_coloring
+
+SECTION = "Lemma 7/8 microbench: stretch vs b on a 12x12 grid"
+
+EPS_VALUES = [2.0, 1.0, 0.5]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = grid(12, 12)
+    m = MetricView(g)
+    fam = BallFamily(m, 12)
+    ports = PortAssignment(g)
+    colors = find_coloring(
+        [fam.ball(u) for u in g.vertices()], g.n, 2, seed=71
+    )
+    classes = color_classes(colors, 2)
+    return g, m, fam, ports, classes
+
+
+def _fresh_tables(g, m, fam, ports):
+    tables = [SizedTable(u) for u in g.vertices()]
+    bt = BallRoutingTables(m, fam, ports)
+    for t in tables:
+        bt.install(t)
+    return tables
+
+
+def _drive(tech, tables, ports, m, u, v):
+    header = tech.start(tables[u], u, v)
+    cur, length = u, 0.0
+    for _ in range(4000):
+        port, header = tech.step(tables[cur], cur, header, v)
+        if port is None:
+            return length
+        nxt = ports.neighbor(cur, port)
+        length += m.graph.weight(cur, nxt)
+        cur = nxt
+    raise AssertionError("routing did not terminate")
+
+
+@pytest.mark.parametrize("eps", EPS_VALUES)
+def test_lemma7_stretch_vs_eps(benchmark, report, setup, eps):
+    g, m, fam, ports, classes = setup
+
+    def build_and_route():
+        tables = _fresh_tables(g, m, fam, ports)
+        tech = Technique1(m, fam, ports, classes, eps, seed=72)
+        for t in tables:
+            tech.install(t)
+        worst = 1.0
+        pairs = 0
+        for cls in classes:
+            for u in cls[::4]:
+                for v in cls[::5]:
+                    if u == v:
+                        continue
+                    length = _drive(tech, tables, ports, m, u, v)
+                    worst = max(worst, length / m.d(u, v))
+                    pairs += 1
+        return tech.b, worst, pairs
+
+    b, worst, pairs = benchmark.pedantic(build_and_route, rounds=1, iterations=1)
+    assert worst <= 1 + eps + 1e-9
+    report.section(SECTION)
+    report.line(
+        f"Lemma 7  eps={eps:<5} b={b:<3} pairs={pairs:<5} "
+        f"max-stretch={worst:.4f} (bound {1+eps:.2f})"
+    )
+
+
+@pytest.mark.parametrize("eps", EPS_VALUES)
+def test_lemma8_stretch_vs_eps(benchmark, report, setup, eps):
+    g, m, fam, ports, classes = setup
+    # disjoint target classes: a spread pool chunked in two
+    pool = list(range(0, g.n, 5))
+    targets = [pool[: len(pool) // 2], pool[len(pool) // 2 :]]
+
+    def build_and_route():
+        tables = _fresh_tables(g, m, fam, ports)
+        tech = Technique2(
+            m, fam, ports, classes, targets, eps, validate_hitting=True
+        )
+        for t in tables:
+            tech.install(t)
+        worst = 1.0
+        max_seq = 0
+        pairs = 0
+        for i, cls in enumerate(classes):
+            for u in cls[::5]:
+                for w in targets[i]:
+                    if u == w:
+                        continue
+                    length = _drive(tech, tables, ports, m, u, w)
+                    worst = max(worst, length / m.d(u, w))
+                    pairs += 1
+            for u in cls:
+                for w in targets[i]:
+                    if u != w:
+                        max_seq = max(
+                            max_seq, len(tables[u].get(tech.cat_seq, w))
+                        )
+        return tech.b, worst, max_seq, pairs
+
+    b, worst, max_seq, pairs = benchmark.pedantic(
+        build_and_route, rounds=1, iterations=1
+    )
+    assert worst <= 1 + eps + 1e-9
+    report.section(SECTION)
+    report.line(
+        f"Lemma 8  eps={eps:<5} b={b:<3} pairs={pairs:<5} "
+        f"max-stretch={worst:.4f} (bound {1+eps:.2f}) "
+        f"longest stored sequence={max_seq} words"
+    )

@@ -1,0 +1,55 @@
+"""Shared benchmark infrastructure.
+
+Every bench records its paper-style rows through the ``report`` fixture;
+the rows are printed in the terminal summary (so ``pytest benchmarks/
+--benchmark-only`` shows the regenerated tables next to pytest-benchmark's
+timing table) and appended to ``benchmarks/results.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Dict, List
+
+import pytest
+
+from repro.eval.reporting import banner
+
+_SECTIONS: "OrderedDict[str, List[str]]" = OrderedDict()
+
+
+class Reporter:
+    """Collects output lines per experiment section."""
+
+    def section(self, title: str) -> None:
+        _SECTIONS.setdefault(title, [])
+        self._current = title
+
+    def line(self, text: str, title: str | None = None) -> None:
+        key = title if title is not None else self._current
+        _SECTIONS.setdefault(key, []).append(text)
+
+
+@pytest.fixture(scope="session")
+def report() -> Reporter:
+    return Reporter()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _SECTIONS:
+        return
+    terminalreporter.write_line("")
+    lines_out = []
+    for title, lines in _SECTIONS.items():
+        header = banner(title)
+        terminalreporter.write_line(header, bold=True)
+        lines_out.append(header)
+        for line in lines:
+            terminalreporter.write_line(line)
+            lines_out.append(line)
+        terminalreporter.write_line("")
+        lines_out.append("")
+    out_path = os.path.join(os.path.dirname(__file__), "results.txt")
+    with open(out_path, "w") as fh:
+        fh.write("\n".join(lines_out) + "\n")

@@ -1,0 +1,123 @@
+"""Regenerate the paper's Table 1 on a graph of your choice.
+
+Usage:
+    python examples/compare_schemes.py [--n 300] [--family er|grid|ba|geo]
+                                       [--seed 0] [--pairs 600]
+
+Builds every implemented scheme (both Table 1 blocks) on one topology and
+prints measured stretch and table sizes next to the paper's asymptotic
+claims.
+"""
+
+import argparse
+
+from repro.baselines.thorup_zwick import ThorupZwickScheme
+from repro.eval.harness import evaluate_scheme
+from repro.eval.reporting import PAPER_TABLE1_REFERENCE, reference_row, table
+from repro.eval.workloads import sample_pairs
+from repro.graph.generators import (
+    erdos_renyi,
+    grid,
+    preferential_attachment,
+    random_geometric,
+    with_random_weights,
+)
+from repro.graph.metric import MetricView
+from repro.schemes import (
+    GeneralMinusScheme,
+    GeneralPlusScheme,
+    Stretch2Plus1Scheme,
+    Stretch4kMinus7Scheme,
+    Stretch5PlusScheme,
+)
+
+
+def build_graphs(family: str, n: int, seed: int):
+    if family == "er":
+        g = erdos_renyi(n, 7.0 / (n - 1), seed=seed)
+    elif family == "grid":
+        side = max(2, int(round(n ** 0.5)))
+        g = grid(side, side)
+    elif family == "ba":
+        g = preferential_attachment(n, 2, seed=seed)
+    elif family == "geo":
+        g = random_geometric(n, 1.3 * (1.0 / n) ** 0.5 * 2, seed=seed)
+    else:
+        raise SystemExit(f"unknown family {family!r}")
+    gw = (
+        g
+        if family == "geo"  # geometric graphs are already weighted
+        else with_random_weights(g, seed=seed + 1, low=1.0, high=8.0)
+    )
+    unweighted = g if g.is_unweighted() else None
+    return unweighted, gw
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=300)
+    parser.add_argument(
+        "--family", choices=["er", "grid", "ba", "geo"], default="er"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--pairs", type=int, default=600)
+    args = parser.parse_args()
+
+    g_unweighted, g_weighted = build_graphs(args.family, args.n, args.seed)
+
+    print("paper reference (Table 1):")
+    for entry in PAPER_TABLE1_REFERENCE:
+        print(reference_row(entry))
+    print()
+
+    rows = []
+    if g_unweighted is not None:
+        metric = MetricView(g_unweighted)
+        pairs = sample_pairs(g_unweighted.n, args.pairs, seed=args.seed + 2)
+        for factory, kwargs in [
+            (Stretch2Plus1Scheme, {"eps": 0.5}),
+            (GeneralMinusScheme, {"ell": 3, "eps": 1.0, "alpha": 0.5}),
+            (GeneralPlusScheme, {"ell": 2, "eps": 1.0, "alpha": 0.5}),
+        ]:
+            ev = evaluate_scheme(
+                g_unweighted, factory, pairs, metric=metric,
+                seed=args.seed, **kwargs
+            )
+            status = "ok" if ev.within_bound else "VIOLATION"
+            rows.append(
+                [ev.name, "unweighted", f"{ev.stretch.max_stretch:.3f}",
+                 f"{ev.stretch.avg_stretch:.3f}",
+                 f"{ev.stats.avg_table_words:.0f}", status]
+            )
+
+    metric_w = MetricView(g_weighted)
+    pairs_w = sample_pairs(g_weighted.n, args.pairs, seed=args.seed + 3)
+    for factory, kwargs in [
+        (ThorupZwickScheme, {"k": 2}),
+        (ThorupZwickScheme, {"k": 3}),
+        (Stretch5PlusScheme, {"eps": 0.6}),
+        (Stretch4kMinus7Scheme, {"k": 4, "eps": 1.0}),
+    ]:
+        ev = evaluate_scheme(
+            g_weighted, factory, pairs_w, metric=metric_w,
+            seed=args.seed, **kwargs
+        )
+        status = "ok" if ev.within_bound else "VIOLATION"
+        rows.append(
+            [ev.name, "weighted", f"{ev.stretch.max_stretch:.3f}",
+             f"{ev.stretch.avg_stretch:.3f}",
+             f"{ev.stats.avg_table_words:.0f}", status]
+        )
+
+    print(f"measured on family={args.family}, n={args.n}:")
+    print(
+        table(
+            ["scheme", "graph", "max stretch", "avg stretch",
+             "avg words/vertex", "bound"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Compact routing on an AS-like topology (weighted, heavy-tailed degrees).
+
+Internet-like graphs are the classic motivation for compact routing:
+routing tables at backbone routers grow with the network, and compact
+schemes bound that growth at a small constant stretch.  This script builds
+a preferential-attachment network with latency-like weights, then compares
+the paper's Theorem 11 and Theorem 16 against the Thorup–Zwick ladder —
+including the paper's headline: *stretch ~5 below the sqrt(n) table
+barrier*.
+
+Run:  python examples/isp_topology.py
+"""
+
+from repro.baselines.thorup_zwick import ThorupZwickScheme
+from repro.eval.harness import evaluate_scheme
+from repro.eval.reporting import table
+from repro.eval.workloads import sample_pairs
+from repro.graph.generators import preferential_attachment, with_random_weights
+from repro.graph.metric import MetricView
+from repro.schemes import Stretch4kMinus7Scheme, Stretch5PlusScheme
+
+
+def main() -> None:
+    # 400 routers, preferential attachment (hubs!), latency weights 1-20ms.
+    topo = preferential_attachment(400, 2, seed=11)
+    g = with_random_weights(topo, seed=12, low=1.0, high=20.0)
+    metric = MetricView(g)
+    hubs = sorted(g.vertices(), key=g.degree, reverse=True)[:3]
+    print(f"AS-like topology: {g}")
+    print(
+        "top hubs:",
+        ", ".join(f"router {h} (degree {g.degree(h)})" for h in hubs),
+    )
+
+    pairs = sample_pairs(g.n, 1000, seed=13)
+    cases = [
+        ("TZ k=2 (stretch 3, n^1/2 tables)", ThorupZwickScheme, {"k": 2}),
+        ("Theorem 11 (5+eps, n^1/3 tables)", Stretch5PlusScheme, {"eps": 0.5}),
+        ("TZ k=3 (stretch 7, n^1/3 tables)", ThorupZwickScheme, {"k": 3}),
+        (
+            "Theorem 16 k=4 (9+eps, n^1/4 tables)",
+            Stretch4kMinus7Scheme,
+            {"k": 4, "eps": 1.0},
+        ),
+        ("TZ k=4 (stretch 11, n^1/4 tables)", ThorupZwickScheme, {"k": 4}),
+    ]
+    rows = []
+    evals = {}
+    for name, factory, kwargs in cases:
+        ev = evaluate_scheme(g, factory, pairs, metric=metric, seed=7, **kwargs)
+        assert ev.within_bound, f"{name} exceeded its guarantee!"
+        evals[name] = ev
+        rows.append(
+            [
+                name,
+                f"{ev.stretch.max_stretch:.3f}",
+                f"{ev.stretch.avg_stretch:.3f}",
+                f"{ev.stats.avg_table_words:.0f}",
+                f"{ev.build_seconds:.2f}s",
+            ]
+        )
+    print()
+    print(
+        table(
+            ["scheme", "max stretch", "avg stretch", "avg words/router",
+             "preprocess"],
+            rows,
+        )
+    )
+
+    t11 = evals["Theorem 11 (5+eps, n^1/3 tables)"]
+    tz2 = evals["TZ k=2 (stretch 3, n^1/2 tables)"]
+    tz3 = evals["TZ k=3 (stretch 7, n^1/3 tables)"]
+    print(
+        f"\npaper's headline on this topology: Theorem 11 stores "
+        f"{t11.stats.avg_table_words:.0f} words/router "
+        f"({t11.stats.avg_table_words / tz2.stats.avg_table_words:.0%} of the "
+        f"3-stretch TZ tables) while guaranteeing stretch "
+        f"{t11.bound[0]:.1f} instead of TZ k=3's 7 "
+        f"(measured: {t11.stretch.max_stretch:.2f} vs "
+        f"{tz3.stretch.max_stretch:.2f})."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Name-independent routing: reaching nodes nobody handed you a label for.
+
+Labeled schemes assume the sender got the destination's preprocessing-
+assigned label out of band.  In peer-to-peer/DHT settings that assumption
+fails — a node only knows the *name* (id) it wants to reach.  The paper
+notes its first technique yields a name-independent (3+eps) scheme with
+``Õ(sqrt n)`` tables: the color of a name is a seeded hash every node can
+evaluate locally, and all routing state for a name lives on its color
+class.
+
+This script builds that scheme on a random overlay and routes lookups by
+raw id, comparing against the labeled warm-up scheme to show the (mild)
+price of name independence.
+
+Run:  python examples/name_independent_dht.py
+"""
+
+from repro.eval.workloads import sample_pairs
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.graph.metric import MetricView
+from repro.routing import measure_stretch, words_of
+from repro.schemes import NameIndependent3Eps, Warmup3Scheme
+
+
+def main() -> None:
+    overlay = with_random_weights(
+        erdos_renyi(350, 0.02, seed=41), seed=42, low=1.0, high=5.0
+    )
+    metric = MetricView(overlay)
+    print(f"P2P overlay: {overlay}")
+
+    labeled = Warmup3Scheme(overlay, eps=0.5, metric=metric, seed=2)
+    unlabeled = NameIndependent3Eps(overlay, eps=0.5, metric=metric, seed=2)
+
+    pairs = sample_pairs(overlay.n, 1200, seed=3)
+    for scheme in (labeled, unlabeled):
+        report = measure_stretch(scheme, metric, pairs)
+        assert report.max_stretch <= scheme.stretch_bound() + 1e-9
+        label_words = max(
+            words_of(scheme.label_of(v)) for v in overlay.vertices()
+        )
+        stats = scheme.stats()
+        print(
+            f"\n{scheme.name}:"
+            f"\n  label the sender must know: {label_words} word(s)"
+            f"\n  tables: avg {stats.avg_table_words:.0f} words/node"
+            f"\n  stretch: max {report.max_stretch:.3f}, "
+            f"avg {report.avg_stretch:.3f} "
+            f"(guarantee {scheme.stretch_bound():.2f})"
+        )
+
+    print(
+        "\nreading: the name-independent scheme routes lookups given only"
+        "\nthe raw node id — the 'label' is literally one word — at the"
+        "\nsame asymptotic table size and stretch guarantee."
+    )
+
+
+if __name__ == "__main__":
+    main()

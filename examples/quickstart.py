@@ -1,0 +1,52 @@
+"""Quickstart: build the paper's (5+eps)-stretch scheme and route messages.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.eval.workloads import sample_pairs
+from repro.graph.generators import random_geometric
+from repro.graph.metric import MetricView
+from repro.routing import measure_stretch, route
+from repro.schemes import Stretch5PlusScheme
+
+
+def main() -> None:
+    # A weighted network: 300 sensors on the unit square, edges between
+    # nearby pairs, Euclidean edge weights.
+    graph = random_geometric(300, 0.1, seed=7)
+    print(f"graph: {graph}")
+
+    # Preprocessing (centralized): Theorem 11's (5+eps)-stretch scheme.
+    scheme = Stretch5PlusScheme(graph, eps=0.5, seed=1)
+    stats = scheme.stats()
+    print(f"built {scheme.name}")
+    print(
+        f"  routing tables: avg {stats.avg_table_words:.0f} words/vertex, "
+        f"max {stats.max_table_words} (n = {graph.n})"
+    )
+    print(f"  labels: at most {stats.max_label_words} words")
+
+    # Route one message and show its path.
+    result = route(scheme, 0, 250)
+    metric = scheme.metric
+    print(
+        f"\nmessage 0 -> 250: {result.hops} hops, length "
+        f"{result.length:.3f} vs optimal {metric.d(0, 250):.3f} "
+        f"(stretch {result.length / metric.d(0, 250):.3f})"
+    )
+    print(f"  path: {' -> '.join(map(str, result.path[:12]))}"
+          + (" ..." if len(result.path) > 12 else ""))
+
+    # Stretch over a random workload, checked against the theorem's bound.
+    pairs = sample_pairs(graph.n, 1000, seed=2)
+    report = measure_stretch(scheme, metric, pairs)
+    print(
+        f"\n1000 random messages: max stretch {report.max_stretch:.3f}, "
+        f"avg {report.avg_stretch:.3f} "
+        f"(guarantee: {scheme.stretch_bound():.2f})"
+    )
+    assert report.max_stretch <= scheme.stretch_bound() + 1e-9
+
+
+if __name__ == "__main__":
+    main()

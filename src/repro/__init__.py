@@ -1,0 +1,41 @@
+"""Reproduction of Roditty & Tov, "New Routing Techniques and their
+Applications" (PODC 2015): compact routing schemes whose space/stretch
+tradeoffs almost match the corresponding distance oracles.
+
+Quickstart::
+
+    from repro.graph.generators import random_geometric
+    from repro.schemes import Stretch5PlusScheme
+    from repro.routing import route
+
+    g = random_geometric(300, 0.1, seed=1)
+    scheme = Stretch5PlusScheme(g, eps=0.5)
+    result = route(scheme, 0, 42)
+    print(result.path, result.length)
+"""
+
+__version__ = "1.0.0"
+
+from .graph import Graph, GraphError, MetricView, RootedTree
+from .routing import (
+    CompactRoutingScheme,
+    PortAssignment,
+    RouteResult,
+    StretchReport,
+    measure_stretch,
+    route,
+)
+
+__all__ = [
+    "Graph",
+    "GraphError",
+    "MetricView",
+    "RootedTree",
+    "CompactRoutingScheme",
+    "PortAssignment",
+    "RouteResult",
+    "StretchReport",
+    "measure_stretch",
+    "route",
+    "__version__",
+]

@@ -1,0 +1,175 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``table1`` — regenerate the paper's Table 1 on a chosen topology
+  (thin wrapper around ``examples/compare_schemes.py`` logic),
+* ``route`` — build one scheme and trace one message,
+* ``validate`` — run the structural validation checklist on a scheme.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baselines.thorup_zwick import ThorupZwickScheme
+from .eval.validation import validate_scheme
+from .eval.workloads import sample_pairs
+from .graph.generators import (
+    erdos_renyi,
+    grid,
+    preferential_attachment,
+    random_geometric,
+    with_random_weights,
+)
+from .graph.metric import MetricView
+from .routing import measure_stretch, route
+from .schemes import (
+    NameIndependent3Eps,
+    Stretch2Plus1Scheme,
+    Stretch4kMinus7Scheme,
+    Stretch5PlusScheme,
+    Warmup3Scheme,
+)
+
+SCHEMES = {
+    "thm10": (Stretch2Plus1Scheme, {"eps": 0.5}, False),
+    "thm11": (Stretch5PlusScheme, {"eps": 0.6}, True),
+    "thm16": (Stretch4kMinus7Scheme, {"k": 4, "eps": 1.0}, True),
+    "warmup3": (Warmup3Scheme, {"eps": 0.5}, True),
+    "name-indep": (NameIndependent3Eps, {"eps": 0.5}, True),
+    "tz2": (ThorupZwickScheme, {"k": 2}, True),
+    "tz3": (ThorupZwickScheme, {"k": 3}, True),
+}
+
+FAMILIES = ["er", "grid", "ba", "geo"]
+
+
+def _build_graph(family: str, n: int, seed: int, weighted: bool):
+    if family == "er":
+        g = erdos_renyi(n, 7.0 / max(n - 1, 1), seed=seed)
+    elif family == "grid":
+        side = max(2, int(round(n ** 0.5)))
+        g = grid(side, side)
+    elif family == "ba":
+        g = preferential_attachment(n, 2, seed=seed)
+    elif family == "geo":
+        return random_geometric(n, 2.6 / n ** 0.5, seed=seed)
+    else:
+        raise SystemExit(f"unknown family {family!r}")
+    if weighted:
+        g = with_random_weights(g, seed=seed + 1, low=1.0, high=8.0)
+    return g
+
+
+def _make_scheme(name: str, n: int, family: str, seed: int):
+    if name not in SCHEMES:
+        raise SystemExit(
+            f"unknown scheme {name!r}; choose from {sorted(SCHEMES)}"
+        )
+    factory, kwargs, weighted = SCHEMES[name]
+    if name == "thm10" and family == "geo":
+        raise SystemExit("thm10 is unweighted-only; pick er/grid/ba")
+    g = _build_graph(family, n, seed, weighted and family != "geo")
+    metric = MetricView(g)
+    scheme = factory(g, metric=metric, seed=seed, **kwargs)
+    return g, metric, scheme
+
+
+def cmd_route(args) -> int:
+    g, metric, scheme = _make_scheme(args.scheme, args.n, args.family, args.seed)
+    s = args.source % g.n
+    t = args.target % g.n
+    result = route(scheme, s, t)
+    print(f"{scheme.name} on {g}")
+    print(f"route {s} -> {t}: {' -> '.join(map(str, result.path))}")
+    d = metric.d(s, t)
+    if d > 0:
+        print(
+            f"length {result.length:.4f} vs optimal {d:.4f} "
+            f"(stretch {result.length / d:.4f})"
+        )
+    return 0
+
+
+def cmd_validate(args) -> int:
+    g, metric, scheme = _make_scheme(args.scheme, args.n, args.family, args.seed)
+    result = validate_scheme(scheme, metric, sample=args.pairs, seed=args.seed)
+    print(f"{scheme.name} on {g}")
+    print(
+        f"checked {result.checked_pairs} pairs: max stretch "
+        f"{result.max_stretch:.4f}, max header {result.max_header_words} "
+        f"words, max label {result.max_label_words} words"
+    )
+    if result.ok:
+        print("validation: OK")
+        return 0
+    print("validation: FAILED")
+    for problem in result.problems[:20]:
+        print(f"  - {problem}")
+    return 1
+
+
+def cmd_table1(args) -> int:
+    rows = []
+    for name in ["thm10", "tz2", "tz3", "thm11", "thm16"]:
+        factory, kwargs, weighted = SCHEMES[name]
+        if name == "thm10" and args.family == "geo":
+            continue
+        g = _build_graph(
+            args.family, args.n, args.seed, weighted and args.family != "geo"
+        )
+        if name == "thm10" and not g.is_unweighted():
+            continue
+        metric = MetricView(g)
+        scheme = factory(g, metric=metric, seed=args.seed, **kwargs)
+        pairs = sample_pairs(g.n, args.pairs, seed=args.seed + 5)
+        bound = scheme.stretch_bound()
+        alpha = bound[0] if isinstance(bound, tuple) else bound
+        rep = measure_stretch(scheme, metric, pairs, multiplicative_slack=alpha)
+        stats = scheme.stats()
+        rows.append(
+            f"{scheme.name:<26} max={rep.max_stretch:<7.3f} "
+            f"avg={rep.avg_stretch:<7.3f} tbl-avg={stats.avg_table_words:<9.1f}"
+        )
+    print(f"Table 1 on family={args.family}, n={args.n}:")
+    for row in rows:
+        print("  " + row)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_route = sub.add_parser("route", help="trace one message")
+    p_route.add_argument("--scheme", default="thm11", choices=sorted(SCHEMES))
+    p_route.add_argument("--family", default="er", choices=FAMILIES)
+    p_route.add_argument("--n", type=int, default=200)
+    p_route.add_argument("--seed", type=int, default=0)
+    p_route.add_argument("--source", type=int, default=0)
+    p_route.add_argument("--target", type=int, default=42)
+    p_route.set_defaults(func=cmd_route)
+
+    p_val = sub.add_parser("validate", help="structural validation")
+    p_val.add_argument("--scheme", default="thm11", choices=sorted(SCHEMES))
+    p_val.add_argument("--family", default="er", choices=FAMILIES)
+    p_val.add_argument("--n", type=int, default=200)
+    p_val.add_argument("--seed", type=int, default=0)
+    p_val.add_argument("--pairs", type=int, default=300)
+    p_val.set_defaults(func=cmd_validate)
+
+    p_t1 = sub.add_parser("table1", help="regenerate Table 1")
+    p_t1.add_argument("--family", default="er", choices=FAMILIES)
+    p_t1.add_argument("--n", type=int, default=250)
+    p_t1.add_argument("--seed", type=int, default=0)
+    p_t1.add_argument("--pairs", type=int, default=500)
+    p_t1.set_defaults(func=cmd_table1)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Baselines the paper compares against: TZ routing and distance oracles."""
+
+from .hierarchy import SampledHierarchy
+from .pr_oracle import PROracle
+from .spanners import baswana_sen_spanner, greedy_spanner, spanner_stretch_ok
+from .thorup_zwick import ThorupZwickScheme
+from .tz_oracle import TZOracle
+
+__all__ = [
+    "SampledHierarchy",
+    "PROracle",
+    "ThorupZwickScheme",
+    "TZOracle",
+    "baswana_sen_spanner",
+    "greedy_spanner",
+    "spanner_stretch_ok",
+]

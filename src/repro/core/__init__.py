@@ -1,0 +1,25 @@
+"""The paper's primary contribution: the two new routing techniques."""
+
+from .sequences import (
+    Lemma7Sequence,
+    Lemma8Sequence,
+    build_lemma7_sequence,
+    build_lemma8_sequence,
+)
+from .index_selection import lemma12_index, lemma14_index, verify_series_hypotheses
+from .technique1 import Technique1, eps_to_b_lemma7
+from .technique2 import Technique2, eps_to_b_lemma8
+
+__all__ = [
+    "Lemma7Sequence",
+    "Lemma8Sequence",
+    "build_lemma7_sequence",
+    "build_lemma8_sequence",
+    "lemma12_index",
+    "lemma14_index",
+    "verify_series_hypotheses",
+    "Technique1",
+    "eps_to_b_lemma7",
+    "Technique2",
+    "eps_to_b_lemma8",
+]

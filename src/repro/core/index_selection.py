@@ -1,0 +1,104 @@
+"""The index-selection lemmas (Lemmas 12 and 14, after [20]).
+
+The generalized schemes pick, at the source, which ball level ``j`` and
+landmark level ``k`` to route through.  The choice is
+``argmin_j (a_j + b_{pair(j)})`` over the scheme's instances, and the
+paper's Lemmas 12/14 bound the value of that minimum:
+
+* **Lemma 12** — series ``{x_i}, {y_i} ⊆ [0,1]`` with ``x_0 = y_0 = 0``
+  and ``x_i + y_{l-i} <= 1`` for all ``i``: some ``i ∈ {0..l-1}`` has
+  ``x_i + y_{l-i-1} <= 1 - 1/l``.
+* **Lemma 14** — same hypotheses: some ``i ∈ {0..l-1}`` has
+  ``x_{i+1} + y_{l-i} <= 1 + 1/l``.
+
+These are pure combinatorial facts; this module states them as code (with
+constructive index selection and the paper's highest-index tie rule) so
+the property tests in ``tests/core/test_index_selection.py`` can verify
+them over random series — the reproduction's check of the stretch
+analysis' combinatorial core.
+
+Proof sketch (Lemma 12): summing the telescoping differences, the ``l``
+values ``x_i + y_{l-i-1}`` average at most
+``(1/l)·sum_i (x_i + y_{l-i}) - y_l/l <= 1 - 1/l`` once one uses
+``x_0 = y_0 = 0``; the minimum is at most the average.  Lemma 14 is the
+mirrored statement one index up.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = [
+    "lemma12_index",
+    "lemma14_index",
+    "verify_series_hypotheses",
+]
+
+
+def verify_series_hypotheses(
+    xs: Sequence[float], ys: Sequence[float]
+) -> None:
+    """Raise unless ``xs``/``ys`` satisfy the lemmas' hypotheses."""
+    if len(xs) != len(ys):
+        raise ValueError(
+            f"series lengths differ: {len(xs)} vs {len(ys)}"
+        )
+    if len(xs) < 2:
+        raise ValueError("series need at least two entries (l >= 1)")
+    ell = len(xs) - 1
+    if xs[0] != 0 or ys[0] != 0:
+        raise ValueError("x_0 and y_0 must be 0")
+    for i, (x, y) in enumerate(zip(xs, ys)):
+        if not (0.0 <= x <= 1.0 and 0.0 <= y <= 1.0):
+            raise ValueError(f"series values must lie in [0,1] (index {i})")
+    for i in range(ell + 1):
+        if xs[i] + ys[ell - i] > 1.0 + 1e-12:
+            raise ValueError(
+                f"hypothesis x_{i} + y_{ell - i} <= 1 violated "
+                f"({xs[i]} + {ys[ell - i]})"
+            )
+
+
+def lemma12_index(
+    xs: Sequence[float], ys: Sequence[float]
+) -> Tuple[int, float]:
+    """Lemma 12: an index ``i`` with ``x_i + y_{l-i-1} <= 1 - 1/l``.
+
+    Returns ``(i, value)`` for the *minimizing* ``i`` (ties to the highest
+    index, the paper's routing rule).  The returned value is guaranteed to
+    be at most ``1 - 1/l``; a violation means the hypotheses were broken
+    and raises.
+    """
+    verify_series_hypotheses(xs, ys)
+    ell = len(xs) - 1
+    best_i, best_val = 0, float("inf")
+    for i in range(ell):
+        val = xs[i] + ys[ell - i - 1]
+        if val <= best_val:
+            best_i, best_val = i, val
+    if best_val > 1.0 - 1.0 / ell + 1e-9:
+        raise AssertionError(
+            f"Lemma 12 violated: min value {best_val} > 1 - 1/{ell}"
+        )
+    return best_i, best_val
+
+
+def lemma14_index(
+    xs: Sequence[float], ys: Sequence[float]
+) -> Tuple[int, float]:
+    """Lemma 14: an index ``i`` with ``x_{i+1} + y_{l-i} <= 1 + 1/l``.
+
+    Same conventions as :func:`lemma12_index`.
+    """
+    verify_series_hypotheses(xs, ys)
+    ell = len(xs) - 1
+    best_i, best_val = 0, float("inf")
+    for i in range(ell):
+        val = xs[i + 1] + ys[ell - i]
+        if val <= best_val:
+            best_i, best_val = i, val
+    if best_val > 1.0 + 1.0 / ell + 1e-9:
+        raise AssertionError(
+            f"Lemma 14 violated: min value {best_val} > 1 + 1/{ell}"
+        )
+    return best_i, best_val

@@ -1,0 +1,212 @@
+"""Routing Technique 1 (Lemma 7): (1+eps) routing inside partition classes.
+
+Given a partition ``U = {U_1..U_q}`` of ``V`` into classes of size
+``Õ(n/q)``, this technique routes between any two vertices of the *same*
+class on a ``(1+eps)``-stretch path.  Per vertex it stores
+
+* the ball first-edge ports (installed by the caller, category ``"ball"``),
+* a tree-routing record for the global shortest-path tree ``T(h)`` of every
+  hitting-set vertex ``h ∈ H`` (``H`` hits every ball; Lemma 5),
+* for every same-class destination ``v``: the Lemma 7 waypoint sequence and,
+  when it ends at a hub ``h ∈ H``, the label of ``v`` in ``T(h)``.
+
+The header carries the remaining waypoints (≤ ``2b+2`` words) plus at most
+one tree label, matching the paper's ``O((1/eps) log n + log^2 n/loglog n)``
+bits.
+
+This class is a *sub-scheme*: a parent :class:`CompactRoutingScheme` owns
+the per-vertex :class:`SizedTable`; the technique installs its categories
+into them and exposes ``start``/``step`` primitives that read only the local
+table, keeping the distributed discipline intact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.metric import MetricView
+from ..graph.trees import RootedTree
+from ..routing.model import SizedTable
+from ..routing.ports import PortAssignment
+from ..routing.tree_routing import TreeRouting, tree_step
+from ..structures.balls import BallFamily
+from ..structures.hitting_set import greedy_hitting_set, random_hitting_set
+from .sequences import build_lemma7_sequence
+
+__all__ = ["Technique1", "eps_to_b_lemma7"]
+
+
+def eps_to_b_lemma7(eps: float) -> int:
+    """The paper's ``b = ceil(2 / eps)``."""
+    import math
+
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    return max(1, math.ceil(2.0 / eps))
+
+
+def _global_tree(metric: MetricView, root: int) -> RootedTree:
+    tree_parent = metric.spt_parents(root)
+    if len(tree_parent) != metric.n:
+        missing = next(v for v in metric.graph.vertices() if v not in tree_parent)
+        raise ValueError(f"graph disconnected: {missing} unreachable from {root}")
+    return RootedTree(tree_parent)
+
+
+class Technique1:
+    """Preprocessed Lemma 7 structure over one partition.
+
+    Parameters
+    ----------
+    metric, family, ports:
+        Shared substrates (balls must be the family the caller installed
+        ball-routing ports for, category ``"ball"``).
+    partition:
+        The classes ``U_1..U_q`` (lists of vertex ids covering ``V``).
+    eps:
+        Target stretch is ``1 + eps``.
+    hitting:
+        Optional pre-computed hitting set of all balls; computed greedily
+        when omitted.
+    prefix:
+        Category prefix inside the shared tables (several technique
+        instances may coexist, e.g. in the generalized schemes).
+    """
+
+    def __init__(
+        self,
+        metric: MetricView,
+        family: BallFamily,
+        ports: PortAssignment,
+        partition: Sequence[Sequence[int]],
+        eps: float,
+        *,
+        hitting: Optional[Sequence[int]] = None,
+        prefix: str = "t1:",
+        seed: int = 0,
+        use_greedy_hitting: bool = True,
+    ) -> None:
+        self.metric = metric
+        self.family = family
+        self.ports = ports
+        self.eps = eps
+        self.b = eps_to_b_lemma7(eps)
+        self.prefix = prefix
+        self.cat_seq = f"{prefix}seq"
+        self.cat_htree = f"{prefix}htree"
+
+        if hitting is None:
+            balls = [family.ball(u) for u in metric.graph.vertices()]
+            if use_greedy_hitting:
+                hitting = greedy_hitting_set(balls)
+            else:
+                hitting = random_hitting_set(balls, metric.n, seed=seed)
+        self.hitting = sorted(hitting)
+
+        self._trees: Dict[int, TreeRouting] = {}
+        for h in self.hitting:
+            self._trees[h] = TreeRouting(_global_tree(metric, h), ports)
+
+        # class index of each vertex (for diagnostics / validation)
+        self._class_of: List[int] = [-1] * metric.n
+        for idx, cls in enumerate(partition):
+            for v in cls:
+                if self._class_of[v] != -1:
+                    raise ValueError(f"vertex {v} appears in two classes")
+                self._class_of[v] = idx
+        if any(c == -1 for c in self._class_of):
+            missing = self._class_of.index(-1)
+            raise ValueError(f"partition does not cover vertex {missing}")
+
+        # sequences[u][v] = (waypoints, tree_label_or_None)
+        self._sequences: List[Dict[int, Tuple[Tuple[int, ...], Optional[tuple]]]] = [
+            {} for _ in range(metric.n)
+        ]
+        for cls in partition:
+            for u in cls:
+                for v in cls:
+                    if u == v:
+                        continue
+                    seq = build_lemma7_sequence(
+                        metric, family, self.hitting, u, v, self.b
+                    )
+                    tlabel = (
+                        self._trees[seq.hub].label_of(v)
+                        if seq.hub is not None
+                        else None
+                    )
+                    self._sequences[u][v] = (seq.waypoints, tlabel)
+
+    # ------------------------------------------------------------------
+    def class_of(self, v: int) -> int:
+        """Partition-class index of ``v``."""
+        return self._class_of[v]
+
+    def install(self, table: SizedTable) -> None:
+        """Install this vertex's Lemma 7 state into its sized table."""
+        u = table.owner
+        for h, tree in self._trees.items():
+            table.put(self.cat_htree, h, tree.record_of(u))
+        for v, entry in self._sequences[u].items():
+            table.put(self.cat_seq, v, entry)
+
+    # ------------------------------------------------------------------
+    # Distributed primitives (read only the local table + header)
+    # ------------------------------------------------------------------
+    def start(self, table: SizedTable, u: int, v: int) -> tuple:
+        """Build the initial technique header at source ``u`` for ``v``."""
+        entry = table.get(self.cat_seq, v)
+        if entry is None:
+            raise ValueError(
+                f"{u} stores no Lemma 7 sequence for {v} "
+                f"(classes {self._class_of[u]} vs {self._class_of[v]})"
+            )
+        waypoints, tlabel = entry
+        return ("seq", 0, waypoints, tlabel)
+
+    def step(
+        self, table: SizedTable, u: int, header: tuple, v: int
+    ) -> Tuple[Optional[int], tuple]:
+        """One local decision at ``u``; returns ``(port, header)``.
+
+        ``port is None`` means the message is at ``v``.
+        """
+        if u == v:
+            return None, header
+        if header[0] == "tree":
+            _, hub, tlabel = header
+            record = table.get(self.cat_htree, hub)
+            if record is None:
+                raise RuntimeError(f"{u} lacks a record for hub tree {hub}")
+            port = tree_step(record, tlabel)
+            if port is None:
+                raise RuntimeError(
+                    f"tree phase claims delivery at {u} but target is {v}"
+                )
+            return port, header
+        _, idx, waypoints, tlabel = header
+        while idx < len(waypoints) and waypoints[idx] == u:
+            idx += 1
+        if idx == len(waypoints):
+            # Waypoints exhausted away from v: u is the hub (Lemma 7
+            # invariant); continue on u's global tree toward v.
+            if tlabel is None:
+                raise RuntimeError(
+                    f"sequence for {v} exhausted at {u} without a tree label"
+                )
+            header = ("tree", u, tlabel)
+            record = table.get(self.cat_htree, u)
+            if record is None:
+                raise RuntimeError(f"exhausted at non-hub vertex {u}")
+            port = tree_step(record, tlabel)
+            if port is None:
+                raise RuntimeError(
+                    f"tree phase claims delivery at {u} but target is {v}"
+                )
+            return port, header
+        target = waypoints[idx]
+        port = table.get("ball", target)
+        if port is None:
+            # The waypoint must then be a direct neighbour (boundary edge).
+            port = self.ports.port_to(u, target)
+        return port, ("seq", idx, waypoints, tlabel)

@@ -1,0 +1,26 @@
+"""Evaluation harness: workloads, measurement, space accounting, reporting."""
+
+from .harness import Evaluation, OracleEvaluation, evaluate_oracle, evaluate_scheme
+from .metrics import fit_exponent, polylog_normalized_exponent, words_to_bits
+from .reporting import PAPER_TABLE1_REFERENCE, banner, reference_row, table
+from .validation import ValidationResult, validate_scheme
+from .workloads import all_pairs, sample_pairs, stratified_pairs
+
+__all__ = [
+    "Evaluation",
+    "OracleEvaluation",
+    "evaluate_oracle",
+    "evaluate_scheme",
+    "fit_exponent",
+    "polylog_normalized_exponent",
+    "words_to_bits",
+    "PAPER_TABLE1_REFERENCE",
+    "banner",
+    "reference_row",
+    "table",
+    "ValidationResult",
+    "validate_scheme",
+    "all_pairs",
+    "sample_pairs",
+    "stratified_pairs",
+]

@@ -1,0 +1,169 @@
+"""End-to-end evaluation harness: build a scheme, route a workload, report.
+
+This is what the benchmarks call: one function turns a (graph, scheme
+factory, workload) triple into an :class:`Evaluation` record holding build
+time, stretch statistics, space statistics and bound checks — the columns
+of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+from ..graph.core import Graph
+from ..graph.metric import MetricView
+from ..routing.model import CompactRoutingScheme, SchemeStats
+from ..routing.simulator import StretchReport, measure_stretch
+
+__all__ = ["Evaluation", "evaluate_scheme", "evaluate_oracle", "OracleEvaluation"]
+
+
+@dataclass
+class Evaluation:
+    """One scheme on one graph on one workload."""
+
+    name: str
+    n: int
+    m: int
+    build_seconds: float
+    stretch: StretchReport
+    stats: SchemeStats
+    #: (alpha, beta) guarantee the scheme advertises
+    bound: Tuple[float, float]
+
+    @property
+    def within_bound(self) -> bool:
+        alpha, beta = self.bound
+        return self.stretch.max_additive_over <= beta + 1e-9
+
+    def row(self) -> str:
+        alpha, beta = self.bound
+        bound_text = (
+            f"{alpha:.2f}" if beta == 0 else f"({alpha:.2f},{beta:.0f})"
+        )
+        flag = "ok" if self.within_bound else "VIOLATION"
+        return (
+            f"{self.name:<28} n={self.n:<6} bound={bound_text:<12} "
+            f"max={self.stretch.max_stretch:<7.3f} "
+            f"avg={self.stretch.avg_stretch:<7.3f} "
+            f"tbl-avg={self.stats.avg_table_words:<9.1f} "
+            f"tbl-max={self.stats.max_table_words:<8} "
+            f"lbl={self.stats.max_label_words:<4} "
+            f"hdr={self.stretch.max_header_words:<4} {flag}"
+        )
+
+
+def _normalize_bound(
+    bound: Union[float, Tuple[float, float]]
+) -> Tuple[float, float]:
+    if isinstance(bound, tuple):
+        return (float(bound[0]), float(bound[1]))
+    return (float(bound), 0.0)
+
+
+def evaluate_scheme(
+    graph: Graph,
+    factory: Callable[..., CompactRoutingScheme],
+    pairs: Iterable[Tuple[int, int]],
+    *,
+    metric: Optional[MetricView] = None,
+    **factory_kwargs,
+) -> Evaluation:
+    """Build ``factory(graph, metric=..., **kwargs)``, route ``pairs``, report."""
+    metric = metric if metric is not None else MetricView(graph)
+    start = time.perf_counter()
+    scheme = factory(graph, metric=metric, **factory_kwargs)
+    build_seconds = time.perf_counter() - start
+    bound = _normalize_bound(scheme.stretch_bound())
+    report = measure_stretch(
+        scheme, metric, pairs, multiplicative_slack=bound[0]
+    )
+    return Evaluation(
+        name=scheme.name,
+        n=graph.n,
+        m=graph.m,
+        build_seconds=build_seconds,
+        stretch=report,
+        stats=scheme.stats(),
+        bound=bound,
+    )
+
+
+@dataclass
+class OracleEvaluation:
+    """One distance oracle on one graph on one workload."""
+
+    name: str
+    n: int
+    build_seconds: float
+    pairs: int
+    max_stretch: float
+    avg_stretch: float
+    max_additive_over: float
+    total_words: int
+    max_words_per_vertex: int
+    bound: Tuple[float, float]
+
+    @property
+    def within_bound(self) -> bool:
+        return self.max_additive_over <= self.bound[1] + 1e-9
+
+    def row(self) -> str:
+        alpha, beta = self.bound
+        bound_text = f"{alpha:.2f}" if beta == 0 else f"({alpha:.2f},{beta:.0f})"
+        flag = "ok" if self.within_bound else "VIOLATION"
+        return (
+            f"{self.name:<28} n={self.n:<6} bound={bound_text:<12} "
+            f"max={self.max_stretch:<7.3f} avg={self.avg_stretch:<7.3f} "
+            f"space-total={self.total_words:<10} "
+            f"space-max={self.max_words_per_vertex:<8} {flag}"
+        )
+
+
+def evaluate_oracle(
+    graph: Graph,
+    factory: Callable[..., object],
+    pairs: Sequence[Tuple[int, int]],
+    *,
+    metric: Optional[MetricView] = None,
+    **factory_kwargs,
+) -> OracleEvaluation:
+    """Build a distance oracle and compare its answers with the exact metric."""
+    metric = metric if metric is not None else MetricView(graph)
+    start = time.perf_counter()
+    oracle = factory(graph, metric=metric, **factory_kwargs)
+    build_seconds = time.perf_counter() - start
+    bound = _normalize_bound(oracle.stretch_bound())
+    count = 0
+    max_stretch = 0.0
+    sum_stretch = 0.0
+    max_over = float("-inf")
+    for u, v in pairs:
+        d = metric.d(u, v)
+        if d <= 0:
+            continue
+        est = oracle.query(u, v)
+        if est < d - metric.tol:
+            raise RuntimeError(
+                f"oracle {oracle.name} underestimates d({u},{v}): {est} < {d}"
+            )
+        count += 1
+        stretch = est / d
+        sum_stretch += stretch
+        max_stretch = max(max_stretch, stretch)
+        max_over = max(max_over, est - bound[0] * d)
+    space = oracle.space_words()
+    return OracleEvaluation(
+        name=oracle.name,
+        n=graph.n,
+        build_seconds=build_seconds,
+        pairs=count,
+        max_stretch=max_stretch,
+        avg_stretch=sum_stretch / count if count else 1.0,
+        max_additive_over=max_over if count else 0.0,
+        total_words=space["total"],
+        max_words_per_vertex=space["max_per_vertex"],
+        bound=bound,
+    )

@@ -1,0 +1,54 @@
+"""Space accounting helpers and scaling-exponent estimation.
+
+The paper states table sizes in ``Õ(n^e)`` words (or bits).  Benchmarks
+report measured *words* (see :func:`repro.routing.model.words_of`) and, for
+the scaling experiment, fit the growth exponent ``e`` of
+``table_words ≈ c * n^e`` from a sweep over ``n`` — the reproduction's
+analogue of checking the paper's ``n^{2/3}`` / ``n^{1/3}`` columns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+__all__ = ["words_to_bits", "fit_exponent", "polylog_normalized_exponent"]
+
+
+def words_to_bits(words: int, n: int) -> int:
+    """Approximate bit cost of ``words`` machine words on an ``n``-vertex graph.
+
+    A word holds a vertex id, port or distance: ``ceil(log2 n)`` bits.
+    """
+    return words * max(1, math.ceil(math.log2(max(n, 2))))
+
+
+def fit_exponent(
+    sizes: Sequence[int], values: Sequence[float]
+) -> Tuple[float, float]:
+    """Least-squares fit of ``values ≈ c * sizes^e``; returns ``(e, c)``."""
+    import numpy as np
+
+    if len(sizes) != len(values) or len(sizes) < 2:
+        raise ValueError("need at least two (size, value) points")
+    xs = np.log(np.asarray(sizes, dtype=float))
+    ys = np.log(np.asarray(values, dtype=float))
+    e, logc = np.polyfit(xs, ys, 1)
+    return float(e), float(math.exp(logc))
+
+
+def polylog_normalized_exponent(
+    sizes: Sequence[int], values: Sequence[float], log_power: float = 1.0
+) -> float:
+    """Exponent fit after dividing out a ``log^p n`` factor.
+
+    The paper's bounds are ``Õ(n^e)`` = ``n^e * polylog``; removing one log
+    factor before fitting brings the measured exponent closer to the
+    asymptotic one at reproduction scale.
+    """
+    adjusted = [
+        v / (math.log2(max(s, 2)) ** log_power)
+        for s, v in zip(sizes, values)
+    ]
+    e, _ = fit_exponent(sizes, adjusted)
+    return e

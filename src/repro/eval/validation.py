@@ -1,0 +1,115 @@
+"""Structural validation of a built routing scheme.
+
+``validate_scheme`` is the release-quality checklist a scheme must pass
+before being trusted: labels exist and are small, tables are populated,
+every sampled pair is delivered within the advertised ``(alpha, beta)``
+bound, and headers stay bounded.  Tests and examples call it; it is also
+a useful debugging entry point when developing a new scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..graph.metric import MetricView
+from ..routing.model import CompactRoutingScheme, words_of
+from ..routing.simulator import route
+from .workloads import sample_pairs
+
+__all__ = ["ValidationResult", "validate_scheme"]
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of :func:`validate_scheme`."""
+
+    ok: bool
+    checked_pairs: int
+    max_stretch: float
+    max_header_words: int
+    max_label_words: int
+    problems: List[str] = field(default_factory=list)
+
+
+def validate_scheme(
+    scheme: CompactRoutingScheme,
+    metric: MetricView,
+    *,
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
+    sample: int = 200,
+    seed: int = 0,
+    label_word_limit: Optional[int] = None,
+) -> ValidationResult:
+    """Run the structural checklist; never raises, reports problems.
+
+    Parameters
+    ----------
+    pairs:
+        Pairs to route; defaults to a seeded sample of ``sample`` pairs.
+    label_word_limit:
+        Upper bound on label words (defaults to ``8 * ceil(log2 n) + 8``,
+        generous for every scheme in this repository).
+    """
+    problems: List[str] = []
+    n = scheme.graph.n
+    bound = scheme.stretch_bound() if hasattr(scheme, "stretch_bound") else None
+    if isinstance(bound, tuple):
+        alpha, beta = bound
+    elif bound is not None:
+        alpha, beta = float(bound), 0.0
+    else:
+        alpha, beta = float("inf"), 0.0
+
+    if label_word_limit is None:
+        import math
+
+        label_word_limit = 8 * math.ceil(math.log2(max(n, 2))) + 8
+
+    max_label = 0
+    for v in scheme.graph.vertices():
+        try:
+            label = scheme.label_of(v)
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            problems.append(f"label_of({v}) raised: {exc!r}")
+            continue
+        lw = words_of(label)
+        max_label = max(max_label, lw)
+        if lw > label_word_limit:
+            problems.append(
+                f"label of {v} has {lw} words > limit {label_word_limit}"
+            )
+        table = scheme.table_of(v)
+        if table.owner != v:
+            problems.append(f"table of {v} owned by {table.owner}")
+
+    if pairs is None:
+        pairs = sample_pairs(n, sample, seed=seed)
+    checked = 0
+    max_stretch = 0.0
+    max_header = 0
+    for s, t in pairs:
+        try:
+            result = route(scheme, s, t)
+        except Exception as exc:  # noqa: BLE001
+            problems.append(f"routing {s}->{t} raised: {exc!r}")
+            continue
+        d = metric.d(s, t)
+        checked += 1
+        max_header = max(max_header, result.max_header_words)
+        if d <= 0:
+            continue
+        max_stretch = max(max_stretch, result.length / d)
+        if result.length > alpha * d + beta + 1e-9:
+            problems.append(
+                f"pair {s}->{t}: length {result.length:.4f} exceeds "
+                f"{alpha:.3f}*{d:.4f}+{beta}"
+            )
+    return ValidationResult(
+        ok=not problems,
+        checked_pairs=checked,
+        max_stretch=max_stretch,
+        max_header_words=max_header,
+        max_label_words=max_label,
+        problems=problems,
+    )

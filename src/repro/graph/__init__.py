@@ -1,0 +1,7 @@
+"""Graph substrate: representation, generators, shortest paths, metric view."""
+
+from .core import Graph, GraphError
+from .metric import MetricView
+from .trees import RootedTree
+
+__all__ = ["Graph", "GraphError", "MetricView", "RootedTree"]

@@ -1,0 +1,310 @@
+"""Seeded graph generators for tests, examples and benchmarks.
+
+The paper has no dataset: its results are worst-case bounds over all
+undirected graphs.  For the empirical reproduction we exercise the schemes on
+standard synthetic families that stress different regimes:
+
+* **Erdős–Rényi** ``G(n, p)`` — the classical random substrate; balls grow
+  fast, clusters are small, the "no intersection" routing branches dominate.
+* **Grid / torus** — large diameter, slow ball growth; stresses the waypoint
+  sequences of Lemma 7/8 (long shortest paths, many subsequences).
+* **Ring with chords** — small-world topology with controllable diameter.
+* **Preferential attachment** — heavy-tailed degrees; stresses the fixed-port
+  model (high-degree hubs) and cluster-size bounding (Lemma 4).
+* **Random geometric** — the paper's weighted setting with metric-like
+  weights and meaningful normalized diameter ``D``.
+* **Trees / caterpillars** — the tree-routing substrate's home turf.
+
+Every generator takes an explicit ``seed`` and is deterministic.  Generators
+always return *connected* graphs (a connecting pass is applied when random
+sampling leaves isolated pieces) because compact routing is defined on
+connected graphs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from .core import Graph
+
+__all__ = [
+    "erdos_renyi",
+    "grid",
+    "torus",
+    "ring_with_chords",
+    "preferential_attachment",
+    "random_geometric",
+    "random_tree",
+    "caterpillar",
+    "barbell",
+    "complete_binary_tree",
+    "path",
+    "cycle",
+    "complete",
+    "star",
+    "with_random_weights",
+    "connect_components",
+]
+
+
+def _rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def connect_components(g: Graph, seed: int = 0, weight: float = 1.0) -> Graph:
+    """Add minimum-count random edges so that ``g`` becomes connected.
+
+    One representative vertex is drawn from each component and consecutive
+    representatives are linked.  Mutates and returns ``g``.
+    """
+    rng = _rng(seed)
+    components = g.connected_components()
+    if len(components) <= 1:
+        return g
+    reps = [rng.choice(comp) for comp in components]
+    for a, b in zip(reps, reps[1:]):
+        if not g.has_edge(a, b):
+            g.add_edge(a, b, weight)
+    return g
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0, *, connected: bool = True) -> Graph:
+    """Erdős–Rényi ``G(n, p)``; optionally patched to be connected."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"edge probability must be in [0,1], got {p}")
+    rng = _rng(seed)
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    if connected:
+        connect_components(g, seed=seed + 1)
+    return g
+
+
+def grid(rows: int, cols: int) -> Graph:
+    """``rows x cols`` grid graph; vertex ``(r, c)`` has id ``r*cols + c``."""
+    g = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(u, u + 1)
+            if r + 1 < rows:
+                g.add_edge(u, u + cols)
+    return g
+
+
+def torus(rows: int, cols: int) -> Graph:
+    """Grid with wrap-around edges in both dimensions."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus needs at least 3 rows and 3 cols")
+    g = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            right = r * cols + (c + 1) % cols
+            down = ((r + 1) % rows) * cols + c
+            if not g.has_edge(u, right):
+                g.add_edge(u, right)
+            if not g.has_edge(u, down):
+                g.add_edge(u, down)
+    return g
+
+
+def ring_with_chords(n: int, chords: int, seed: int = 0) -> Graph:
+    """Cycle on ``n`` vertices plus ``chords`` random non-duplicate chords."""
+    if n < 3:
+        raise ValueError("ring needs at least 3 vertices")
+    rng = _rng(seed)
+    g = cycle(n)
+    added = 0
+    attempts = 0
+    max_attempts = 50 * max(1, chords)
+    while added < chords and attempts < max_attempts:
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or g.has_edge(u, v):
+            continue
+        g.add_edge(u, v)
+        added += 1
+    return g
+
+
+def preferential_attachment(n: int, m_attach: int, seed: int = 0) -> Graph:
+    """Barabási–Albert-style graph: each new vertex attaches to ``m_attach``
+    existing vertices sampled proportionally to degree."""
+    if m_attach < 1:
+        raise ValueError("m_attach must be >= 1")
+    if n <= m_attach:
+        return complete(max(n, 1))
+    rng = _rng(seed)
+    g = Graph(n)
+    seed_clique = min(m_attach + 1, n)
+    for a in range(seed_clique):
+        for b in range(a + 1, seed_clique):
+            g.add_edge(a, b)
+    targets = []
+    for u in range(seed_clique):
+        targets.extend([u] * g.degree(u))
+    for u in range(seed_clique, n):
+        chosen = set()
+        while len(chosen) < m_attach:
+            chosen.add(rng.choice(targets))
+        for v in chosen:
+            g.add_edge(u, v)
+            targets.append(v)
+        targets.extend([u] * m_attach)
+    return g
+
+
+def random_geometric(
+    n: int, radius: float, seed: int = 0, *, connected: bool = True
+) -> Graph:
+    """Random geometric graph on the unit square with Euclidean edge weights.
+
+    Vertices are uniform points; vertices closer than ``radius`` are joined by
+    an edge weighted by their Euclidean distance (a natural weighted,
+    metric-like family with meaningful normalized diameter ``D``).
+    """
+    rng = _rng(seed)
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+    g = Graph(n)
+    for u in range(n):
+        xu, yu = points[u]
+        for v in range(u + 1, n):
+            xv, yv = points[v]
+            d = math.hypot(xu - xv, yu - yv)
+            if d <= radius and d > 0:
+                g.add_edge(u, v, d)
+    if connected:
+        # Use the average edge weight for patch edges so weights stay natural.
+        patch_w = radius / 2 if g.m == 0 else (
+            sum(w for _, _, w in g.edges()) / g.m
+        )
+        connect_components(g, seed=seed + 1, weight=max(patch_w, 1e-9))
+    return g
+
+
+def random_tree(n: int, seed: int = 0) -> Graph:
+    """Uniform random labelled tree via a random Prüfer-like attachment."""
+    if n <= 0:
+        raise ValueError("tree needs at least one vertex")
+    rng = _rng(seed)
+    g = Graph(n)
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(1, n):
+        u = order[i]
+        v = order[rng.randrange(i)]
+        g.add_edge(u, v)
+    return g
+
+
+def caterpillar(spine: int, legs_per_vertex: int) -> Graph:
+    """Caterpillar tree: a path of ``spine`` vertices, each with pendant legs."""
+    if spine < 1:
+        raise ValueError("spine must have at least one vertex")
+    n = spine + spine * legs_per_vertex
+    g = Graph(n)
+    for i in range(spine - 1):
+        g.add_edge(i, i + 1)
+    leg = spine
+    for i in range(spine):
+        for _ in range(legs_per_vertex):
+            g.add_edge(i, leg)
+            leg += 1
+    return g
+
+
+def path(n: int) -> Graph:
+    """Path graph on ``n`` vertices."""
+    g = Graph(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def cycle(n: int) -> Graph:
+    """Cycle graph on ``n`` vertices."""
+    if n < 3:
+        raise ValueError("cycle needs at least 3 vertices")
+    g = path(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def complete(n: int) -> Graph:
+    """Complete graph on ``n`` vertices."""
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v)
+    return g
+
+
+def star(n: int) -> Graph:
+    """Star: vertex 0 joined to all others."""
+    g = Graph(n)
+    for v in range(1, n):
+        g.add_edge(0, v)
+    return g
+
+
+def with_random_weights(
+    g: Graph, seed: int = 0, low: float = 1.0, high: float = 10.0
+) -> Graph:
+    """Return a copy of ``g`` with i.i.d. uniform weights in ``[low, high]``."""
+    if low <= 0 or high < low:
+        raise ValueError(f"invalid weight range [{low}, {high}]")
+    rng = _rng(seed)
+    out = Graph(g.n)
+    for u, v, _ in g.edges():
+        out.add_edge(u, v, rng.uniform(low, high))
+    return out
+
+
+def barbell(clique_size: int, path_length: int) -> Graph:
+    """Two cliques joined by a path — the classic cluster-stress shape.
+
+    Vertices ``0..clique_size-1`` form the first clique,
+    the next ``path_length`` vertices the connecting path, and the last
+    ``clique_size`` the second clique.  Landmark samples concentrate in
+    the cliques, so routing across the bar exercises the far-case branches
+    of every scheme.
+    """
+    if clique_size < 2:
+        raise ValueError("cliques need at least 2 vertices")
+    n = 2 * clique_size + path_length
+    g = Graph(n)
+    for a in range(clique_size):
+        for b in range(a + 1, clique_size):
+            g.add_edge(a, b)
+    offset = clique_size + path_length
+    for a in range(clique_size):
+        for b in range(a + 1, clique_size):
+            g.add_edge(offset + a, offset + b)
+    chain = [clique_size - 1] + list(
+        range(clique_size, clique_size + path_length)
+    ) + [offset]
+    for a, b in zip(chain, chain[1:]):
+        g.add_edge(a, b)
+    return g
+
+
+def complete_binary_tree(depth: int) -> Graph:
+    """Complete binary tree of the given depth (``2^{depth+1}-1`` vertices).
+
+    Heavy-path decompositions and tree labels hit their logarithmic worst
+    case here, making it the natural stress input for Lemma 3.
+    """
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    n = 2 ** (depth + 1) - 1
+    g = Graph(n)
+    for v in range(1, n):
+        g.add_edge(v, (v - 1) // 2)
+    return g

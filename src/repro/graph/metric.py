@@ -1,0 +1,315 @@
+"""Exact all-pairs metric view used by the centralized preprocessing phase.
+
+Compact routing schemes have two phases: a *centralized preprocessing* phase
+that may inspect the whole graph, and a *distributed routing* phase that may
+only touch local tables.  This module implements the global knowledge the
+preprocessing phase is allowed to use: exact all-pairs distances, shortest
+path walking, vicinity balls and the normalized diameter ``D``.
+
+Distances are computed once (scipy's C Dijkstra when available, pure-Python
+Dijkstra otherwise) and shared by every structure built on the same graph.
+
+Floating point
+--------------
+Weighted graphs use float weights, so "is this edge on a shortest path?"
+is decided with a relative tolerance (:attr:`MetricView.tol`).  All structures
+derive shortest-path facts from the *same* distance matrix, which keeps them
+mutually consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .core import Graph
+from .shortest_paths import dijkstra
+
+__all__ = ["MetricView"]
+
+_INF = float("inf")
+
+
+class MetricView:
+    """Immutable exact-distance oracle over a graph.
+
+    Parameters
+    ----------
+    g:
+        The (connected) graph.
+    use_scipy:
+        Use ``scipy.sparse.csgraph.dijkstra`` for the all-pairs computation.
+        The pure-Python path exists for environments without scipy and for
+        differential testing.
+    """
+
+    def __init__(self, g: Graph, use_scipy: bool = True) -> None:
+        self.graph = g
+        self.n = g.n
+        self._csr = None
+        if use_scipy and g.n > 0 and g.m > 0:
+            from scipy.sparse.csgraph import dijkstra as csgraph_dijkstra
+
+            self._csr = g.to_csr()
+            dist = csgraph_dijkstra(self._csr, directed=False)
+            # Per-source float rounding makes dist marginally asymmetric;
+            # strict comparisons (cluster membership) need exact symmetry.
+            self._dist = np.minimum(dist, dist.T)
+        else:
+            rows = []
+            for u in g.vertices():
+                dist_u, _ = dijkstra(g, u)
+                rows.append(dist_u)
+            self._dist = (
+                np.asarray(rows, dtype=float)
+                if rows
+                else np.zeros((0, 0), dtype=float)
+            )
+        finite = self._dist[np.isfinite(self._dist)]
+        scale = float(finite.max()) if finite.size else 1.0
+        #: absolute tolerance for shortest-path membership tests
+        self.tol = 1e-9 * max(scale, 1.0)
+        self._next_hop: Optional[np.ndarray] = None
+        #: auto-build the O(n^2)-memory next-hop cache below this size
+        self._next_hop_auto_threshold = 4096
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def d(self, u: int, v: int) -> float:
+        """Exact distance between ``u`` and ``v``."""
+        return float(self._dist[u, v])
+
+    def row(self, u: int) -> np.ndarray:
+        """Read-only distance row of ``u`` (length ``n``)."""
+        return self._dist[u]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The full ``n x n`` distance matrix (do not mutate)."""
+        return self._dist
+
+    def is_connected(self) -> bool:
+        """True when every pairwise distance is finite."""
+        return bool(np.isfinite(self._dist).all())
+
+    def diameter(self) -> float:
+        """Maximum finite pairwise distance."""
+        finite = self._dist[np.isfinite(self._dist)]
+        return float(finite.max()) if finite.size else 0.0
+
+    def normalized_diameter(self) -> float:
+        """The paper's ``D = max d(u,v) / min_{u != v} d(u,v)``."""
+        if self.n < 2:
+            return 1.0
+        off_diag = self._dist[~np.eye(self.n, dtype=bool)]
+        finite = off_diag[np.isfinite(off_diag)]
+        if finite.size == 0:
+            return 1.0
+        dmin = float(finite.min())
+        dmax = float(finite.max())
+        if dmin <= 0:
+            raise ValueError("graph contains distinct vertices at distance 0")
+        return dmax / dmin
+
+    def min_pairwise_distance(self) -> float:
+        """``min_{u != v} d(u, v)`` (the paper's ``omega_min`` analogue)."""
+        if self.n < 2:
+            return 1.0
+        off_diag = self._dist[~np.eye(self.n, dtype=bool)]
+        finite = off_diag[np.isfinite(off_diag)]
+        return float(finite.min()) if finite.size else 1.0
+
+    # ------------------------------------------------------------------
+    # Shortest-path structure
+    # ------------------------------------------------------------------
+    def on_shortest_path(self, u: int, x: int, v: int) -> bool:
+        """Whether ``x`` lies on some shortest ``u``–``v`` path."""
+        return abs(self.d(u, x) + self.d(x, v) - self.d(u, v)) <= self.tol
+
+    def is_tight_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``{u, v}`` realizes the distance between u and v."""
+        return abs(self.graph.weight(u, v) - self.d(u, v)) <= self.tol
+
+    def tight_min_weight(self) -> float:
+        """Minimum weight among edges lying on shortest paths.
+
+        This is the paper's ``omega_min`` from Lemma 8: edges with
+        ``w(u,v) > d(u,v)`` never appear on shortest paths and are ignored.
+        """
+        weights = [
+            w for u, v, w in self.graph.edges() if self.is_tight_edge(u, v)
+        ]
+        if not weights:
+            raise ValueError("graph has no shortest-path edges")
+        return min(weights)
+
+    def build_next_hop_cache(self) -> None:
+        """Precompute the full next-hop matrix (O(n^2) ints, O(mn) time).
+
+        ``next_hop`` is the hot operation of sequence construction; the
+        cache computes, for every source row at once, the neighbour with the
+        smallest ``(d(neighbour, target), neighbour-id)`` among tight edges
+        — identical tie-breaking to the scalar scan.
+        """
+        if self._next_hop is not None:
+            return
+        n = self.n
+        nh = np.full((n, n), -1, dtype=np.int32)
+        for u in range(n):
+            best_d = np.full(n, _INF)
+            row_u = self._dist[u]
+            # Ascending neighbour ids + strict improvement == ties to the
+            # smaller id, matching the scalar rule.
+            for x in sorted(self.graph.neighbors(u)):
+                w = self.graph.weight(u, x)
+                row_x = self._dist[x]
+                tight = np.abs(w + row_x - row_u) <= self.tol
+                better = tight & (row_x < best_d)
+                best_d[better] = row_x[better]
+                nh[u, better] = x
+            nh[u, u] = u
+        self._next_hop = nh
+
+    def next_hop(self, u: int, v: int) -> int:
+        """First vertex after ``u`` on a shortest ``u``–``v`` path.
+
+        Deterministic choice: among neighbours ``x`` with
+        ``w(u,x) + d(x,v) = d(u,v)``, the one with the smallest
+        ``(d(x,v), x)`` — i.e. maximal progress, ties to the smaller id.
+        """
+        if u == v:
+            raise ValueError("next_hop undefined for u == v")
+        if self._next_hop is None and self.n <= self._next_hop_auto_threshold:
+            self.build_next_hop_cache()
+        if self._next_hop is not None:
+            hop = int(self._next_hop[u, v])
+            if hop < 0:
+                raise ValueError(f"{v} unreachable from {u}")
+            return hop
+        target = self.d(u, v)
+        if target == _INF:
+            raise ValueError(f"{v} unreachable from {u}")
+        best: Optional[Tuple[float, int]] = None
+        for x, w in self.graph.neighbor_items(u):
+            if abs(w + self.d(x, v) - target) <= self.tol:
+                key = (self.d(x, v), x)
+                if best is None or key < best:
+                    best = key
+        if best is None:
+            raise RuntimeError(
+                f"no tight edge out of {u} toward {v}; inconsistent metric"
+            )
+        return best[1]
+
+    def spt_parents(self, root: int) -> Dict[int, int]:
+        """A shortest-path tree rooted at ``root`` as a child->parent map.
+
+        Uses scipy's C Dijkstra when available (the hot path — schemes build
+        hundreds of trees).  Any valid SPT serves tree routing; consistency
+        with :attr:`matrix` is guaranteed because distances agree.
+        """
+        if self._csr is not None:
+            from scipy.sparse.csgraph import dijkstra as csgraph_dijkstra
+
+            _, pred = csgraph_dijkstra(
+                self._csr, directed=False, indices=root,
+                return_predecessors=True,
+            )
+            parents = {root: root}
+            for v in range(self.n):
+                if v != root and pred[v] >= 0:
+                    parents[v] = int(pred[v])
+            return parents
+        from .shortest_paths import dijkstra as py_dijkstra
+
+        dist, parent = py_dijkstra(self.graph, root)
+        parents = {root: root}
+        for v in range(self.n):
+            if v != root and parent[v] is not None:
+                parents[v] = parent[v]
+        return parents
+
+    def restricted_spt_parents(
+        self, root: int, members: Sequence[int]
+    ) -> Dict[int, int]:
+        """SPT parents restricted to a shortest-path-closed member set.
+
+        Used for cluster trees ``T_{C_A(w)}``: every member's SPT parent is
+        itself a member (closure), so the restriction is a valid tree.
+        """
+        parents = self.spt_parents(root)
+        member_set = set(members)
+        if root not in member_set:
+            raise ValueError(f"root {root} not among members")
+        out = {root: root}
+        for v in members:
+            if v == root:
+                continue
+            p = parents.get(v)
+            if p is None:
+                raise ValueError(f"member {v} unreachable from {root}")
+            if p not in member_set:
+                raise ValueError(
+                    f"member set not shortest-path closed toward {root}: "
+                    f"parent {p} of {v} is not a member"
+                )
+            out[v] = p
+        return out
+
+    def shortest_path(self, u: int, v: int) -> List[int]:
+        """A concrete shortest ``u``–``v`` path (via :meth:`next_hop`)."""
+        path = [u]
+        cur = u
+        guard = 0
+        while cur != v:
+            cur = self.next_hop(cur, v)
+            path.append(cur)
+            guard += 1
+            if guard > self.n:
+                raise RuntimeError("shortest-path walk did not terminate")
+        return path
+
+    # ------------------------------------------------------------------
+    # Vicinity balls
+    # ------------------------------------------------------------------
+    def ball(self, u: int, ell: int) -> List[int]:
+        """``B(u, ell)``: the ``ell`` closest vertices in ``(dist, id)`` order.
+
+        ``u`` itself is always first (distance 0).  When ``ell >= n`` the
+        whole vertex set is returned.
+        """
+        if ell <= 0:
+            return []
+        row = self._dist[u]
+        order = np.lexsort((np.arange(self.n), row))
+        ball: List[int] = []
+        for idx in order:
+            if not np.isfinite(row[idx]):
+                break
+            ball.append(int(idx))
+            if len(ball) == ell:
+                break
+        return ball
+
+    def ball_radius(self, u: int, ball: Sequence[int]) -> float:
+        """The paper's ``r_u(ell)`` for a ball produced by :meth:`ball`.
+
+        The largest radius ``r`` such that *every* vertex at distance exactly
+        ``r`` from ``u`` belongs to the ball.  Because balls are
+        ``(dist, id)``-prefixes, this is the boundary distance when the
+        boundary level is fully contained, else the previous level.
+        """
+        if not ball:
+            raise ValueError("empty ball has no radius")
+        row = self._dist[u]
+        dmax = float(row[ball[-1]])
+        at_dmax_total = int(np.count_nonzero(np.abs(row - dmax) <= self.tol))
+        at_dmax_in_ball = sum(
+            1 for b in ball if abs(row[b] - dmax) <= self.tol
+        )
+        if at_dmax_in_ball == at_dmax_total:
+            return dmax
+        inner = [float(row[b]) for b in ball if row[b] < dmax - self.tol]
+        return max(inner) if inner else 0.0

@@ -1,0 +1,182 @@
+"""Shortest-path algorithms: BFS, Dijkstra, truncated (ball) Dijkstra, APSP.
+
+Tie-breaking discipline
+-----------------------
+Vertex vicinities ``B(u, ell)`` (the ``ell`` closest vertices of ``u``) must
+be defined with respect to a *consistent total order*; the paper breaks
+distance ties "by lexicographical order of vertex names" (Section 2).  We use
+the total order ``x <_u y  iff  (d(u,x), x) < (d(u,y), y)``.  Property 1 —
+``v in B(u, ell)`` and ``w`` on a shortest ``u``–``v`` path implies
+``v in B(w, ell)`` — holds for this order for *every* shortest path, which is
+what makes ball routing (Lemma 2) loop-free.  All ball computations in the
+repository go through :func:`truncated_dijkstra` or
+:func:`repro.graph.metric.MetricView.ball`, both of which honour this order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .core import Graph
+
+__all__ = [
+    "bfs_distances",
+    "dijkstra",
+    "truncated_dijkstra",
+    "shortest_path_tree",
+    "multi_source_distances",
+    "path_length",
+]
+
+_INF = float("inf")
+
+
+def bfs_distances(g: Graph, source: int) -> List[float]:
+    """Hop distances from ``source``; unreachable vertices get ``inf``."""
+    dist = [_INF] * g.n
+    dist[source] = 0.0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in g.neighbors(u):
+            if dist[v] == _INF:
+                dist[v] = dist[u] + 1.0
+                queue.append(v)
+    return dist
+
+
+def dijkstra(
+    g: Graph, source: int
+) -> Tuple[List[float], List[Optional[int]]]:
+    """Single-source Dijkstra.
+
+    Returns ``(dist, parent)`` where ``parent[v]`` is ``v``'s predecessor on
+    a shortest path from ``source`` (ties resolved toward the smallest
+    ``(distance, id)`` predecessor, keeping trees deterministic).
+    """
+    dist = [_INF] * g.n
+    parent: List[Optional[int]] = [None] * g.n
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    done = [False] * g.n
+    while heap:
+        d, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        for v, w in g.neighbor_items(u):
+            nd = d + w
+            if nd < dist[v] or (nd == dist[v] and parent[v] is not None and u < parent[v]):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    return dist, parent
+
+
+def truncated_dijkstra(
+    g: Graph, source: int, ell: int
+) -> Tuple[List[int], Dict[int, float]]:
+    """The ``ell`` closest vertices of ``source`` in ``(dist, id)`` order.
+
+    Returns ``(ball, dist)`` where ``ball`` lists the closest vertices in
+    increasing ``(distance, id)`` order (``source`` itself first) and ``dist``
+    maps each ball member to its distance.  This is the paper's
+    ``B(u, ell)``.
+
+    The heap is keyed by ``(distance, id)`` so pops follow exactly the total
+    order ``<_u`` described in the module docstring.
+    """
+    if ell <= 0:
+        return [], {}
+    ball: List[int] = []
+    dist: Dict[int, float] = {}
+    best: Dict[int, float] = {source: 0.0}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap and len(ball) < ell:
+        d, u = heapq.heappop(heap)
+        if u in dist:
+            continue
+        if d > best.get(u, _INF):
+            continue
+        dist[u] = d
+        ball.append(u)
+        for v, w in g.neighbor_items(u):
+            nd = d + w
+            if v not in dist and nd < best.get(v, _INF):
+                best[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return ball, dist
+
+
+def shortest_path_tree(
+    g: Graph, root: int, members: Optional[Sequence[int]] = None
+) -> Dict[int, int]:
+    """Shortest-path tree rooted at ``root`` as a ``child -> parent`` map.
+
+    When ``members`` is given, the tree is restricted to that vertex set,
+    which must be *shortest-path closed toward the root* (true for the
+    paper's clusters ``C_A(w)``): every member's parent on the shortest path
+    is then itself a member.  The root maps to itself.
+    """
+    dist, parent = dijkstra(g, root)
+    if members is None:
+        members = [v for v in g.vertices() if dist[v] < _INF]
+    member_set = set(members)
+    if root not in member_set:
+        raise ValueError(f"root {root} not among tree members")
+    tree: Dict[int, int] = {root: root}
+    for v in members:
+        if v == root:
+            continue
+        if dist[v] == _INF:
+            raise ValueError(f"member {v} unreachable from root {root}")
+        p = parent[v]
+        # Walk up until we hit a member; for shortest-path-closed member
+        # sets this loop exits immediately.
+        while p is not None and p not in member_set:
+            p = parent[p]
+        if p is None:
+            raise ValueError(
+                f"member set is not shortest-path closed toward {root} at {v}"
+            )
+        tree[v] = p
+    return tree
+
+
+def multi_source_distances(g: Graph, sources: Sequence[int]) -> Tuple[List[float], List[int]]:
+    """Distance to the nearest source, and that source, for every vertex.
+
+    Returns ``(dist, nearest)``.  ``nearest[v]`` is the paper's ``p_A(v)``
+    with ties broken toward the smaller source id (lexicographic rule).
+    ``nearest[v] == -1`` when no source is reachable.
+    """
+    dist = [_INF] * g.n
+    nearest = [-1] * g.n
+    heap: List[Tuple[float, int, int]] = []
+    for s in sorted(sources):
+        if dist[s] == _INF or s < nearest[s]:
+            dist[s] = 0.0
+            nearest[s] = s
+            heap.append((0.0, s, s))
+    heapq.heapify(heap)
+    while heap:
+        d, src, u = heapq.heappop(heap)
+        if (d, src) > (dist[u], nearest[u]):
+            continue
+        for v, w in g.neighbor_items(u):
+            nd = d + w
+            if nd < dist[v] or (nd == dist[v] and src < nearest[v]):
+                dist[v] = nd
+                nearest[v] = src
+                heapq.heappush(heap, (nd, src, v))
+    return dist, nearest
+
+
+def path_length(g: Graph, path: Sequence[int]) -> float:
+    """Total weight of a vertex path; validates that each hop is an edge."""
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        total += g.weight(u, v)
+    return total

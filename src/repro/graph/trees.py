@@ -1,0 +1,125 @@
+"""Rooted trees extracted from shortest-path computations.
+
+Tree routing (Lemma 3) and the cluster trees ``T_{C_A(w)}`` of Section 4 all
+operate on rooted trees whose vertex set may be a sparse subset of the graph.
+:class:`RootedTree` normalizes a ``child -> parent`` map into children lists,
+subtree sizes and depths with deterministic ordering, ready for the
+heavy-path decomposition performed by
+:mod:`repro.routing.tree_routing`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["RootedTree"]
+
+
+class RootedTree:
+    """A rooted tree over (a subset of) graph vertices.
+
+    Parameters
+    ----------
+    parent:
+        ``child -> parent`` map; the root maps to itself.  Edge weights may
+        be provided for weighted path-length computations.
+    weight:
+        Optional ``child -> weight-of-edge-to-parent`` map.
+    """
+
+    def __init__(
+        self,
+        parent: Dict[int, int],
+        weight: Optional[Dict[int, float]] = None,
+    ) -> None:
+        roots = [v for v, p in parent.items() if v == p]
+        if len(roots) != 1:
+            raise ValueError(
+                f"parent map must contain exactly one root, found {roots}"
+            )
+        self.root = roots[0]
+        self.parent = dict(parent)
+        self.weight = dict(weight) if weight is not None else None
+        self.children: Dict[int, List[int]] = {v: [] for v in parent}
+        for v, p in parent.items():
+            if v != self.root:
+                if p not in self.children:
+                    raise ValueError(f"parent {p} of {v} is not a tree vertex")
+                self.children[p].append(v)
+        for kids in self.children.values():
+            kids.sort()
+        self._order = self._topo_order()
+        if len(self._order) != len(parent):
+            raise ValueError("parent map contains a cycle or unreachable vertex")
+        self.size = self._subtree_sizes()
+        self.depth = self._depths()
+
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> List[int]:
+        """Tree vertices in root-first (topological) order."""
+        return list(self._order)
+
+    def __len__(self) -> int:
+        return len(self.parent)
+
+    def __contains__(self, v: int) -> bool:
+        return v in self.parent
+
+    def heavy_child(self, v: int) -> Optional[int]:
+        """The child with the largest subtree (ties to smallest id)."""
+        kids = self.children[v]
+        if not kids:
+            return None
+        return max(kids, key=lambda c: (self.size[c], -c))
+
+    def path_to_root(self, v: int) -> List[int]:
+        """Vertices from ``v`` up to (and including) the root."""
+        path = [v]
+        while path[-1] != self.root:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def tree_path(self, u: int, v: int) -> List[int]:
+        """The unique ``u``–``v`` path in the tree."""
+        up = self.path_to_root(u)
+        vp = self.path_to_root(v)
+        up_set = {x: i for i, x in enumerate(up)}
+        for j, x in enumerate(vp):
+            if x in up_set:
+                return up[: up_set[x] + 1] + vp[:j][::-1]
+        raise RuntimeError("tree paths to root do not meet; corrupt tree")
+
+    def tree_distance(self, u: int, v: int) -> float:
+        """Weighted length of the tree path (hops when unweighted)."""
+        path = self.tree_path(u, v)
+        if self.weight is None:
+            return float(len(path) - 1)
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            child = a if self.parent.get(a) == b else b
+            total += self.weight[child]
+        return total
+
+    # ------------------------------------------------------------------
+    def _topo_order(self) -> List[int]:
+        order = [self.root]
+        i = 0
+        while i < len(order):
+            order.extend(self.children[order[i]])
+            i += 1
+        return order
+
+    def _subtree_sizes(self) -> Dict[int, int]:
+        size = {v: 1 for v in self.parent}
+        for v in reversed(self._order):
+            if v != self.root:
+                size[self.parent[v]] += size[v]
+        return size
+
+    def _depths(self) -> Dict[int, int]:
+        depth = {self.root: 0}
+        for v in self._order:
+            if v != self.root:
+                depth[v] = depth[self.parent[v]] + 1
+        return depth

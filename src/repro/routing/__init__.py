@@ -1,0 +1,46 @@
+"""Distributed routing substrate: fixed-port model, simulator, Lemmas 2–3."""
+
+from .ball_routing import BallRoutingScheme, BallRoutingTables
+from .header_codec import decode as decode_header
+from .header_codec import encode as encode_header
+from .header_codec import encoded_bits as header_bits
+from .interval_routing import IntervalTreeRouting
+from .model import (
+    CompactRoutingScheme,
+    Deliver,
+    Forward,
+    RouteAction,
+    SchemeStats,
+    SizedTable,
+    words_of,
+)
+from .persistence import dumps as dump_scheme_state
+from .persistence import loads as load_scheme_state
+from .ports import PortAssignment
+from .simulator import RouteResult, StretchReport, measure_stretch, route
+from .tree_routing import TreeRouting, tree_step
+
+__all__ = [
+    "BallRoutingScheme",
+    "decode_header",
+    "encode_header",
+    "header_bits",
+    "IntervalTreeRouting",
+    "dump_scheme_state",
+    "load_scheme_state",
+    "BallRoutingTables",
+    "CompactRoutingScheme",
+    "Deliver",
+    "Forward",
+    "RouteAction",
+    "SchemeStats",
+    "SizedTable",
+    "words_of",
+    "PortAssignment",
+    "RouteResult",
+    "StretchReport",
+    "measure_stretch",
+    "route",
+    "TreeRouting",
+    "tree_step",
+]

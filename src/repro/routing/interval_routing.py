@@ -1,0 +1,88 @@
+"""Classic DFS interval routing on trees — the baseline Lemma 3 improves.
+
+Interval routing (Santoro–Khatib) stores, *per port*, the DFS interval of
+the subtree behind it: a vertex of degree ``d`` stores ``O(d)`` words and
+labels are a single DFS index.  Tree routing à la Lemma 3 (heavy-path,
+:mod:`repro.routing.tree_routing`) instead stores **O(1) words per vertex**
+and moves the ``O(log n)`` cost into the label.
+
+The distinction matters for the paper's schemes: a vertex participates in
+*many* trees (one per hitting-set vertex, landmark, or bunch member), so
+per-tree vertex storage is multiplied by that count — ``O(1)`` per tree is
+what keeps tables at ``Õ(n^{1/3})``.  This module exists as the measured
+counterpoint (see ``tests/routing/test_interval_routing.py``): identical
+routes, degree-dependent storage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.trees import RootedTree
+from .ports import PortAssignment
+
+__all__ = ["IntervalTreeRouting"]
+
+
+class IntervalTreeRouting:
+    """Per-port interval tables for one rooted tree.
+
+    The record of vertex ``v`` is
+    ``(dfs_in, dfs_out, parent_port, ((child_in, child_out, port), ...))``
+    — one triple per child, i.e. ``O(deg)`` words.
+    The label of a vertex is its DFS index (one word).
+    """
+
+    def __init__(self, tree: RootedTree, ports: PortAssignment) -> None:
+        self.tree = tree
+        self.root = tree.root
+        dfs_in: Dict[int, int] = {}
+        dfs_out: Dict[int, int] = {}
+        counter = 0
+        stack: List[Tuple[int, bool]] = [(tree.root, False)]
+        while stack:
+            v, processed = stack.pop()
+            if processed:
+                dfs_out[v] = counter
+                continue
+            dfs_in[v] = counter
+            counter += 1
+            stack.append((v, True))
+            for c in reversed(tree.children[v]):
+                stack.append((c, False))
+        self._labels = dict(dfs_in)
+        self._records: Dict[int, tuple] = {}
+        for v in tree.parent:
+            parent_port = (
+                -1 if v == tree.root else ports.port_to(v, tree.parent[v])
+            )
+            child_entries = tuple(
+                (dfs_in[c], dfs_out[c], ports.port_to(v, c))
+                for c in tree.children[v]
+            )
+            self._records[v] = (
+                dfs_in[v], dfs_out[v], parent_port, child_entries
+            )
+
+    def record_of(self, v: int) -> tuple:
+        """Routing record of ``v`` (``3 + 3*deg_tree(v)`` words)."""
+        return self._records[v]
+
+    def label_of(self, v: int) -> int:
+        """DFS index of ``v`` (one word)."""
+        return self._labels[v]
+
+    @staticmethod
+    def step(record: tuple, label: int) -> Optional[int]:
+        """Port toward the label's vertex, or ``None`` to deliver."""
+        dfs_in, dfs_out, parent_port, children = record
+        if label == dfs_in:
+            return None
+        if not dfs_in <= label < dfs_out:
+            if parent_port < 0:
+                raise ValueError("target outside the tree reached the root")
+            return parent_port
+        for child_in, child_out, port in children:
+            if child_in <= label < child_out:
+                return port
+        raise ValueError(f"DFS index {label} not covered by any child")

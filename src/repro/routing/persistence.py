@@ -1,0 +1,140 @@
+"""Serialization of routing state: tables, labels, ports.
+
+A compact routing scheme's whole point is that, after preprocessing, the
+*only* state a vertex needs is its table (plus the global port numbering
+it was built against), and the only state a sender needs is the
+destination label.  This module makes that claim operational: it exports
+every table and label into a plain JSON-able structure and re-imports it
+into fresh :class:`SizedTable` objects, byte-identical in word accounting.
+
+Use cases: shipping precomputed tables to simulated nodes, snapshotting a
+scheme for regression tests, or inspecting table contents offline.  The
+scheme's *decision function* is code, not state, so deserialization is
+paired with the scheme class (``scheme_state`` records which one).
+
+Keys inside tables may be ints, strings or (small) int tuples; values may
+be anything :func:`repro.routing.model.words_of` accepts.  Tuples are
+encoded with a ``{"t": [...]}`` wrapper so JSON round trips preserve them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .model import CompactRoutingScheme, SizedTable
+
+__all__ = [
+    "encode_value",
+    "decode_value",
+    "export_table",
+    "import_table",
+    "export_scheme_state",
+    "import_scheme_state",
+    "dumps",
+    "loads",
+]
+
+
+def encode_value(value: Any) -> Any:
+    """Lower a table/label value into JSON-able form (tuples wrapped)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {"t": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return {"l": [encode_value(v) for v in value]}
+    raise TypeError(f"cannot serialize value of type {type(value)!r}")
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, dict):
+        if set(value) == {"t"}:
+            return tuple(decode_value(v) for v in value["t"])
+        if set(value) == {"l"}:
+            return [decode_value(v) for v in value["l"]]
+        raise ValueError(f"unknown wrapper {sorted(value)}")
+    return value
+
+
+def _encode_key(key: Any) -> str:
+    if isinstance(key, bool):
+        raise TypeError("bool table keys are not supported")
+    if isinstance(key, int):
+        return f"i:{key}"
+    if isinstance(key, str):
+        return f"s:{key}"
+    if isinstance(key, tuple) and all(isinstance(k, int) for k in key):
+        return "p:" + ",".join(map(str, key))
+    raise TypeError(f"cannot serialize table key {key!r}")
+
+
+def _decode_key(key: str) -> Any:
+    kind, _, body = key.partition(":")
+    if kind == "i":
+        return int(body)
+    if kind == "s":
+        return body
+    if kind == "p":
+        return tuple(int(x) for x in body.split(",")) if body else ()
+    raise ValueError(f"unknown key encoding {key!r}")
+
+
+def export_table(table: SizedTable) -> Dict[str, Any]:
+    """One vertex's table as a JSON-able dict."""
+    return {
+        "owner": table.owner,
+        "categories": {
+            cat: {
+                _encode_key(k): encode_value(v)
+                for k, v in table.category(cat).items()
+            }
+            for cat in table.categories()
+        },
+    }
+
+
+def import_table(data: Dict[str, Any]) -> SizedTable:
+    """Rebuild a :class:`SizedTable` exported by :func:`export_table`."""
+    table = SizedTable(int(data["owner"]))
+    for cat, entries in data["categories"].items():
+        for key, value in entries.items():
+            table.put(cat, _decode_key(key), decode_value(value))
+    return table
+
+
+def export_scheme_state(scheme: CompactRoutingScheme) -> Dict[str, Any]:
+    """Everything a deployment needs: tables, labels, scheme identity."""
+    return {
+        "scheme": type(scheme).__name__,
+        "name": scheme.name,
+        "n": scheme.graph.n,
+        "tables": [
+            export_table(scheme.table_of(v)) for v in scheme.graph.vertices()
+        ],
+        "labels": [
+            encode_value(scheme.label_of(v)) for v in scheme.graph.vertices()
+        ],
+    }
+
+
+def import_scheme_state(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Rebuild tables and labels from :func:`export_scheme_state` output."""
+    return {
+        "scheme": data["scheme"],
+        "name": data["name"],
+        "n": int(data["n"]),
+        "tables": [import_table(t) for t in data["tables"]],
+        "labels": [decode_value(l) for l in data["labels"]],
+    }
+
+
+def dumps(scheme: CompactRoutingScheme) -> str:
+    """JSON string of the scheme's full routing state."""
+    return json.dumps(export_scheme_state(scheme))
+
+
+def loads(text: str) -> Dict[str, Any]:
+    """Parse a :func:`dumps` string back into tables and labels."""
+    return import_scheme_state(json.loads(text))

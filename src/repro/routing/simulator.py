@@ -1,0 +1,171 @@
+"""Message-routing simulator for the fixed-port model.
+
+The simulator is the "network": it repeatedly invokes the scheme's local
+decision function at the message's current vertex, moves the message across
+the returned port, and records the traversed path.  It enforces global
+sanity (delivery at the right vertex, hop budgets against routing loops) and
+measures everything the evaluation needs: path length, hop count and the
+largest header ever attached to the message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Tuple
+
+from ..graph.metric import MetricView
+from .model import CompactRoutingScheme, Deliver, Forward, words_of
+
+__all__ = ["RouteResult", "route", "StretchReport", "measure_stretch"]
+
+
+class RoutingLoopError(RuntimeError):
+    """The message exceeded its hop budget without being delivered."""
+
+
+@dataclass
+class RouteResult:
+    """Outcome of routing one message."""
+
+    source: int
+    target: int
+    path: List[int]
+    length: float
+    hops: int
+    max_header_words: int
+    #: hops per routing phase (header tag), e.g. {"ball": 3, "t2": 7}
+    phase_hops: dict = None  # type: ignore[assignment]
+
+    @property
+    def delivered(self) -> bool:
+        return self.path[-1] == self.target
+
+
+def route(
+    scheme: CompactRoutingScheme,
+    source: int,
+    target: int,
+    max_hops: Optional[int] = None,
+) -> RouteResult:
+    """Route one message from ``source`` to ``target`` and return the trace.
+
+    ``max_hops`` defaults to ``8 * n + 64``, far above any bound the
+    implemented schemes can legitimately need, so hitting it indicates a
+    routing loop and raises :class:`RoutingLoopError`.
+    """
+    g = scheme.graph
+    if max_hops is None:
+        max_hops = 8 * g.n + 64
+    dest_label = scheme.label_of(target)
+    header: Any = None
+    current = source
+    path = [source]
+    length = 0.0
+    max_header_words = 0
+    phase_hops: dict = {}
+    for _ in range(max_hops + 1):
+        action = scheme.step(current, header, dest_label)
+        if isinstance(action, Deliver):
+            if current != target:
+                raise RuntimeError(
+                    f"scheme delivered at {current}, expected {target}"
+                )
+            return RouteResult(
+                source=source,
+                target=target,
+                path=path,
+                length=length,
+                hops=len(path) - 1,
+                max_header_words=max_header_words,
+                phase_hops=phase_hops,
+            )
+        assert isinstance(action, Forward)
+        nxt = scheme.ports.neighbor(current, action.port)
+        length += g.weight(current, nxt)
+        path.append(nxt)
+        header = action.header
+        max_header_words = max(max_header_words, words_of(header))
+        phase = (
+            header[0]
+            if isinstance(header, tuple) and header and isinstance(header[0], str)
+            else "?"
+        )
+        phase_hops[phase] = phase_hops.get(phase, 0) + 1
+        current = nxt
+    raise RoutingLoopError(
+        f"message {source}->{target} not delivered within {max_hops} hops; "
+        f"path prefix: {path[:20]}..."
+    )
+
+
+@dataclass
+class StretchReport:
+    """Stretch statistics over a set of routed pairs."""
+
+    pairs: int
+    max_stretch: float
+    avg_stretch: float
+    max_additive_over: float
+    max_hops: int
+    max_header_words: int
+    #: worst pair as ((source, target), routed_length, true_distance)
+    worst: Tuple[Tuple[int, int], float, float]
+
+    def row(self, name: str) -> str:
+        return (
+            f"{name:<28} pairs={self.pairs:<7} "
+            f"stretch max={self.max_stretch:<8.4f} avg={self.avg_stretch:<8.4f} "
+            f"header max={self.max_header_words}"
+        )
+
+
+def measure_stretch(
+    scheme: CompactRoutingScheme,
+    metric: MetricView,
+    pairs: Iterable[Tuple[int, int]],
+    *,
+    multiplicative_slack: float = 1.0,
+    additive_slack: float = 0.0,
+) -> StretchReport:
+    """Route every pair, compare with exact distances, aggregate stretch.
+
+    ``multiplicative_slack``/``additive_slack`` describe the *expected*
+    ``(alpha, beta)`` bound; ``max_additive_over`` reports the largest
+    ``routed - alpha * d`` observed, so a scheme meeting an
+    ``(alpha, beta)`` guarantee yields ``max_additive_over <= beta``.
+    """
+    count = 0
+    max_stretch = 0.0
+    sum_stretch = 0.0
+    max_additive_over = float("-inf")
+    max_hops = 0
+    max_header = 0
+    worst = ((-1, -1), 0.0, 0.0)
+    for s, t in pairs:
+        result = route(scheme, s, t)
+        d = metric.d(s, t)
+        if d <= 0:
+            if result.length > 0:
+                raise RuntimeError(f"non-zero route for zero-distance pair {s},{t}")
+            continue
+        stretch = result.length / d
+        count += 1
+        sum_stretch += stretch
+        if stretch > max_stretch:
+            max_stretch = stretch
+            worst = ((s, t), result.length, d)
+        over = result.length - multiplicative_slack * d
+        max_additive_over = max(max_additive_over, over)
+        max_hops = max(max_hops, result.hops)
+        max_header = max(max_header, result.max_header_words)
+    if count == 0:
+        max_additive_over = 0.0
+    return StretchReport(
+        pairs=count,
+        max_stretch=max_stretch,
+        avg_stretch=sum_stretch / count if count else 1.0,
+        max_additive_over=max_additive_over,
+        max_hops=max_hops,
+        max_header_words=max_header,
+        worst=worst,
+    )

@@ -1,0 +1,20 @@
+"""The paper's routing schemes (one module per theorem)."""
+
+from .base import SchemeBase
+from .generalized import GeneralMinusScheme, GeneralPlusScheme
+from .name_independent import NameIndependent3Eps
+from .stretch2plus1 import Stretch2Plus1Scheme
+from .stretch4km7 import Stretch4kMinus7Scheme
+from .stretch5plus import Stretch5PlusScheme
+from .warmup3 import Warmup3Scheme
+
+__all__ = [
+    "SchemeBase",
+    "GeneralMinusScheme",
+    "GeneralPlusScheme",
+    "NameIndependent3Eps",
+    "Stretch2Plus1Scheme",
+    "Stretch4kMinus7Scheme",
+    "Stretch5PlusScheme",
+    "Warmup3Scheme",
+]

@@ -1,0 +1,71 @@
+"""Shared plumbing for the paper's routing schemes.
+
+Every scheme in this package follows the same life cycle:
+
+1. build the shared substrates (exact metric, fixed ports, vicinity balls,
+   ball first-edge ports),
+2. build its specific structures (colorings, landmark sets, cluster trees,
+   technique instances) and *install* everything into one
+   :class:`SizedTable` per vertex,
+3. expose labels and the local ``step`` decision function.
+
+:class:`SchemeBase` implements the shared parts.  The ``alpha`` knob is the
+paper's "large enough constant" in ``q̃ = alpha * q * log n``; see
+DESIGN.md §4 for how it is calibrated at reproduction scale.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..graph.core import Graph
+from ..graph.metric import MetricView
+from ..routing.ball_routing import BallRoutingTables
+from ..routing.model import CompactRoutingScheme, SizedTable
+from ..routing.ports import PortAssignment
+from ..structures.balls import BallFamily, ball_size_parameter
+
+__all__ = ["SchemeBase"]
+
+
+class SchemeBase(CompactRoutingScheme):
+    """Common substrate construction for all schemes."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        ports: Optional[PortAssignment] = None,
+        metric: Optional[MetricView] = None,
+    ) -> None:
+        if graph.n == 0:
+            raise ValueError("routing schemes need a nonempty graph")
+        ports = ports if ports is not None else PortAssignment(graph)
+        super().__init__(graph, ports)
+        self.metric = metric if metric is not None else MetricView(graph)
+        if not self.metric.is_connected():
+            raise ValueError("routing schemes require a connected graph")
+        self._tables: List[SizedTable] = [
+            SizedTable(u) for u in graph.vertices()
+        ]
+        self._labels: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    def _build_balls(self, q: float, alpha: float) -> BallFamily:
+        """Build the ball family ``B(u, q̃)`` with ``q̃ = alpha*q*log n``."""
+        ell = ball_size_parameter(self.graph.n, q, alpha)
+        return BallFamily(self.metric, ell)
+
+    def _install_ball_ports(self, family: BallFamily) -> BallRoutingTables:
+        """Install Lemma 2 first-edge ports (category ``"ball"``)."""
+        tables = BallRoutingTables(self.metric, family, self.ports)
+        for table in self._tables:
+            tables.install(table)
+        return tables
+
+    # ------------------------------------------------------------------
+    def table_of(self, v: int) -> SizedTable:
+        return self._tables[v]
+
+    def label_of(self, v: int) -> Any:
+        return self._labels[v]

@@ -1,0 +1,237 @@
+"""Theorem 10: (2+eps, 1)-stretch routing for unweighted graphs.
+
+Space ``Õ(n^{2/3}/eps)`` per vertex — almost matching the Pătraşcu–Roditty
+``(2,1)`` distance oracle with ``Õ(n^{5/3})`` *total* space.
+
+Construction (``q = n^{1/3}``):
+
+* balls ``B(u, q̃)`` with first-edge ports,
+* Lemma 4 landmark set ``A`` (size ``Õ(n^{2/3})``, clusters ``O(n^{1/3})``),
+* per-cluster shortest-path trees ``T_{C_A(w)}`` — members keep a tree
+  record, the owner ``w`` keeps each member's tree label,
+* global shortest-path trees ``T(w)`` for every landmark ``w ∈ A`` — every
+  vertex keeps a record for each,
+* an intersection table at ``u``: for each ``v`` with
+  ``B(u, q̃) ∩ B_A(v) ≠ ∅``, the best common vertex
+  ``w = argmin d(u,w') + d(w',v)``,
+* a Lemma 6 coloring with ``q`` colors and Technique 1 over its classes
+  (sizes ``Õ(n^{2/3})``), plus a per-color ball representative with its
+  distance.
+
+Routing ``u -> v`` (paper's case analysis):
+
+1. intersection stored for ``v``: ball-route to ``w``, finish on the
+   cluster tree ``T_{C_A(w)}`` (exact shortest path — the paper proves
+   ``w`` lies on one),
+2. otherwise compare ``d(v, p_A(v))`` (from ``v``'s label) with
+   ``d(u, w)`` to the color representative ``w``:
+   ``d(v,p_A(v)) <= d(u,w)`` → ride the global tree ``T(p_A(v))``
+   (length ``<= 2d+1``); else hop to ``w`` and use Lemma 7 inside the
+   color class (length ``<= (2+eps) d``).
+
+The label of ``v`` is ``(v, c(v), p_A(v), d(v, p_A(v)), tree-label)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..core.technique1 import Technique1
+from ..graph.core import Graph
+from ..graph.metric import MetricView
+from ..graph.trees import RootedTree
+from ..routing.model import Deliver, Forward, RouteAction
+from ..routing.ports import PortAssignment
+from ..routing.tree_routing import TreeRouting, tree_step
+from ..structures.bunches import BunchStructure
+from ..structures.coloring import color_classes, find_coloring
+from ..structures.sampling import sample_cluster_bounded
+from .base import SchemeBase
+
+__all__ = ["Stretch2Plus1Scheme"]
+
+
+class Stretch2Plus1Scheme(SchemeBase):
+    """Theorem 10: labeled (2+eps, 1)-stretch, ``Õ(n^{2/3}/eps)`` tables."""
+
+    name = "Thm 10 (2+eps,1)"
+
+    def stretch_bound(self) -> tuple[float, float]:
+        """``(alpha, beta)`` of the guaranteed ``alpha*d + beta`` bound."""
+        return (2.0 + self.eps, 1.0)
+
+    def __init__(
+        self,
+        graph: Graph,
+        eps: float = 0.5,
+        *,
+        alpha: float = 1.0,
+        q: Optional[int] = None,
+        seed: int = 0,
+        ports: Optional[PortAssignment] = None,
+        metric: Optional[MetricView] = None,
+    ) -> None:
+        super().__init__(graph, ports=ports, metric=metric)
+        if not graph.is_unweighted():
+            raise ValueError("Theorem 10 is stated for unweighted graphs")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.eps = eps
+        n = graph.n
+        self.q = q if q is not None else max(1, round(n ** (1.0 / 3.0)))
+
+        self.family = self._build_balls(self.q, alpha)
+        self._install_ball_ports(self.family)
+
+        # Lemma 4: |C_A(w)| <= 4 n / s with s = n/q  ->  clusters O(q^1·...)
+        self.landmarks = sample_cluster_bounded(
+            self.metric, n / self.q, seed=seed
+        )
+        if not self.landmarks:
+            self.landmarks = [0]
+        self.bunches = BunchStructure(self.metric, self.landmarks)
+
+        # Cluster trees: records at members, member labels at the owner.
+        for w in graph.vertices():
+            members = self.bunches.cluster(w)
+            if not members:
+                continue
+            tree = TreeRouting(self.bunches.cluster_tree(w), self.ports)
+            for v in members:
+                self._tables[v].put("ctree", w, tree.record_of(v))
+                self._tables[w].put("clabel", v, tree.label_of(v))
+
+        # Global landmark trees: every vertex stores a record per landmark.
+        self._landmark_trees: Dict[int, TreeRouting] = {}
+        for w in self.landmarks:
+            tree = TreeRouting(
+                RootedTree(self.metric.spt_parents(w)), self.ports
+            )
+            self._landmark_trees[w] = tree
+            for v in graph.vertices():
+                self._tables[v].put("atree", w, tree.record_of(v))
+
+        # Intersection table: best common vertex of B(u, q̃) and B_A(v).
+        for u in graph.vertices():
+            best: Dict[int, tuple[float, int]] = {}
+            for w in self.family.ball(u):
+                through = self.metric.d(u, w)
+                for v in self.bunches.cluster(w):
+                    cand = (through + self.metric.d(w, v), w)
+                    if v not in best or cand < best[v]:
+                        best[v] = cand
+            table = self._tables[u]
+            for v, (_, w) in best.items():
+                table.put("xsect", v, w)
+
+        # Coloring and Technique 1 over the color classes.
+        balls = [self.family.ball(u) for u in graph.vertices()]
+        self.colors = find_coloring(balls, n, self.q, seed=seed)
+        classes = color_classes(self.colors, self.q)
+        self.technique = Technique1(
+            self.metric, self.family, self.ports, classes, eps / 2.0,
+            seed=seed,
+        )
+        for table in self._tables:
+            self.technique.install(table)
+
+        # Per-color ball representative with its distance.
+        for u in graph.vertices():
+            table = self._tables[u]
+            needed = set(range(self.q))
+            for w in self.family.ball(u):
+                c = self.colors[w]
+                if c in needed:
+                    table.put(
+                        "colorrep", c, (w, int(round(self.metric.d(u, w))))
+                    )
+                    needed.discard(c)
+            if needed:
+                raise RuntimeError(
+                    f"B({u}) misses colors {sorted(needed)} despite Lemma 6"
+                )
+
+        for v in graph.vertices():
+            p = self.bunches.pivot(v)
+            self._labels[v] = (
+                v,
+                self.colors[v],
+                p,
+                int(round(self.bunches.distance_to_landmarks(v))),
+                self._landmark_trees[p].label_of(v),
+            )
+
+    # ------------------------------------------------------------------
+    def step(self, u: int, header: Any, dest_label: Any) -> RouteAction:
+        v, v_color, v_pivot, v_pivot_dist, v_pivot_tlabel = dest_label
+        if u == v:
+            return Deliver()
+        table = self.table_of(u)
+
+        if header is None:
+            ball_port = table.get("ball", v)
+            if ball_port is not None:
+                return Forward(ball_port, ("ball",))
+            w = table.get("xsect", v)
+            if w is not None:
+                if w == u:
+                    return self._enter_cluster_tree(table, u, w, v)
+                return Forward(table.get("ball", w), ("tox", w))
+            rep, rep_dist = table.get("colorrep", v_color)
+            if v_pivot_dist <= rep_dist:
+                header = ("atree", v_pivot, v_pivot_tlabel)
+                return self._tree_forward(table, "atree", u, header, v)
+            if rep == u:
+                t1h = self.technique.start(table, u, v)
+                port, t1h = self.technique.step(table, u, t1h, v)
+                return Forward(port, ("t1", t1h))
+            return Forward(table.get("ball", rep), ("torep", rep))
+
+        tag = header[0]
+        if tag == "ball":
+            return Forward(table.get("ball", v), header)
+        if tag == "tox":
+            w = header[1]
+            if u == w:
+                return self._enter_cluster_tree(table, u, w, v)
+            return Forward(table.get("ball", w), header)
+        if tag == "ctree":
+            return self._tree_forward(table, "ctree", u, header, v)
+        if tag == "atree":
+            return self._tree_forward(table, "atree", u, header, v)
+        if tag == "torep":
+            rep = header[1]
+            if u == rep:
+                t1h = self.technique.start(table, u, v)
+                port, t1h = self.technique.step(table, u, t1h, v)
+                return Forward(port, ("t1", t1h))
+            return Forward(table.get("ball", rep), header)
+        if tag == "t1":
+            port, t1h = self.technique.step(table, u, header[1], v)
+            if port is None:
+                return Deliver()
+            return Forward(port, ("t1", t1h))
+        raise ValueError(f"unknown header tag {tag!r}")
+
+    # ------------------------------------------------------------------
+    def _enter_cluster_tree(self, table, u: int, w: int, v: int) -> RouteAction:
+        """At the intersection vertex ``w``: fetch ``v``'s cluster-tree label."""
+        tlabel = table.get("clabel", v)
+        if tlabel is None:
+            raise RuntimeError(
+                f"{u} stores no cluster label for {v}; intersection broken"
+            )
+        header = ("ctree", w, tlabel)
+        return self._tree_forward(table, "ctree", u, header, v)
+
+    def _tree_forward(self, table, category: str, u: int, header, v: int) -> RouteAction:
+        root, tlabel = header[1], header[2]
+        record = table.get(category, root)
+        if record is None:
+            raise RuntimeError(f"{u} lacks a {category} record for {root}")
+        port = tree_step(record, tlabel)
+        if port is None:
+            if u != v:
+                raise RuntimeError(f"tree delivery at {u} but target is {v}")
+            return Deliver()
+        return Forward(port, header)

@@ -1,0 +1,31 @@
+"""Combinatorial substrates: balls, hitting sets, sampling, coloring, bunches."""
+
+from .balls import BallFamily, ball_size_parameter
+from .bunches import BunchStructure
+from .coloring import (
+    ColoringError,
+    color_classes,
+    find_coloring,
+    find_hash_coloring,
+    hash_color,
+    verify_coloring,
+)
+from .hitting_set import greedy_hitting_set, random_hitting_set, verify_hitting_set
+from .sampling import cluster_sizes, sample_cluster_bounded
+
+__all__ = [
+    "BallFamily",
+    "ball_size_parameter",
+    "BunchStructure",
+    "ColoringError",
+    "color_classes",
+    "find_coloring",
+    "find_hash_coloring",
+    "hash_color",
+    "verify_coloring",
+    "greedy_hitting_set",
+    "random_hitting_set",
+    "verify_hitting_set",
+    "cluster_sizes",
+    "sample_cluster_bounded",
+]

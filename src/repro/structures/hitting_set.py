@@ -1,0 +1,90 @@
+"""Hitting sets (Lemma 5, after Aingworth et al. / Dor–Halperin–Zwick).
+
+Given sets ``S_1..S_k``, each of size at least ``s``, find a small set ``H``
+intersecting all of them.  Two constructions:
+
+* :func:`greedy_hitting_set` — the classic greedy set-cover dual; returns a
+  hitting set of size ``O((n/s) * ln k)``, deterministic.
+* :func:`random_hitting_set` — samples each vertex with probability
+  ``c * ln(k+1) / s``; retried until it hits everything, matching the
+  paper's ``Õ(n/s)`` bound with high probability.
+
+Both verify the postcondition before returning.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence, Set
+
+__all__ = ["greedy_hitting_set", "random_hitting_set", "verify_hitting_set"]
+
+
+def verify_hitting_set(hitting: Set[int], sets: Sequence[Sequence[int]]) -> bool:
+    """Whether ``hitting`` intersects every set."""
+    return all(any(v in hitting for v in s) for s in sets)
+
+
+def greedy_hitting_set(sets: Sequence[Sequence[int]]) -> List[int]:
+    """Greedy hitting set: repeatedly pick the vertex in most unhit sets.
+
+    Deterministic (ties to the smallest vertex id).  Size is within a
+    ``ln k`` factor of optimal, which meets the paper's ``Õ(n/s)`` bound
+    when every set has size at least ``s``.
+    """
+    remaining = [set(s) for s in sets if s]
+    hitting: List[int] = []
+    # vertex -> indices of unhit sets containing it
+    containing: dict[int, Set[int]] = {}
+    for i, s in enumerate(remaining):
+        for v in s:
+            containing.setdefault(v, set()).add(i)
+    unhit = set(range(len(remaining)))
+    while unhit:
+        best_v = -1
+        best_gain = -1
+        for v, idxs in containing.items():
+            gain = len(idxs & unhit)
+            if gain > best_gain or (gain == best_gain and v < best_v):
+                best_v = v
+                best_gain = gain
+        if best_gain <= 0:
+            raise RuntimeError("greedy hitting set stalled on empty sets")
+        hitting.append(best_v)
+        unhit -= containing[best_v]
+        del containing[best_v]
+    hitting.sort()
+    return hitting
+
+
+def random_hitting_set(
+    sets: Sequence[Sequence[int]],
+    n: int,
+    seed: int = 0,
+    *,
+    constant: float = 2.0,
+    max_tries: int = 64,
+) -> List[int]:
+    """Random hitting set of expected size ``O((n/s) log k)``.
+
+    Each vertex is kept with probability ``min(1, c * ln(k+1) / s)`` where
+    ``s`` is the smallest set size; resampled (new seed) until every set is
+    hit, then returned.  Raises after ``max_tries`` failures.
+    """
+    nonempty = [s for s in sets if s]
+    if not nonempty:
+        return []
+    s_min = min(len(s) for s in nonempty)
+    k = len(nonempty)
+    p = min(1.0, constant * math.log(k + 1) / max(s_min, 1))
+    for attempt in range(max_tries):
+        rng = random.Random(seed + attempt)
+        hitting = {v for v in range(n) if rng.random() < p}
+        if verify_hitting_set(hitting, nonempty):
+            return sorted(hitting)
+        p = min(1.0, p * 1.5)
+    raise RuntimeError(
+        f"failed to find a hitting set in {max_tries} tries "
+        f"(k={k}, s_min={s_min})"
+    )

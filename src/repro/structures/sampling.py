@@ -1,0 +1,83 @@
+"""Cluster-bounded sampling (Lemma 4, Thorup–Zwick's ``center`` algorithm).
+
+Given a parameter ``s``, construct ``A ⊆ V`` with expected size
+``O(s log n)`` such that every cluster ``C_A(w) = {v : d(w,v) < d(v,A)}``
+has at most ``4n/s`` vertices.  The algorithm repeatedly samples, from the
+current set of "oversized-cluster owners" ``W``, each vertex with
+probability ``s/|W|``, adds the sample to ``A``, and recomputes ``W``; the
+expected number of rounds is ``O(log n)``.
+
+The returned set's postcondition (all clusters within the bound) is checked
+before returning — a failed sample is retried, never silently accepted.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import numpy as np
+
+from ..graph.metric import MetricView
+
+__all__ = ["cluster_sizes", "sample_cluster_bounded"]
+
+
+def _distance_to_set(metric: MetricView, members: List[int]) -> np.ndarray:
+    """``d(v, A)`` for every vertex ``v`` (``inf`` for empty ``A``)."""
+    if not members:
+        return np.full(metric.n, np.inf)
+    return metric.matrix[:, members].min(axis=1)
+
+
+def cluster_sizes(metric: MetricView, members: List[int]) -> np.ndarray:
+    """``|C_A(w)|`` for every ``w`` with ``A = members``.
+
+    ``C_A(w) = {v : d(w, v) < d(v, A)}`` (strict, following the paper).
+    """
+    d_to_a = _distance_to_set(metric, members)
+    return (metric.matrix < d_to_a[None, :]).sum(axis=1)
+
+
+def sample_cluster_bounded(
+    metric: MetricView,
+    s: float,
+    seed: int = 0,
+    *,
+    bound_factor: float = 4.0,
+    max_rounds: int = 200,
+) -> List[int]:
+    """Lemma 4: a set ``A`` with ``|C_A(w)| <= bound_factor * n / s`` for all w.
+
+    Parameters
+    ----------
+    metric:
+        Exact metric of the graph.
+    s:
+        Size parameter; the expected size of ``A`` is ``O(s log n)``.
+    bound_factor:
+        The ``4`` of the paper's ``4n/s`` bound.
+    """
+    n = metric.n
+    if n == 0:
+        return []
+    if s <= 0:
+        raise ValueError(f"sample parameter s must be positive, got {s}")
+    bound = bound_factor * n / s
+    rng = random.Random(seed)
+    a: set[int] = set()
+    for _ in range(max_rounds):
+        sizes = cluster_sizes(metric, sorted(a))
+        oversized = [w for w in range(n) if sizes[w] > bound]
+        if not oversized:
+            return sorted(a)
+        p = min(1.0, s / len(oversized))
+        newly = {w for w in oversized if rng.random() < p}
+        if not newly:
+            # Guarantee progress on unlucky draws.
+            newly = {rng.choice(oversized)}
+        a |= newly
+    raise RuntimeError(
+        f"cluster-bounded sampling did not converge in {max_rounds} rounds "
+        f"(n={n}, s={s})"
+    )

@@ -1,0 +1,152 @@
+"""Property tests of the index-selection lemmas (Lemmas 12 and 14).
+
+These lemmas carry the stretch analysis of Theorems 13 and 15; the tests
+verify them over random admissible series, plus the degenerate shapes the
+routing actually produces (all-zero series, boundary-tight series).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index_selection import (
+    lemma12_index,
+    lemma14_index,
+    verify_series_hypotheses,
+)
+
+
+@st.composite
+def admissible_series(draw, max_ell=8):
+    """Random series satisfying the lemma hypotheses.
+
+    Draw x freely in [0,1] with x_0 = 0, then cap y_{l-i} by 1 - x_i so
+    every hypothesis holds by construction.
+    """
+    ell = draw(st.integers(1, max_ell))
+    xs = [0.0] + [
+        draw(st.floats(0, 1, allow_nan=False)) for _ in range(ell)
+    ]
+    ys = [0.0] * (ell + 1)
+    for i in range(ell + 1):
+        cap = 1.0 - xs[i]
+        j = ell - i
+        if j == 0:
+            continue
+        ys[j] = draw(st.floats(0, max(cap, 0.0), allow_nan=False))
+    return xs, ys
+
+
+class TestHypotheses:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            verify_series_hypotheses([0, 0.5], [0])
+
+    def test_nonzero_start(self):
+        with pytest.raises(ValueError):
+            verify_series_hypotheses([0.1, 0.5], [0, 0.2])
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            verify_series_hypotheses([0, 1.5], [0, 0])
+
+    def test_hypothesis_violation(self):
+        # l=2 with x_1 + y_1 = 1.8 > 1 breaks the pairing hypothesis
+        with pytest.raises(ValueError):
+            verify_series_hypotheses([0, 0.9, 0.1], [0, 0.9, 0.1])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            verify_series_hypotheses([0], [0])
+
+
+class TestLemma12:
+    @given(admissible_series())
+    @settings(max_examples=300, deadline=None)
+    def test_bound_holds(self, series):
+        xs, ys = series
+        ell = len(xs) - 1
+        i, val = lemma12_index(xs, ys)
+        assert 0 <= i < ell
+        assert val <= 1.0 - 1.0 / ell + 1e-9
+        assert val == pytest.approx(xs[i] + ys[ell - i - 1])
+
+    def test_all_zero(self):
+        i, val = lemma12_index([0, 0, 0], [0, 0, 0])
+        assert val == 0.0
+        assert i == 1  # ties resolve to the highest index
+
+    def test_tight_series(self):
+        # x_i = i/l, y_i = i/l saturates every hypothesis with equality
+        ell = 4
+        xs = [i / ell for i in range(ell + 1)]
+        ys = [i / ell for i in range(ell + 1)]
+        _, val = lemma12_index(xs, ys)
+        assert val <= 1.0 - 1.0 / ell + 1e-12
+
+    def test_returns_minimizer(self):
+        xs = [0, 0.2, 0.8]
+        ys = [0, 0.1, 0.0]
+        i, val = lemma12_index(xs, ys)
+        candidates = [xs[j] + ys[2 - j - 1] for j in range(2)]
+        assert val == min(candidates)
+
+
+class TestLemma14:
+    @given(admissible_series())
+    @settings(max_examples=300, deadline=None)
+    def test_bound_holds(self, series):
+        xs, ys = series
+        ell = len(xs) - 1
+        i, val = lemma14_index(xs, ys)
+        assert 0 <= i < ell
+        assert val <= 1.0 + 1.0 / ell + 1e-9
+        assert val == pytest.approx(xs[i + 1] + ys[ell - i])
+
+    def test_all_zero(self):
+        _, val = lemma14_index([0, 0], [0, 0])
+        assert val == 0.0
+
+    def test_tight_series(self):
+        ell = 5
+        xs = [i / ell for i in range(ell + 1)]
+        ys = [i / ell for i in range(ell + 1)]
+        _, val = lemma14_index(xs, ys)
+        assert val <= 1.0 + 1.0 / ell + 1e-12
+
+
+class TestRoutingShapes:
+    """The exact shapes produced by the generalized schemes' radii."""
+
+    @given(
+        st.integers(2, 6),
+        st.integers(1, 30),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_integer_radius_series(self, ell, delta, data):
+        """Unweighted radii a_i, b_i are integers with a_i + b_{l-i} <= d-1;
+        normalized as in the proofs of Theorems 13/15 they satisfy the
+        hypotheses and hence the lemmas."""
+        a = [0]
+        for _ in range(ell):
+            a.append(
+                data.draw(st.integers(a[-1], max(a[-1], delta - 1)))
+            )
+        b = [0] * (ell + 1)
+        for i in range(ell + 1):
+            j = ell - i
+            if j == 0:
+                continue
+            cap = max(0, delta - 1 - a[i])
+            b[j] = data.draw(st.integers(0, cap))
+        xs = [0.0] + [min(1.0, (a[i] + 1) / delta) for i in range(1, ell + 1)]
+        ys = [bi / delta for bi in b]
+        # the paper's normalization guarantees the hypotheses
+        for i in range(ell + 1):
+            if xs[i] + ys[ell - i] > 1:
+                return  # draw produced an inadmissible corner; skip
+        i12, v12 = lemma12_index(xs, ys)
+        i14, v14 = lemma14_index(xs, ys)
+        assert v12 <= 1 - 1 / ell + 1e-9
+        assert v14 <= 1 + 1 / ell + 1e-9

@@ -1,0 +1,161 @@
+"""Technique 1 (Lemma 7): (1+eps) intra-class routing."""
+
+import pytest
+
+from repro.core.technique1 import Technique1, eps_to_b_lemma7
+from repro.graph.generators import erdos_renyi, grid, with_random_weights
+from repro.graph.metric import MetricView
+from repro.routing.ball_routing import BallRoutingTables
+from repro.routing.model import SizedTable
+from repro.routing.ports import PortAssignment
+from repro.structures.balls import BallFamily
+from repro.structures.coloring import color_classes, find_coloring
+
+
+def _build(g, eps, q=4, ell=10, port_seed=None, seed=0):
+    m = MetricView(g)
+    fam = BallFamily(m, ell)
+    ports = PortAssignment(g, seed=port_seed)
+    tables = [SizedTable(u) for u in g.vertices()]
+    ball_tables = BallRoutingTables(m, fam, ports)
+    for t in tables:
+        ball_tables.install(t)
+    colors = find_coloring(
+        [fam.ball(u) for u in g.vertices()], g.n, q, seed=seed
+    )
+    classes = color_classes(colors, q)
+    tech = Technique1(m, fam, ports, classes, eps, seed=seed)
+    for t in tables:
+        tech.install(t)
+    return m, ports, tables, tech, classes
+
+
+def _route(tech, ports, tables, u, v, max_hops=2000):
+    header = tech.start(tables[u], u, v)
+    cur = u
+    length = 0.0
+    for _ in range(max_hops):
+        port, header = tech.step(tables[cur], cur, header, v)
+        if port is None:
+            assert cur == v
+            return length
+        nxt = ports.neighbor(cur, port)
+        length += tech.metric.graph.weight(cur, nxt)
+        cur = nxt
+    raise AssertionError("technique 1 routing did not terminate")
+
+
+class TestEpsToB:
+    def test_values(self):
+        assert eps_to_b_lemma7(2.0) == 1
+        assert eps_to_b_lemma7(1.0) == 2
+        assert eps_to_b_lemma7(0.5) == 4
+        assert eps_to_b_lemma7(0.1) == 20
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            eps_to_b_lemma7(0.0)
+
+
+class TestStretch:
+    @pytest.mark.parametrize("eps", [1.0, 0.5, 0.25])
+    def test_unweighted(self, eps):
+        g = erdos_renyi(70, 0.07, seed=31)
+        m, ports, tables, tech, classes = _build(g, eps)
+        for cls in classes:
+            for u in cls[::3]:
+                for v in cls[::2]:
+                    if u == v:
+                        continue
+                    length = _route(tech, ports, tables, u, v)
+                    assert length <= (1 + eps) * m.d(u, v) + 1e-9
+
+    def test_weighted(self):
+        g = with_random_weights(erdos_renyi(60, 0.08, seed=32), seed=33)
+        eps = 0.5
+        m, ports, tables, tech, classes = _build(g, eps)
+        for cls in classes:
+            for u in cls[::3]:
+                for v in cls[::2]:
+                    if u == v:
+                        continue
+                    length = _route(tech, ports, tables, u, v)
+                    assert length <= (1 + eps) * m.d(u, v) + m.tol
+
+    def test_grid_long_paths(self):
+        g = grid(8, 8)
+        eps = 0.5
+        m, ports, tables, tech, classes = _build(g, eps, q=3, ell=8)
+        for cls in classes:
+            for u in cls[::4]:
+                for v in cls[::5]:
+                    if u == v:
+                        continue
+                    length = _route(tech, ports, tables, u, v)
+                    assert length <= (1 + eps) * m.d(u, v) + 1e-9
+
+    def test_port_independence(self):
+        g = erdos_renyi(50, 0.1, seed=34)
+        m, ports, tables, tech, classes = _build(g, 0.5, port_seed=77)
+        cls = classes[0]
+        for u in cls[::2]:
+            for v in cls[::3]:
+                if u != v:
+                    length = _route(tech, ports, tables, u, v)
+                    assert length <= 1.5 * m.d(u, v) + 1e-9
+
+
+class TestStructure:
+    def test_cross_class_pair_rejected(self):
+        g = erdos_renyi(50, 0.1, seed=35)
+        _, _, tables, tech, classes = _build(g, 0.5)
+        u = classes[0][0]
+        v = classes[1][0]
+        with pytest.raises(ValueError):
+            tech.start(tables[u], u, v)
+
+    def test_header_bounded_by_2b_plus_2(self):
+        g = erdos_renyi(70, 0.07, seed=36)
+        _, _, tables, tech, classes = _build(g, 0.5)
+        for cls in classes:
+            for u in cls:
+                for v in cls:
+                    if u == v:
+                        continue
+                    waypoints, _ = tables[u].get(tech.cat_seq, v)
+                    assert len(waypoints) <= 2 * tech.b + 2
+
+    def test_incomplete_partition_rejected(self):
+        g = erdos_renyi(30, 0.15, seed=37)
+        m = MetricView(g)
+        fam = BallFamily(m, 6)
+        ports = PortAssignment(g)
+        with pytest.raises(ValueError):
+            Technique1(m, fam, ports, [[0, 1, 2]], 0.5)
+
+    def test_overlapping_partition_rejected(self):
+        g = erdos_renyi(30, 0.15, seed=38)
+        m = MetricView(g)
+        fam = BallFamily(m, 6)
+        ports = PortAssignment(g)
+        classes = [list(range(30)), [0]]
+        with pytest.raises(ValueError):
+            Technique1(m, fam, ports, classes, 0.5)
+
+    def test_explicit_hitting_set_used(self):
+        g = erdos_renyi(40, 0.12, seed=39)
+        m = MetricView(g)
+        fam = BallFamily(m, 8)
+        ports = PortAssignment(g)
+        hitting = list(range(40))  # trivially hits everything
+        tech = Technique1(
+            m, fam, ports, [list(range(40))], 0.5, hitting=hitting
+        )
+        assert tech.hitting == sorted(hitting)
+
+    def test_class_of(self):
+        g = erdos_renyi(40, 0.12, seed=40)
+        _, _, _, tech, classes = _build(g, 1.0)
+        for idx, cls in enumerate(classes):
+            for v in cls:
+                assert tech.class_of(v) == idx

@@ -1,0 +1,180 @@
+"""Technique 2 (Lemma 8): (1+eps) routing from U_i into W_i."""
+
+import pytest
+
+from repro.core.technique2 import Technique2, eps_to_b_lemma8
+from repro.graph.generators import erdos_renyi, grid, with_random_weights
+from repro.graph.metric import MetricView
+from repro.routing.ball_routing import BallRoutingTables
+from repro.routing.model import SizedTable
+from repro.routing.ports import PortAssignment
+from repro.structures.balls import BallFamily
+from repro.structures.coloring import color_classes, find_coloring
+
+
+def _build(g, eps, q=3, ell=12, targets=None, port_seed=None, seed=0):
+    m = MetricView(g)
+    fam = BallFamily(m, ell)
+    ports = PortAssignment(g, seed=port_seed)
+    tables = [SizedTable(u) for u in g.vertices()]
+    for t in tables:
+        BallRoutingTables(m, fam, ports).install(t)
+    colors = find_coloring(
+        [fam.ball(u) for u in g.vertices()], g.n, q, seed=seed
+    )
+    classes = color_classes(colors, q)
+    if targets is None:
+        # default target set: a spread of vertices, chunked into q parts
+        pool = list(range(0, g.n, 3))
+        per = -(-len(pool) // q)
+        targets = [pool[i * per : (i + 1) * per] for i in range(q)]
+    tech = Technique2(m, fam, ports, classes, targets, eps)
+    for t in tables:
+        tech.install(t)
+    return m, ports, tables, tech, classes, targets
+
+
+def _route(tech, ports, tables, u, w, max_hops=4000):
+    header = tech.start(tables[u], u, w)
+    cur = u
+    length = 0.0
+    for _ in range(max_hops):
+        port, header = tech.step(tables[cur], cur, header, w)
+        if port is None:
+            assert cur == w
+            return length
+        nxt = ports.neighbor(cur, port)
+        length += tech.metric.graph.weight(cur, nxt)
+        cur = nxt
+    raise AssertionError("technique 2 routing did not terminate")
+
+
+class TestEpsToB:
+    def test_values(self):
+        assert eps_to_b_lemma8(1.0) == 3
+        assert eps_to_b_lemma8(0.5) == 5
+        assert eps_to_b_lemma8(2.0) == 2
+
+    def test_stretch_formula(self):
+        # stretch is 1 + 2/(b-1) <= 1 + eps
+        for eps in (2.0, 1.0, 0.5, 0.25):
+            b = eps_to_b_lemma8(eps)
+            assert 1 + 2.0 / (b - 1) <= 1 + eps + 1e-12
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            eps_to_b_lemma8(-1.0)
+
+
+class TestStretch:
+    @pytest.mark.parametrize("eps", [1.0, 0.5])
+    def test_unweighted(self, eps):
+        g = erdos_renyi(70, 0.07, seed=51)
+        m, ports, tables, tech, classes, targets = _build(g, eps)
+        for i, cls in enumerate(classes):
+            for u in cls[::4]:
+                for w in targets[i]:
+                    if u == w:
+                        continue
+                    length = _route(tech, ports, tables, u, w)
+                    assert length <= (1 + eps) * m.d(u, w) + 1e-9
+
+    def test_weighted(self):
+        g = with_random_weights(erdos_renyi(60, 0.08, seed=52), seed=53)
+        eps = 0.5
+        m, ports, tables, tech, classes, targets = _build(g, eps)
+        for i, cls in enumerate(classes):
+            for u in cls[::4]:
+                for w in targets[i]:
+                    if u == w:
+                        continue
+                    length = _route(tech, ports, tables, u, w)
+                    assert length <= (1 + eps) * m.d(u, w) + m.tol
+
+    def test_grid_relay_chains(self):
+        """Grids have long paths and small balls: relays must chain."""
+        g = grid(9, 9)
+        eps = 1.0
+        m, ports, tables, tech, classes, targets = _build(
+            g, eps, q=2, ell=10
+        )
+        for i, cls in enumerate(classes):
+            for u in cls[::6]:
+                for w in targets[i][::2]:
+                    if u == w:
+                        continue
+                    length = _route(tech, ports, tables, u, w)
+                    assert length <= (1 + eps) * m.d(u, w) + 1e-9
+
+    def test_port_independence(self):
+        g = erdos_renyi(50, 0.1, seed=54)
+        m, ports, tables, tech, classes, targets = _build(
+            g, 1.0, port_seed=13
+        )
+        for i, cls in enumerate(classes):
+            for u in cls[::5]:
+                for w in targets[i][::2]:
+                    if u != w:
+                        length = _route(tech, ports, tables, u, w)
+                        assert length <= 2.0 * m.d(u, w) + 1e-9
+
+
+class TestStructure:
+    def test_partition_count_mismatch_rejected(self):
+        g = erdos_renyi(30, 0.15, seed=55)
+        m = MetricView(g)
+        fam = BallFamily(m, 8)
+        ports = PortAssignment(g)
+        with pytest.raises(ValueError):
+            Technique2(
+                m, fam, ports, [list(range(30))], [[0], [1]], 0.5
+            )
+
+    def test_hitting_validation_fires(self):
+        """A partition class missing from some ball must be rejected."""
+        g = grid(1, 20)  # path graph: tiny balls
+        m = MetricView(g)
+        fam = BallFamily(m, 3)
+        ports = PortAssignment(g)
+        # class 1 = {0}: certainly absent from far-away balls
+        classes = [list(range(1, 20)), [0]]
+        targets = [[5], [15]]
+        with pytest.raises(ValueError):
+            Technique2(
+                m, fam, ports, classes, targets, 0.5, validate_hitting=True
+            )
+
+    def test_unknown_target_rejected_at_start(self):
+        g = erdos_renyi(40, 0.12, seed=56)
+        m, ports, tables, tech, classes, targets = _build(g, 1.0)
+        u = classes[0][0]
+        # a target belonging to another class's partition
+        foreign = next(w for w in targets[1] if w != u)
+        with pytest.raises(ValueError):
+            tech.start(tables[u], u, foreign)
+
+    def test_sequences_words_logarithmic(self):
+        g = with_random_weights(erdos_renyi(60, 0.08, seed=57), seed=58)
+        m, ports, tables, tech, classes, targets = _build(g, 0.5)
+        import math
+
+        cap = 2 * tech.b * (math.log2(m.n * m.normalized_diameter()) + 2) + 2
+        for i, cls in enumerate(classes):
+            for u in cls:
+                for w in targets[i]:
+                    if u == w:
+                        continue
+                    waypoints = tables[u].get(tech.cat_seq, w)
+                    assert len(waypoints) <= cap
+
+    def test_duplicate_target_rejected(self):
+        g = erdos_renyi(30, 0.15, seed=59)
+        m = MetricView(g)
+        fam = BallFamily(m, 10)
+        ports = PortAssignment(g)
+        colors = find_coloring(
+            [fam.ball(u) for u in g.vertices()], g.n, 2, seed=1
+        )
+        classes = color_classes(colors, 2)
+        with pytest.raises(ValueError):
+            Technique2(m, fam, ports, classes, [[4], [4]], 0.5)

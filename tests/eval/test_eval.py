@@ -1,0 +1,139 @@
+"""Evaluation harness: workloads, metrics, end-to-end evaluation."""
+
+import math
+
+import pytest
+
+from repro.baselines.pr_oracle import PROracle
+from repro.baselines.tz_oracle import TZOracle
+from repro.eval.harness import evaluate_oracle, evaluate_scheme
+from repro.eval.metrics import (
+    fit_exponent,
+    polylog_normalized_exponent,
+    words_to_bits,
+)
+from repro.eval.reporting import (
+    PAPER_TABLE1_REFERENCE,
+    banner,
+    reference_row,
+    table,
+)
+from repro.eval.workloads import all_pairs, sample_pairs, stratified_pairs
+from repro.schemes import Warmup3Scheme
+
+
+class TestWorkloads:
+    def test_all_pairs_count(self):
+        pairs = list(all_pairs(5))
+        assert len(pairs) == 20
+        assert all(u != v for u, v in pairs)
+
+    def test_sample_pairs_distinct_and_seeded(self):
+        a = sample_pairs(30, 100, seed=1)
+        b = sample_pairs(30, 100, seed=1)
+        assert a == b
+        assert len(a) == 100
+        assert all(u != v for u, v in a)
+
+    def test_sample_pairs_tiny_graph(self):
+        assert sample_pairs(1, 10) == []
+
+    def test_stratified_buckets(self, metric_er_weighted):
+        buckets = stratified_pairs(
+            metric_er_weighted, per_bucket=10, buckets=3, seed=2
+        )
+        # weighted distances are continuous, so no bucket collapses
+        assert set(buckets) == {"q1", "q2", "q3"}
+        for pairs in buckets.values():
+            assert 0 < len(pairs) <= 10
+        avg = {
+            k: sum(metric_er_weighted.d(u, v) for u, v in ps) / len(ps)
+            for k, ps in buckets.items()
+        }
+        assert avg["q1"] <= avg["q3"]
+
+    def test_stratified_drops_collapsed_buckets(self, metric_er):
+        """Integer distances can collapse quantile edges; empty buckets
+        must be dropped, never returned half-broken."""
+        buckets = stratified_pairs(metric_er, per_bucket=10, buckets=3, seed=2)
+        assert buckets  # something is returned
+        for pairs in buckets.values():
+            assert pairs
+
+
+class TestMetrics:
+    def test_words_to_bits(self):
+        assert words_to_bits(10, 1024) == 100
+
+    def test_fit_exponent_recovers_powers(self):
+        sizes = [100, 200, 400, 800]
+        for e_true in (1.0, 2.0 / 3.0, 1.0 / 3.0):
+            values = [5.0 * s**e_true for s in sizes]
+            e, c = fit_exponent(sizes, values)
+            assert e == pytest.approx(e_true, abs=1e-9)
+            assert c == pytest.approx(5.0, rel=1e-6)
+
+    def test_fit_exponent_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_exponent([100], [5.0])
+
+    def test_polylog_normalization(self):
+        sizes = [128, 256, 512, 1024]
+        values = [s ** 0.5 * math.log2(s) for s in sizes]
+        raw_e, _ = fit_exponent(sizes, values)
+        norm_e = polylog_normalized_exponent(sizes, values)
+        assert abs(norm_e - 0.5) < abs(raw_e - 0.5)
+
+
+class TestHarness:
+    def test_evaluate_scheme(self, er_weighted, metric_er_weighted):
+        ev = evaluate_scheme(
+            er_weighted,
+            Warmup3Scheme,
+            sample_pairs(er_weighted.n, 120, seed=3),
+            metric=metric_er_weighted,
+            eps=0.5,
+            seed=1,
+        )
+        assert ev.within_bound
+        assert ev.stretch.pairs > 0
+        assert ev.stats.max_table_words > 0
+        assert "ok" in ev.row()
+
+    def test_evaluate_oracle_tz(self, er_unweighted, metric_er):
+        ev = evaluate_oracle(
+            er_unweighted,
+            TZOracle,
+            sample_pairs(er_unweighted.n, 150, seed=4),
+            metric=metric_er,
+            k=2,
+            seed=1,
+        )
+        assert ev.within_bound
+        assert ev.total_words > 0
+
+    def test_evaluate_oracle_pr(self, er_unweighted, metric_er):
+        ev = evaluate_oracle(
+            er_unweighted,
+            PROracle,
+            sample_pairs(er_unweighted.n, 150, seed=5),
+            metric=metric_er,
+            seed=1,
+        )
+        assert ev.within_bound
+        assert "ok" in ev.row()
+
+
+class TestReporting:
+    def test_banner(self):
+        assert banner("Table 1").startswith("== Table 1")
+
+    def test_reference_rows_render(self):
+        for entry in PAPER_TABLE1_REFERENCE:
+            assert "[paper]" in reference_row(entry)
+
+    def test_table_alignment(self):
+        text = table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # fixed width

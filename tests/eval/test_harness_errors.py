@@ -1,0 +1,97 @@
+"""Harness error paths: broken schemes and oracles must be caught."""
+
+import pytest
+
+from repro.eval.harness import evaluate_oracle, evaluate_scheme
+from repro.eval.workloads import sample_pairs
+from repro.graph.generators import erdos_renyi
+from repro.graph.metric import MetricView
+
+
+class _LyingOracle:
+    """Returns d-1: underestimates, which an oracle must never do."""
+
+    name = "lying oracle"
+
+    def __init__(self, graph, metric=None, **kwargs):
+        self.graph = graph
+        self.metric = metric if metric is not None else MetricView(graph)
+
+    def stretch_bound(self):
+        return 1.0
+
+    def query(self, u, v):
+        return max(0.0, self.metric.d(u, v) - 1.0)
+
+    def space_words(self):
+        return {"total": 0, "max_per_vertex": 0}
+
+
+class _TrivialExactOracle:
+    """Wraps the metric directly: stretch exactly 1."""
+
+    name = "exact oracle"
+
+    def __init__(self, graph, metric=None, **kwargs):
+        self.graph = graph
+        self.metric = metric if metric is not None else MetricView(graph)
+
+    def stretch_bound(self):
+        return 1.0
+
+    def query(self, u, v):
+        return self.metric.d(u, v)
+
+    def space_words(self):
+        return {"total": 2 * self.graph.n ** 2, "max_per_vertex": 2 * self.graph.n}
+
+
+@pytest.fixture(scope="module")
+def world():
+    g = erdos_renyi(40, 0.15, seed=801)
+    return g, MetricView(g), sample_pairs(40, 60, seed=802)
+
+
+class TestOracleEvaluation:
+    def test_underestimating_oracle_rejected(self, world):
+        g, metric, pairs = world
+        with pytest.raises(RuntimeError, match="underestimates"):
+            evaluate_oracle(g, _LyingOracle, pairs, metric=metric)
+
+    def test_exact_oracle_reports_one(self, world):
+        g, metric, pairs = world
+        ev = evaluate_oracle(g, _TrivialExactOracle, pairs, metric=metric)
+        assert ev.max_stretch == pytest.approx(1.0)
+        assert ev.within_bound
+        assert ev.total_words == 2 * g.n ** 2
+
+    def test_empty_workload(self, world):
+        g, metric, _ = world
+        ev = evaluate_oracle(g, _TrivialExactOracle, [], metric=metric)
+        assert ev.pairs == 0
+        assert ev.within_bound
+
+
+class TestSchemeEvaluation:
+    def test_reports_violation_when_bound_lies(self, world):
+        g, metric, pairs = world
+        from repro.schemes import Warmup3Scheme
+
+        class _Overclaiming(Warmup3Scheme):
+            def stretch_bound(self):
+                return 1.0  # claims exactness it cannot deliver
+
+        ev = evaluate_scheme(
+            g, _Overclaiming, pairs, metric=metric, eps=0.5, seed=1
+        )
+        assert not ev.within_bound
+        assert "VIOLATION" in ev.row()
+
+    def test_build_time_recorded(self, world):
+        g, metric, pairs = world
+        from repro.schemes import Warmup3Scheme
+
+        ev = evaluate_scheme(
+            g, Warmup3Scheme, pairs[:10], metric=metric, eps=0.5, seed=1
+        )
+        assert ev.build_seconds > 0

@@ -1,0 +1,136 @@
+"""Tests for the seeded graph generators."""
+
+import pytest
+
+from repro.graph.generators import (
+    caterpillar,
+    complete,
+    connect_components,
+    cycle,
+    erdos_renyi,
+    grid,
+    path,
+    preferential_attachment,
+    random_geometric,
+    random_tree,
+    ring_with_chords,
+    star,
+    torus,
+    with_random_weights,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda seed: erdos_renyi(40, 0.1, seed=seed),
+            lambda seed: preferential_attachment(40, 2, seed=seed),
+            lambda seed: random_geometric(40, 0.3, seed=seed),
+            lambda seed: random_tree(40, seed=seed),
+            lambda seed: ring_with_chords(40, 10, seed=seed),
+        ],
+    )
+    def test_same_seed_same_graph(self, factory):
+        g1, g2 = factory(7), factory(7)
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+    def test_different_seed_usually_differs(self):
+        g1 = erdos_renyi(40, 0.1, seed=1)
+        g2 = erdos_renyi(40, 0.1, seed=2)
+        assert sorted(g1.edges()) != sorted(g2.edges())
+
+
+class TestConnectivity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_erdos_renyi_connected(self, seed):
+        assert erdos_renyi(50, 0.03, seed=seed).is_connected()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_geometric_connected(self, seed):
+        assert random_geometric(50, 0.1, seed=seed).is_connected()
+
+    def test_connect_components_minimal(self):
+        from repro.graph.core import Graph
+
+        g = Graph.from_edges(6, [(0, 1), (2, 3), (4, 5)])
+        connect_components(g, seed=0)
+        assert g.is_connected()
+        assert g.m == 5  # 3 original + 2 patch edges
+
+
+class TestShapes:
+    def test_grid_structure(self):
+        g = grid(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.has_edge(0, 1)
+        assert g.has_edge(0, 4)
+
+    def test_torus_regular(self):
+        g = torus(4, 5)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_torus_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            torus(2, 5)
+
+    def test_path_cycle_complete_star(self):
+        assert path(5).m == 4
+        assert cycle(5).m == 5
+        assert complete(5).m == 10
+        assert star(5).degree(0) == 4
+
+    def test_cycle_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            cycle(2)
+
+    def test_random_tree_is_tree(self):
+        g = random_tree(30, seed=3)
+        assert g.m == 29
+        assert g.is_connected()
+
+    def test_caterpillar(self):
+        g = caterpillar(4, 2)
+        assert g.n == 4 + 8
+        assert g.m == 3 + 8
+        assert g.is_connected()
+
+    def test_preferential_attachment_size(self):
+        g = preferential_attachment(50, 3, seed=1)
+        assert g.n == 50
+        assert g.is_connected()
+        # hubs exist: max degree well above the attachment count
+        assert max(g.degree(v) for v in g.vertices()) > 6
+
+    def test_ring_with_chords_counts(self):
+        g = ring_with_chords(30, 10, seed=2)
+        assert g.n == 30
+        assert g.m == 40
+
+
+class TestWeights:
+    def test_with_random_weights_range(self):
+        g = with_random_weights(grid(4, 4), seed=1, low=2.0, high=3.0)
+        assert all(2.0 <= w <= 3.0 for _, _, w in g.edges())
+
+    def test_with_random_weights_preserves_topology(self):
+        base = erdos_renyi(30, 0.1, seed=4)
+        g = with_random_weights(base, seed=5)
+        assert sorted((u, v) for u, v, _ in g.edges()) == sorted(
+            (u, v) for u, v, _ in base.edges()
+        )
+
+    def test_invalid_weight_range_rejected(self):
+        with pytest.raises(ValueError):
+            with_random_weights(grid(2, 2), low=0.0, high=1.0)
+        with pytest.raises(ValueError):
+            with_random_weights(grid(2, 2), low=5.0, high=1.0)
+
+    def test_geometric_weights_are_distances(self):
+        g = random_geometric(40, 0.4, seed=6, connected=False)
+        assert all(0 < w <= 0.4 + 1e-12 for _, _, w in g.edges())
+
+    def test_erdos_renyi_bad_probability(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)

@@ -1,0 +1,152 @@
+"""MetricView: exact distances, shortest-path structure, balls, radii."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.core import Graph
+from repro.graph.generators import erdos_renyi, grid, with_random_weights
+from repro.graph.metric import MetricView
+
+
+class TestDistances:
+    @pytest.mark.parametrize("use_scipy", [True, False])
+    def test_matches_networkx(self, use_scipy):
+        g = with_random_weights(erdos_renyi(30, 0.15, seed=1), seed=2)
+        m = MetricView(g, use_scipy=use_scipy)
+        ref = dict(nx.all_pairs_dijkstra_path_length(g.to_networkx()))
+        for u in g.vertices():
+            for v in g.vertices():
+                assert m.d(u, v) == pytest.approx(ref[u][v])
+
+    def test_matrix_symmetric(self):
+        g = with_random_weights(erdos_renyi(40, 0.1, seed=3), seed=4)
+        m = MetricView(g)
+        assert np.array_equal(m.matrix, m.matrix.T)
+
+    def test_scipy_and_python_agree(self):
+        g = with_random_weights(erdos_renyi(25, 0.2, seed=5), seed=6)
+        m1 = MetricView(g, use_scipy=True)
+        m2 = MetricView(g, use_scipy=False)
+        assert np.allclose(m1.matrix, m2.matrix)
+
+    def test_disconnected_detected(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        m = MetricView(g)
+        assert not m.is_connected()
+        assert m.d(0, 2) == math.inf
+
+
+class TestDiameter:
+    def test_grid_diameter(self):
+        m = MetricView(grid(4, 5))
+        assert m.diameter() == 3 + 4
+
+    def test_normalized_diameter_unweighted(self):
+        m = MetricView(grid(4, 5))
+        assert m.normalized_diameter() == 7.0
+
+    def test_normalized_diameter_weighted(self):
+        g = Graph.from_edges(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        m = MetricView(g)
+        assert m.normalized_diameter() == pytest.approx(5.0 / 2.0)
+
+    def test_single_vertex(self):
+        m = MetricView(Graph(1))
+        assert m.normalized_diameter() == 1.0
+
+
+class TestShortestPathStructure:
+    def test_next_hop_is_tight(self):
+        g = with_random_weights(erdos_renyi(40, 0.1, seed=7), seed=8)
+        m = MetricView(g)
+        for u in range(0, 40, 5):
+            for v in range(1, 40, 7):
+                if u == v:
+                    continue
+                x = m.next_hop(u, v)
+                assert g.has_edge(u, x)
+                assert g.weight(u, x) + m.d(x, v) == pytest.approx(m.d(u, v))
+
+    def test_next_hop_cache_matches_scan(self):
+        g = with_random_weights(erdos_renyi(30, 0.15, seed=9), seed=10)
+        m_cached = MetricView(g)
+        m_scan = MetricView(g)
+        m_scan._next_hop_auto_threshold = 0  # force the scalar scan
+        for u in range(0, 30, 3):
+            for v in range(1, 30, 4):
+                if u != v:
+                    assert m_cached.next_hop(u, v) == m_scan.next_hop(u, v)
+
+    def test_shortest_path_is_shortest(self):
+        g = with_random_weights(erdos_renyi(40, 0.1, seed=11), seed=12)
+        m = MetricView(g)
+        for u, v in [(0, 39), (5, 20), (13, 2)]:
+            p = m.shortest_path(u, v)
+            assert p[0] == u and p[-1] == v
+            total = sum(g.weight(a, b) for a, b in zip(p, p[1:]))
+            assert total == pytest.approx(m.d(u, v))
+
+    def test_next_hop_self_raises(self):
+        m = MetricView(grid(3, 3))
+        with pytest.raises(ValueError):
+            m.next_hop(2, 2)
+
+    def test_on_shortest_path(self):
+        m = MetricView(grid(1, 5))  # path graph 0-1-2-3-4
+        assert m.on_shortest_path(0, 2, 4)
+        assert not m.on_shortest_path(0, 4, 2)
+
+    def test_tight_min_weight(self):
+        g = Graph.from_edges(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 10.0)])
+        m = MetricView(g)
+        # the (0,2) edge of weight 10 is slack (d(0,2)=3), so it is ignored
+        assert m.tight_min_weight() == 1.0
+
+
+class TestSPTParents:
+    def test_parents_consistent_with_distances(self):
+        g = with_random_weights(erdos_renyi(40, 0.1, seed=13), seed=14)
+        m = MetricView(g)
+        parents = m.spt_parents(6)
+        assert parents[6] == 6
+        for v, p in parents.items():
+            if v != 6:
+                assert m.d(6, v) == pytest.approx(m.d(6, p) + g.weight(p, v))
+
+    def test_restricted_rejects_non_closed(self):
+        m = MetricView(grid(1, 5))  # path 0-1-2-3-4
+        with pytest.raises(ValueError):
+            m.restricted_spt_parents(0, [0, 4])  # 4's parent 3 missing
+
+
+class TestBalls:
+    def test_ball_order_and_prefix(self):
+        g = erdos_renyi(40, 0.12, seed=15)
+        m = MetricView(g)
+        ball = m.ball(3, 12)
+        assert ball[0] == 3
+        keys = [(m.d(3, v), v) for v in ball]
+        assert keys == sorted(keys)
+        # prefix property
+        assert m.ball(3, 7) == ball[:7]
+
+    def test_ball_radius_unweighted(self):
+        m = MetricView(grid(1, 7))  # path; vertex 3 is the middle
+        ball = m.ball(3, 3)  # {3, 2, 4}
+        assert set(ball) == {3, 2, 4}
+        assert m.ball_radius(3, ball) == 1.0
+        ball5 = m.ball(3, 4)  # {3,2,4,1} — distance-2 level only partial
+        assert m.ball_radius(3, ball5) == 1.0
+
+    def test_ball_radius_full_level(self):
+        m = MetricView(grid(1, 7))
+        ball = m.ball(3, 5)  # {3,2,4,1,5}: both distance-2 vertices present
+        assert m.ball_radius(3, ball) == 2.0
+
+    def test_whole_graph_ball(self):
+        g = erdos_renyi(20, 0.2, seed=16)
+        m = MetricView(g)
+        assert len(m.ball(0, 100)) == 20

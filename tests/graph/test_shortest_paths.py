@@ -1,0 +1,139 @@
+"""Shortest-path algorithms, differentially tested against networkx."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.core import Graph
+from repro.graph.generators import erdos_renyi, grid, with_random_weights
+from repro.graph.shortest_paths import (
+    bfs_distances,
+    dijkstra,
+    multi_source_distances,
+    path_length,
+    shortest_path_tree,
+    truncated_dijkstra,
+)
+
+
+def _nx_distances(g: Graph, source: int):
+    return nx.single_source_dijkstra_path_length(g.to_networkx(), source)
+
+
+class TestBFS:
+    def test_matches_networkx_on_grid(self):
+        g = grid(5, 6)
+        ref = nx.single_source_shortest_path_length(g.to_networkx(), 0)
+        got = bfs_distances(g, 0)
+        for v in g.vertices():
+            assert got[v] == ref[v]
+
+    def test_unreachable_is_inf(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        dist = bfs_distances(g, 0)
+        assert dist[2] == math.inf
+
+
+class TestDijkstra:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx_weighted(self, seed):
+        g = with_random_weights(erdos_renyi(40, 0.12, seed=seed), seed=seed + 100)
+        ref = _nx_distances(g, 0)
+        dist, _ = dijkstra(g, 0)
+        for v in g.vertices():
+            assert dist[v] == pytest.approx(ref[v])
+
+    def test_parents_form_shortest_paths(self):
+        g = with_random_weights(erdos_renyi(40, 0.12, seed=9), seed=19)
+        dist, parent = dijkstra(g, 0)
+        for v in g.vertices():
+            if v == 0:
+                assert parent[v] is None
+                continue
+            p = parent[v]
+            assert dist[v] == pytest.approx(dist[p] + g.weight(p, v))
+
+
+class TestTruncatedDijkstra:
+    def test_ball_is_dist_id_prefix(self):
+        g = erdos_renyi(50, 0.1, seed=3)
+        full, _ = dijkstra(g, 7)
+        order = sorted(g.vertices(), key=lambda v: (full[v], v))
+        for ell in (1, 5, 17, 50):
+            ball, dist = truncated_dijkstra(g, 7, ell)
+            assert ball == order[:ell]
+            for v in ball:
+                assert dist[v] == pytest.approx(full[v])
+
+    def test_zero_ell(self):
+        g = grid(3, 3)
+        ball, dist = truncated_dijkstra(g, 0, 0)
+        assert ball == [] and dist == {}
+
+    def test_ell_beyond_n(self):
+        g = grid(3, 3)
+        ball, _ = truncated_dijkstra(g, 0, 100)
+        assert len(ball) == 9
+
+    @given(seed=st.integers(0, 30), ell=st.integers(1, 25))
+    @settings(max_examples=25, deadline=None)
+    def test_source_always_first(self, seed, ell):
+        g = erdos_renyi(25, 0.15, seed=seed)
+        ball, _ = truncated_dijkstra(g, 4, ell)
+        assert ball[0] == 4
+
+
+class TestShortestPathTree:
+    def test_full_tree_distances(self):
+        g = with_random_weights(erdos_renyi(35, 0.15, seed=2), seed=8)
+        tree = shortest_path_tree(g, 0)
+        dist, _ = dijkstra(g, 0)
+        # walk each vertex to the root; the accumulated weight must match
+        for v in g.vertices():
+            total, cur = 0.0, v
+            while cur != 0:
+                p = tree[cur]
+                total += g.weight(cur, p)
+                cur = p
+            assert total == pytest.approx(dist[v])
+
+    def test_root_not_member_raises(self):
+        g = grid(3, 3)
+        with pytest.raises(ValueError):
+            shortest_path_tree(g, 0, members=[1, 2])
+
+    def test_unreachable_member_raises(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            shortest_path_tree(g, 0, members=[0, 2])
+
+
+class TestMultiSource:
+    def test_matches_min_over_sources(self):
+        g = with_random_weights(erdos_renyi(40, 0.12, seed=4), seed=14)
+        sources = [3, 17, 29]
+        dist, nearest = multi_source_distances(g, sources)
+        per_source = {s: dijkstra(g, s)[0] for s in sources}
+        for v in g.vertices():
+            expect = min((per_source[s][v], s) for s in sources)
+            assert dist[v] == pytest.approx(expect[0])
+            assert nearest[v] == expect[1]
+
+    def test_tie_breaks_to_smaller_source(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        _, nearest = multi_source_distances(g, [0, 2])
+        assert nearest[1] == 0  # equidistant; smaller id wins
+
+
+class TestPathLength:
+    def test_sums_weights(self):
+        g = Graph.from_edges(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        assert path_length(g, [0, 1, 2]) == 5.0
+
+    def test_invalid_hop_raises(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        with pytest.raises(Exception):
+            path_length(g, [0, 2])

@@ -1,0 +1,103 @@
+"""Ball routing (Lemma 2): shortest paths inside vicinities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi, grid, with_random_weights
+from repro.graph.metric import MetricView
+from repro.routing.ball_routing import BallRoutingScheme, BallRoutingTables
+from repro.routing.model import SizedTable
+from repro.routing.ports import PortAssignment
+from repro.routing.simulator import route
+from repro.structures.balls import BallFamily
+
+
+def _scheme(g, ell, port_seed=None):
+    m = MetricView(g)
+    fam = BallFamily(m, ell)
+    ports = PortAssignment(g, seed=port_seed)
+    return BallRoutingScheme(m, fam, ports), m, fam
+
+
+class TestShortestPathDelivery:
+    @pytest.mark.parametrize("ell", [2, 6, 15])
+    def test_unweighted(self, ell):
+        g = erdos_renyi(50, 0.1, seed=1)
+        scheme, m, fam = _scheme(g, ell)
+        for u in range(0, 50, 4):
+            for v in fam.ball(u):
+                result = route(scheme, u, v)
+                assert result.delivered
+                assert result.length == pytest.approx(m.d(u, v))
+
+    def test_weighted(self):
+        g = with_random_weights(erdos_renyi(50, 0.1, seed=2), seed=3)
+        scheme, m, fam = _scheme(g, 8)
+        for u in range(0, 50, 4):
+            for v in fam.ball(u):
+                result = route(scheme, u, v)
+                assert result.length == pytest.approx(m.d(u, v))
+
+    def test_grid(self):
+        g = grid(7, 7)
+        scheme, m, fam = _scheme(g, 10)
+        for u in range(0, 49, 5):
+            for v in fam.ball(u):
+                assert route(scheme, u, v).length == m.d(u, v)
+
+    @given(port_seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_port_numbering_independence(self, port_seed):
+        g = erdos_renyi(30, 0.15, seed=4)
+        scheme, m, fam = _scheme(g, 7, port_seed=port_seed)
+        for u in (0, 11, 29):
+            for v in fam.ball(u):
+                assert route(scheme, u, v).length == pytest.approx(m.d(u, v))
+
+
+class TestBoundaries:
+    def test_outside_ball_raises(self):
+        g = grid(1, 10)  # path graph
+        scheme, m, fam = _scheme(g, 3)
+        far = 9
+        assert not fam.contains(0, far)
+        with pytest.raises(ValueError):
+            route(scheme, 0, far)
+
+    def test_self_delivery(self):
+        g = grid(3, 3)
+        scheme, _, _ = _scheme(g, 4)
+        result = route(scheme, 4, 4)
+        assert result.delivered and result.hops == 0
+
+    def test_table_size_is_two_words_per_member(self):
+        g = erdos_renyi(40, 0.15, seed=5)
+        scheme, _, fam = _scheme(g, 9)
+        for u in g.vertices():
+            # ball includes u itself, which stores no port
+            expected = 2 * (len(fam.ball(u)) - 1)
+            assert scheme.table_of(u).total_words() == expected
+
+
+class TestInstall:
+    def test_install_into_external_table(self):
+        g = erdos_renyi(30, 0.15, seed=6)
+        m = MetricView(g)
+        fam = BallFamily(m, 6)
+        ports = PortAssignment(g)
+        tables = BallRoutingTables(m, fam, ports)
+        t = SizedTable(5)
+        tables.install(t, category="myball")
+        for v in fam.ball(5):
+            if v != 5:
+                port = t.get("myball", v)
+                assert ports.neighbor(5, port) == m.next_hop(5, v)
+
+    def test_port_for_outside_ball_is_none(self):
+        g = grid(1, 10)
+        m = MetricView(g)
+        fam = BallFamily(m, 3)
+        tables = BallRoutingTables(m, fam, PortAssignment(g))
+        assert tables.port_for(0, 9) is None
+        assert tables.port_for(0, 0) is None

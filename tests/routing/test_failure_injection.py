@@ -1,0 +1,132 @@
+"""Failure injection: corrupted headers and labels must fail loudly.
+
+A routing scheme that silently delivers to the wrong vertex, or loops
+forever, is worse than one that errors.  These tests tamper with labels
+and headers and assert the failure mode is always an exception or a
+correct delivery — never a silent misdelivery and never an unbounded
+walk (the simulator's hop budget converts loops into errors).
+"""
+
+import pytest
+
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.graph.metric import MetricView
+from repro.routing.model import Deliver, Forward
+from repro.routing.simulator import RoutingLoopError
+from repro.schemes import Stretch5PlusScheme, Warmup3Scheme
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    g = with_random_weights(erdos_renyi(60, 0.09, seed=401), seed=402)
+    metric = MetricView(g)
+    return Warmup3Scheme(g, eps=0.5, metric=metric, seed=1)
+
+
+def _drive(scheme, source, dest_label, max_hops=600):
+    """Manually drive the scheme with a (possibly corrupted) label."""
+    header = None
+    cur = source
+    for _ in range(max_hops):
+        action = scheme.step(cur, header, dest_label)
+        if isinstance(action, Deliver):
+            return cur
+        assert isinstance(action, Forward)
+        cur = scheme.ports.neighbor(cur, action.port)
+        header = action.header
+    raise RoutingLoopError("hop budget exhausted")
+
+
+class TestLabelTampering:
+    def test_swapped_label_delivers_to_labeled_vertex(self, scheme):
+        """Using w's label while 'meaning' v must reach w (the label is
+        the ground truth), never some third vertex."""
+        label_of_20 = scheme.label_of(20)
+        arrived = _drive(scheme, 3, label_of_20)
+        assert arrived == 20
+
+    def test_wrong_color_in_label_fails_or_delivers(self, scheme):
+        """A label with a corrupted color field either still delivers at
+        the right vertex or raises — never misdelivers."""
+        v = 25
+        good = scheme.label_of(v)
+        bad_color = (good[1] + 1) % scheme.q
+        tampered = (v, bad_color)
+        try:
+            arrived = _drive(scheme, 2, tampered)
+        except (RoutingLoopError, ValueError, RuntimeError, KeyError):
+            return
+        assert arrived == v
+
+    def test_nonexistent_vertex_label_raises(self, scheme):
+        tampered = (10_000, 0)
+        with pytest.raises(Exception):
+            _drive(scheme, 2, tampered)
+
+
+class TestHeaderTampering:
+    def test_corrupted_waypoints_raise(self, scheme):
+        """A header pointing at a vertex outside every ball must raise
+        when the waypoint is unreachable, not wander."""
+        v = 40
+        label = scheme.label_of(v)
+        bogus_header = ("t1", ("seq", 0, (9_999,), None))
+        with pytest.raises(Exception):
+            cur = 2
+            header = bogus_header
+            for _ in range(100):
+                action = scheme.step(cur, header, label)
+                if isinstance(action, Deliver):
+                    raise AssertionError("delivered under a bogus header")
+                cur = scheme.ports.neighbor(cur, action.port)
+                header = action.header
+
+    def test_unknown_header_tag_raises(self, scheme):
+        with pytest.raises(ValueError):
+            scheme.step(2, ("no-such-phase", 1), scheme.label_of(9))
+
+
+class TestTheorem11Tampering:
+    @pytest.fixture(scope="class")
+    def t11(self):
+        g = with_random_weights(erdos_renyi(60, 0.09, seed=403), seed=404)
+        return Stretch5PlusScheme(g, eps=0.6, metric=MetricView(g), seed=2)
+
+    def test_swapped_label_delivers_to_labeled_vertex(self, t11):
+        label = t11.label_of(33)
+        arrived = _drive(t11, 5, label)
+        assert arrived == 33
+
+    def test_corrupt_pivot_fails_or_delivers(self, t11):
+        v = 17
+        vv, pivot, part, z = t11.label_of(v)
+        # point the label at a different landmark's partition slot
+        tampered = (vv, pivot, (part + 1) % t11.q, z)
+        try:
+            arrived = _drive(t11, 4, tampered)
+        except (RoutingLoopError, ValueError, RuntimeError, KeyError):
+            return
+        assert arrived == v
+
+
+class TestValidation:
+    def test_validate_scheme_passes_on_healthy_scheme(self, scheme):
+        from repro.eval.validation import validate_scheme
+
+        result = validate_scheme(scheme, scheme.metric, sample=80, seed=3)
+        assert result.ok, result.problems
+        assert result.checked_pairs > 0
+        assert result.max_label_words >= 1
+
+    def test_validate_scheme_reports_bound_violations(self, scheme):
+        """Validation must flag a scheme whose advertised bound is a lie."""
+        from repro.eval.validation import validate_scheme
+
+        original = scheme.stretch_bound
+        scheme.stretch_bound = lambda: 1.0  # claim exactness
+        try:
+            result = validate_scheme(scheme, scheme.metric, sample=120, seed=4)
+        finally:
+            scheme.stretch_bound = original
+        assert not result.ok
+        assert any("exceeds" in p for p in result.problems)

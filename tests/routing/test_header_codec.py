@@ -1,0 +1,111 @@
+"""Header codec: exact round trips and true header bit measurement."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.graph.metric import MetricView
+from repro.routing.header_codec import decode, encode, encoded_bits
+from repro.routing.model import Deliver, Forward
+from repro.schemes import Stretch5PlusScheme, Warmup3Scheme
+
+headers = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(-(2**40), 2**40)
+    | st.text(max_size=8),
+    lambda children: st.tuples(children, children)
+    | st.tuples(children)
+    | st.tuples(children, children, children),
+    max_leaves=20,
+)
+
+
+class TestRoundTrip:
+    @given(headers)
+    @settings(max_examples=300, deadline=None)
+    def test_encode_decode_identity(self, header):
+        assert decode(encode(header)) == header
+
+    def test_scheme_shaped_headers(self):
+        shapes = [
+            None,
+            ("ball",),
+            ("torep", 17),
+            ("t1", ("seq", 2, (3, 4, 5), (7, ((1, 2), (3, 4))))),
+            ("t2", (0, (9, 8, 7, 6))),
+            ("tree", 12, (5, ())),
+        ]
+        for header in shapes:
+            assert decode(encode(header)) == header
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode([1, 2])  # lists are not header material
+
+    def test_truncated_rejected(self):
+        data = encode(("t1", 1234567))
+        with pytest.raises(ValueError):
+            decode(data[:-1])
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            decode(encode(5) + b"\x00")
+
+
+class TestVarint:
+    @given(st.integers(-(2**62), 2**62))
+    @settings(max_examples=200, deadline=None)
+    def test_integers_round_trip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_small_ints_are_small(self):
+        assert len(encode(0)) == 2  # tag + one varint byte
+        assert len(encode(63)) == 2
+        assert len(encode(10_000)) <= 4
+
+
+class TestRealHeaderBits:
+    """Measure true on-the-wire header bits of routed messages."""
+
+    def _max_header_bits(self, scheme, pairs):
+        worst = 0
+        for s, t in pairs:
+            header = None
+            cur = s
+            dest = scheme.label_of(t)
+            for _ in range(2000):
+                action = scheme.step(cur, header, dest)
+                if isinstance(action, Deliver):
+                    break
+                assert isinstance(action, Forward)
+                header = action.header
+                worst = max(worst, encoded_bits(header))
+                cur = scheme.ports.neighbor(cur, action.port)
+            else:
+                raise AssertionError("routing did not terminate")
+        return worst
+
+    def test_warmup_headers_logarithmic(self):
+        g = with_random_weights(erdos_renyi(70, 0.08, seed=501), seed=502)
+        scheme = Warmup3Scheme(g, eps=0.5, metric=MetricView(g), seed=1)
+        pairs = [(u, (u * 7 + 3) % 70) for u in range(0, 70, 3)]
+        bits = self._max_header_bits(scheme, [(u, v) for u, v in pairs if u != v])
+        # O((1/eps) log n) bits: generous numeric cap for eps=0.5, n=70
+        b = scheme.technique.b
+        cap = 8 * (2 * b + 6) * math.ceil(math.log2(70)) + 256
+        assert 0 < bits <= cap
+
+    def test_thm11_headers_bounded(self):
+        g = with_random_weights(erdos_renyi(70, 0.08, seed=503), seed=504)
+        metric = MetricView(g)
+        scheme = Stretch5PlusScheme(g, eps=0.6, metric=metric, seed=2)
+        pairs = [(u, (u * 11 + 5) % 70) for u in range(0, 70, 3)]
+        bits = self._max_header_bits(scheme, [(u, v) for u, v in pairs if u != v])
+        b = scheme.technique.b
+        log_nd = math.log2(max(2.0, 70 * metric.normalized_diameter()))
+        cap = 8 * (2 * b * (log_nd + 2) + 16) * math.ceil(math.log2(70))
+        assert 0 < bits <= cap

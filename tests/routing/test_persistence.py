@@ -1,0 +1,102 @@
+"""Routing-state serialization: exact round trips, deployable tables."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.graph.metric import MetricView
+from repro.routing.model import SizedTable
+from repro.routing.persistence import (
+    decode_value,
+    dumps,
+    encode_value,
+    export_table,
+    import_table,
+    loads,
+)
+from repro.routing.simulator import route
+from repro.schemes import Stretch5PlusScheme, Warmup3Scheme
+
+values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(-(2**50), 2**50)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=6),
+    lambda children: st.tuples(children, children) | st.tuples(children),
+    max_leaves=12,
+)
+
+
+class TestValueCodec:
+    @given(values)
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_through_json(self, value):
+        encoded = json.loads(json.dumps(encode_value(value)))
+        assert decode_value(encoded) == value
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            encode_value({1: 2})
+
+
+class TestTableRoundTrip:
+    def test_exact_words_preserved(self):
+        table = SizedTable(7)
+        table.put("ball", 3, 2)
+        table.put("seq", 12, ((1, 2, 3), None))
+        table.put("const", "hash_seed", 99)
+        table.put("xsect", (1, 2), 5)
+        rebuilt = import_table(json.loads(json.dumps(export_table(table))))
+        assert rebuilt.owner == 7
+        assert rebuilt.words_by_category() == table.words_by_category()
+        assert rebuilt.get("seq", 12) == ((1, 2, 3), None)
+        assert rebuilt.get("xsect", (1, 2)) == 5
+
+    def test_empty_table(self):
+        rebuilt = import_table(export_table(SizedTable(0)))
+        assert rebuilt.total_words() == 0
+
+
+class TestSchemeRoundTrip:
+    @pytest.fixture(scope="class")
+    def scheme(self):
+        g = with_random_weights(erdos_renyi(60, 0.09, seed=701), seed=702)
+        return Warmup3Scheme(g, eps=0.5, metric=MetricView(g), seed=3)
+
+    def test_state_survives_json(self, scheme):
+        state = loads(dumps(scheme))
+        assert state["n"] == 60
+        assert state["scheme"] == "Warmup3Scheme"
+        for v in range(60):
+            assert state["labels"][v] == scheme.label_of(v)
+            assert (
+                state["tables"][v].words_by_category()
+                == scheme.table_of(v).words_by_category()
+            )
+
+    def test_deployed_tables_route_identically(self, scheme):
+        """Swap the scheme's tables for deserialized ones; routes and
+        lengths must be identical — the state is self-contained."""
+        state = loads(dumps(scheme))
+        reference = [route(scheme, s, t).path for s, t in [(0, 41), (5, 59)]]
+        original = scheme._tables
+        scheme._tables = state["tables"]
+        try:
+            replayed = [route(scheme, s, t).path for s, t in [(0, 41), (5, 59)]]
+        finally:
+            scheme._tables = original
+        assert replayed == reference
+
+    def test_thm11_state_round_trips(self):
+        g = with_random_weights(erdos_renyi(50, 0.1, seed=703), seed=704)
+        scheme = Stretch5PlusScheme(g, eps=0.6, metric=MetricView(g), seed=4)
+        state = loads(dumps(scheme))
+        total_original = sum(
+            scheme.table_of(v).total_words() for v in range(50)
+        )
+        total_rebuilt = sum(t.total_words() for t in state["tables"])
+        assert total_rebuilt == total_original

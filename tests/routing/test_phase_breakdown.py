@@ -1,0 +1,58 @@
+"""Per-phase hop accounting: which routing phase moves the message.
+
+The schemes' case analyses split routes into legs — ball routing to a
+representative, a technique leg, a tree leg.  The simulator tags each hop
+with the header's phase, giving an empirical view of that decomposition.
+"""
+
+import pytest
+
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.graph.metric import MetricView
+from repro.routing.simulator import route
+from repro.schemes import Stretch5PlusScheme, Warmup3Scheme
+
+
+@pytest.fixture(scope="module")
+def world():
+    g = with_random_weights(erdos_renyi(90, 0.06, seed=601), seed=602)
+    return g, MetricView(g)
+
+
+class TestPhaseHops:
+    def test_hops_sum_matches(self, world):
+        g, metric = world
+        scheme = Warmup3Scheme(g, eps=0.5, metric=metric, seed=1)
+        for s, t in [(0, 50), (3, 77), (20, 64)]:
+            result = route(scheme, s, t)
+            assert sum(result.phase_hops.values()) == result.hops
+
+    def test_phases_are_known_tags(self, world):
+        g, metric = world
+        scheme = Warmup3Scheme(g, eps=0.5, metric=metric, seed=1)
+        seen = set()
+        for s in range(0, 90, 7):
+            for t in range(1, 90, 11):
+                if s == t:
+                    continue
+                seen |= set(route(scheme, s, t).phase_hops)
+        assert seen <= {"ball", "torep", "t1"}
+        assert "ball" in seen  # local traffic exists
+
+    def test_far_pairs_use_technique_leg(self, world):
+        g, metric = world
+        scheme = Stretch5PlusScheme(g, eps=0.6, metric=metric, seed=2)
+        technique_used = 0
+        for s in range(0, 90, 5):
+            for t in range(1, 90, 7):
+                if s == t:
+                    continue
+                hops = route(scheme, s, t).phase_hops
+                if "t2" in hops or "torep" in hops:
+                    technique_used += 1
+        assert technique_used > 0
+
+    def test_self_route_has_no_phases(self, world):
+        g, metric = world
+        scheme = Warmup3Scheme(g, eps=0.5, metric=metric, seed=1)
+        assert route(scheme, 5, 5).phase_hops == {}

@@ -1,0 +1,137 @@
+"""The message-routing simulator: delivery, loop detection, measurement."""
+
+import pytest
+
+from repro.graph.core import Graph
+from repro.graph.generators import cycle, grid
+from repro.graph.metric import MetricView
+from repro.routing.model import (
+    CompactRoutingScheme,
+    Deliver,
+    Forward,
+    SizedTable,
+)
+from repro.routing.ports import PortAssignment
+from repro.routing.simulator import RoutingLoopError, measure_stretch, route
+
+
+class _SpinScheme(CompactRoutingScheme):
+    """Deliberately broken scheme that walks a cycle forever."""
+
+    name = "spin"
+
+    def __init__(self, graph, ports):
+        super().__init__(graph, ports)
+        self._tables = [SizedTable(u) for u in graph.vertices()]
+
+    def label_of(self, v):
+        return v
+
+    def table_of(self, v):
+        return self._tables[v]
+
+    def step(self, u, header, dest_label):
+        return Forward(0, None)
+
+
+class _WrongDeliveryScheme(_SpinScheme):
+    name = "wrong-delivery"
+
+    def step(self, u, header, dest_label):
+        return Deliver()  # claims delivery wherever it is
+
+
+class _GreedyGridScheme(CompactRoutingScheme):
+    """Correct-by-construction greedy routing on a grid (for metrics)."""
+
+    name = "greedy-grid"
+
+    def __init__(self, graph, ports, cols):
+        super().__init__(graph, ports)
+        self.cols = cols
+        self._tables = [SizedTable(u) for u in graph.vertices()]
+
+    def label_of(self, v):
+        return v
+
+    def table_of(self, v):
+        return self._tables[v]
+
+    def step(self, u, header, dest_label):
+        if u == dest_label:
+            return Deliver()
+        r, c = divmod(u, self.cols)
+        tr, tc = divmod(dest_label, self.cols)
+        if r != tr:
+            nxt = u + self.cols if tr > r else u - self.cols
+        else:
+            nxt = u + 1 if tc > c else u - 1
+        return Forward(self.ports.port_to(u, nxt), header)
+
+
+@pytest.fixture()
+def grid_scheme():
+    g = grid(6, 6)
+    return _GreedyGridScheme(g, PortAssignment(g), 6), MetricView(g)
+
+
+class TestRoute:
+    def test_records_path_and_length(self, grid_scheme):
+        scheme, metric = grid_scheme
+        result = route(scheme, 0, 35)
+        assert result.delivered
+        assert result.path[0] == 0 and result.path[-1] == 35
+        assert result.hops == len(result.path) - 1
+        assert result.length == metric.d(0, 35)  # greedy is exact on grids
+
+    def test_loop_detected(self):
+        g = cycle(8)
+        scheme = _SpinScheme(g, PortAssignment(g))
+        with pytest.raises(RoutingLoopError):
+            route(scheme, 0, 4)
+
+    def test_wrong_delivery_detected(self):
+        g = cycle(8)
+        scheme = _WrongDeliveryScheme(g, PortAssignment(g))
+        with pytest.raises(RuntimeError):
+            route(scheme, 0, 4)
+
+    def test_self_route_zero_hops(self, grid_scheme):
+        scheme, _ = grid_scheme
+        result = route(scheme, 9, 9)
+        assert result.hops == 0 and result.length == 0.0
+
+
+class TestMeasureStretch:
+    def test_exact_scheme_reports_stretch_one(self, grid_scheme):
+        scheme, metric = grid_scheme
+        pairs = [(u, v) for u in range(0, 36, 5) for v in range(1, 36, 7) if u != v]
+        report = measure_stretch(scheme, metric, pairs)
+        assert report.max_stretch == pytest.approx(1.0)
+        assert report.avg_stretch == pytest.approx(1.0)
+        assert report.pairs == len(pairs)
+
+    def test_additive_over_accounting(self, grid_scheme):
+        scheme, metric = grid_scheme
+        report = measure_stretch(
+            scheme, metric, [(0, 35)], multiplicative_slack=1.0
+        )
+        assert report.max_additive_over == pytest.approx(0.0)
+
+    def test_worst_pair_recorded(self, grid_scheme):
+        scheme, metric = grid_scheme
+        report = measure_stretch(scheme, metric, [(0, 1), (0, 35)])
+        (s, t), routed, exact = report.worst
+        assert (s, t) in [(0, 1), (0, 35)]
+        assert routed == pytest.approx(exact)  # exact scheme
+
+    def test_zero_distance_pairs_skipped(self, grid_scheme):
+        scheme, metric = grid_scheme
+        report = measure_stretch(scheme, metric, [(3, 3), (0, 1)])
+        assert report.pairs == 1
+
+    def test_row_format(self, grid_scheme):
+        scheme, metric = grid_scheme
+        report = measure_stretch(scheme, metric, [(0, 1)])
+        row = report.row("demo")
+        assert "demo" in row and "stretch" in row

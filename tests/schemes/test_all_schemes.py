@@ -1,0 +1,159 @@
+"""Uniform contract tests over every routing scheme in the repository.
+
+For each scheme: build on suitable graphs, route a dense pair sample
+through the fixed-port simulator, and assert the theorem's (alpha, beta)
+stretch bound pair by pair — the reproduction's core claim.
+"""
+
+import pytest
+
+from repro.baselines.thorup_zwick import ThorupZwickScheme
+from repro.graph.generators import (
+    erdos_renyi,
+    grid,
+    ring_with_chords,
+    with_random_weights,
+)
+from repro.graph.metric import MetricView
+from repro.routing.ports import PortAssignment
+from repro.routing.simulator import measure_stretch, route
+from repro.schemes import (
+    GeneralMinusScheme,
+    GeneralPlusScheme,
+    NameIndependent3Eps,
+    Stretch2Plus1Scheme,
+    Stretch4kMinus7Scheme,
+    Stretch5PlusScheme,
+    Warmup3Scheme,
+)
+
+N = 64
+
+
+def _pairs(n, step_u=3, step_v=5):
+    return [
+        (u, v)
+        for u in range(0, n, step_u)
+        for v in range(1, n, step_v)
+        if u != v
+    ]
+
+
+def _unweighted_graphs():
+    return {
+        "er": erdos_renyi(N, 0.09, seed=101),
+        "grid": grid(8, 8),
+        "ring": ring_with_chords(N, 20, seed=102),
+    }
+
+
+def _weighted_graphs():
+    return {
+        "er-w": with_random_weights(erdos_renyi(N, 0.09, seed=103), seed=104),
+        "grid-w": with_random_weights(grid(8, 8), seed=105),
+    }
+
+
+# (factory, kwargs, weighted?) — every theorem of the paper + TZ baseline
+SCHEMES = [
+    pytest.param(Warmup3Scheme, {"eps": 0.5}, "both", id="warmup3"),
+    pytest.param(
+        Stretch2Plus1Scheme, {"eps": 0.5}, "unweighted", id="thm10"
+    ),
+    pytest.param(Stretch5PlusScheme, {"eps": 0.6}, "both", id="thm11"),
+    pytest.param(
+        GeneralMinusScheme, {"ell": 2, "eps": 1.0, "alpha": 0.6},
+        "unweighted", id="thm13-l2",
+    ),
+    pytest.param(
+        GeneralPlusScheme, {"ell": 2, "eps": 1.0, "alpha": 0.6},
+        "unweighted", id="thm15-l2",
+    ),
+    pytest.param(
+        Stretch4kMinus7Scheme, {"k": 3, "eps": 1.0}, "both", id="thm16-k3"
+    ),
+    pytest.param(NameIndependent3Eps, {"eps": 0.5}, "both", id="name-indep"),
+    pytest.param(ThorupZwickScheme, {"k": 2}, "both", id="tz-k2"),
+    pytest.param(ThorupZwickScheme, {"k": 3}, "both", id="tz-k3"),
+]
+
+
+def _bound_of(scheme):
+    bound = scheme.stretch_bound()
+    if isinstance(bound, tuple):
+        return bound
+    return (bound, 0.0)
+
+
+@pytest.mark.parametrize("factory,kwargs,kind", SCHEMES)
+class TestStretchBounds:
+    def test_unweighted_graphs(self, factory, kwargs, kind):
+        if kind == "weighted":
+            pytest.skip("weighted-only scheme")
+        for name, g in _unweighted_graphs().items():
+            metric = MetricView(g)
+            scheme = factory(g, metric=metric, seed=7, **kwargs)
+            alpha, beta = _bound_of(scheme)
+            report = measure_stretch(
+                scheme, metric, _pairs(g.n), multiplicative_slack=alpha
+            )
+            assert report.max_additive_over <= beta + 1e-9, (
+                f"{scheme.name} on {name}: worst {report.worst}"
+            )
+
+    def test_weighted_graphs(self, factory, kwargs, kind):
+        if kind == "unweighted":
+            pytest.skip("unweighted-only scheme")
+        for name, g in _weighted_graphs().items():
+            metric = MetricView(g)
+            scheme = factory(g, metric=metric, seed=7, **kwargs)
+            alpha, beta = _bound_of(scheme)
+            report = measure_stretch(
+                scheme, metric, _pairs(g.n), multiplicative_slack=alpha
+            )
+            assert report.max_additive_over <= beta + 1e-6, (
+                f"{scheme.name} on {name}: worst {report.worst}"
+            )
+
+
+@pytest.mark.parametrize("factory,kwargs,kind", SCHEMES)
+def test_shuffled_ports(factory, kwargs, kind):
+    """No scheme may depend on a friendly port numbering."""
+    g = (
+        erdos_renyi(N, 0.09, seed=106)
+        if kind != "weighted"
+        else with_random_weights(erdos_renyi(N, 0.09, seed=106), seed=107)
+    )
+    metric = MetricView(g)
+    ports = PortAssignment(g, seed=12345)
+    scheme = factory(g, metric=metric, ports=ports, seed=7, **kwargs)
+    alpha, beta = _bound_of(scheme)
+    report = measure_stretch(
+        scheme, metric, _pairs(g.n, 5, 7), multiplicative_slack=alpha
+    )
+    assert report.max_additive_over <= beta + 1e-9
+
+
+@pytest.mark.parametrize("factory,kwargs,kind", SCHEMES)
+def test_every_pair_delivered(factory, kwargs, kind):
+    """All-pairs delivery on one small graph (no loops, right endpoint)."""
+    g = erdos_renyi(40, 0.12, seed=108)
+    metric = MetricView(g)
+    scheme = factory(g, metric=metric, seed=3, **kwargs)
+    for u in range(40):
+        for v in range(40):
+            result = route(scheme, u, v)
+            assert result.delivered
+
+
+@pytest.mark.parametrize("factory,kwargs,kind", SCHEMES)
+def test_deterministic_construction(factory, kwargs, kind):
+    """Same seed => identical tables and labels."""
+    g = erdos_renyi(40, 0.12, seed=109)
+    metric = MetricView(g)
+    s1 = factory(g, metric=metric, seed=5, **kwargs)
+    s2 = factory(g, metric=metric, seed=5, **kwargs)
+    for v in range(40):
+        assert s1.label_of(v) == s2.label_of(v)
+        t1, t2 = s1.table_of(v), s2.table_of(v)
+        assert t1.words_by_category() == t2.words_by_category()

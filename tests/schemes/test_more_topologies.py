@@ -1,0 +1,127 @@
+"""Scheme bounds on additional topology families.
+
+The uniform tests cover ER/grid/ring; these add the remaining generator
+families — torus (vertex-transitive, no boundary), caterpillar (tree with
+hair: unique paths, high eccentricity), preferential attachment (hubs),
+and weighted geometric graphs — so every family the library ships is
+exercised against at least two theorems.
+"""
+
+import pytest
+
+from repro.baselines.thorup_zwick import ThorupZwickScheme
+from repro.graph.generators import (
+    caterpillar,
+    preferential_attachment,
+    random_geometric,
+    torus,
+    with_random_weights,
+)
+from repro.graph.metric import MetricView
+from repro.routing.simulator import measure_stretch
+from repro.schemes import (
+    Stretch2Plus1Scheme,
+    Stretch5PlusScheme,
+    Warmup3Scheme,
+)
+
+
+def _check(scheme, metric, pairs):
+    bound = scheme.stretch_bound()
+    alpha, beta = bound if isinstance(bound, tuple) else (bound, 0.0)
+    report = measure_stretch(
+        scheme, metric, pairs, multiplicative_slack=alpha
+    )
+    assert report.max_additive_over <= beta + 1e-6, report.worst
+    return report
+
+
+def _pairs(n):
+    return [
+        (u, v)
+        for u in range(0, n, 4)
+        for v in range(1, n, 6)
+        if u != v
+    ]
+
+
+class TestTorus:
+    @pytest.fixture(scope="class")
+    def world(self):
+        g = torus(8, 8)
+        return g, MetricView(g)
+
+    def test_thm10(self, world):
+        g, m = world
+        _check(Stretch2Plus1Scheme(g, eps=0.5, metric=m, seed=1), m, _pairs(g.n))
+
+    def test_thm11_unit_weights(self, world):
+        g, m = world
+        _check(Stretch5PlusScheme(g, eps=0.6, metric=m, seed=1), m, _pairs(g.n))
+
+    def test_symmetry_of_tables(self, world):
+        """On a vertex-transitive torus, table sizes concentrate."""
+        g, m = world
+        scheme = Warmup3Scheme(g, eps=0.5, metric=m, seed=1)
+        words = [scheme.table_of(v).total_words() for v in g.vertices()]
+        assert max(words) <= 2.5 * (sum(words) / len(words))
+
+
+class TestCaterpillar:
+    @pytest.fixture(scope="class")
+    def world(self):
+        g = caterpillar(16, 3)  # 64 vertices, unique shortest paths
+        return g, MetricView(g)
+
+    def test_warmup(self, world):
+        g, m = world
+        _check(Warmup3Scheme(g, eps=0.5, metric=m, seed=2), m, _pairs(g.n))
+
+    def test_thm10(self, world):
+        g, m = world
+        _check(Stretch2Plus1Scheme(g, eps=0.5, metric=m, seed=2), m, _pairs(g.n))
+
+    def test_tz(self, world):
+        g, m = world
+        _check(ThorupZwickScheme(g, k=2, metric=m, seed=2), m, _pairs(g.n))
+
+
+class TestPreferentialAttachment:
+    @pytest.fixture(scope="class")
+    def world(self):
+        g = preferential_attachment(70, 2, seed=3)
+        return g, MetricView(g)
+
+    def test_thm10_with_hubs(self, world):
+        g, m = world
+        _check(Stretch2Plus1Scheme(g, eps=0.5, metric=m, seed=3), m, _pairs(g.n))
+
+    def test_thm11_weighted_hubs(self, world):
+        g, _ = world
+        gw = with_random_weights(g, seed=33)
+        mw = MetricView(gw)
+        _check(Stretch5PlusScheme(gw, eps=0.6, metric=mw, seed=3), mw, _pairs(gw.n))
+
+    def test_hub_tables_not_pathological(self, world):
+        """Fixed-port model: a hub's table must not scale with its degree
+        beyond the ball/cluster terms (ports are ints, not edge lists)."""
+        g, m = world
+        scheme = Warmup3Scheme(g, eps=0.5, metric=m, seed=3)
+        hub = max(g.vertices(), key=g.degree)
+        leaf = min(g.vertices(), key=g.degree)
+        hub_words = scheme.table_of(hub).total_words()
+        leaf_words = scheme.table_of(leaf).total_words()
+        assert hub_words <= 4 * leaf_words + 200
+
+
+class TestGeometric:
+    def test_thm11_euclidean_weights(self):
+        g = random_geometric(70, 0.22, seed=4)
+        m = MetricView(g)
+        scheme = Stretch5PlusScheme(g, eps=0.6, metric=m, seed=4)
+        _check(scheme, m, _pairs(g.n))
+
+    def test_warmup_euclidean_weights(self):
+        g = random_geometric(70, 0.22, seed=5)
+        m = MetricView(g)
+        _check(Warmup3Scheme(g, eps=0.5, metric=m, seed=5), m, _pairs(g.n))

@@ -1,0 +1,83 @@
+"""Wider parameter coverage: higher l and k values of the general schemes.
+
+The uniform tests pin l=2 / k<=4; the theorems are stated for all l>1 and
+k>=3, so the interesting next rungs get their own (slower) checks here.
+"""
+
+import pytest
+
+from repro.baselines.thorup_zwick import ThorupZwickScheme
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.graph.metric import MetricView
+from repro.routing.simulator import measure_stretch
+from repro.schemes import (
+    GeneralMinusScheme,
+    GeneralPlusScheme,
+    Stretch4kMinus7Scheme,
+)
+
+
+def _pairs(n):
+    return [
+        (u, v) for u in range(0, n, 4) for v in range(1, n, 6) if u != v
+    ]
+
+
+@pytest.fixture(scope="module")
+def unweighted():
+    g = erdos_renyi(90, 0.06, seed=1001)
+    return g, MetricView(g)
+
+
+@pytest.fixture(scope="module")
+def weighted(unweighted):
+    g, _ = unweighted
+    gw = with_random_weights(g, seed=1002)
+    return gw, MetricView(gw)
+
+
+class TestGeneralizedHigherEll:
+    @pytest.mark.parametrize("ell", [3, 4])
+    def test_minus(self, unweighted, ell):
+        g, m = unweighted
+        s = GeneralMinusScheme(g, ell=ell, eps=1.0, alpha=0.5, metric=m, seed=5)
+        alpha, beta = s.stretch_bound()
+        rep = measure_stretch(s, m, _pairs(g.n), multiplicative_slack=alpha)
+        assert rep.max_additive_over <= beta + 1e-9
+
+    @pytest.mark.parametrize("ell", [3])
+    def test_plus(self, unweighted, ell):
+        g, m = unweighted
+        s = GeneralPlusScheme(g, ell=ell, eps=1.0, alpha=0.5, metric=m, seed=5)
+        alpha, beta = s.stretch_bound()
+        rep = measure_stretch(s, m, _pairs(g.n), multiplicative_slack=alpha)
+        assert rep.max_additive_over <= beta + 1e-9
+
+    def test_minus_stretch_improves_with_ell(self, unweighted):
+        """(3-2/l) tightens toward 3 as l grows: bound ordering."""
+        g, m = unweighted
+        bounds = [
+            GeneralMinusScheme(
+                g, ell=ell, eps=1.0, alpha=0.5, metric=m, seed=5
+            ).stretch_bound()[0]
+            for ell in (2, 3)
+        ]
+        assert bounds[0] < bounds[1]  # 2+eps < 2.33+eps
+
+
+class TestTheorem16HigherK:
+    @pytest.mark.parametrize("k", [5])
+    def test_k5(self, weighted, k):
+        g, m = weighted
+        s = Stretch4kMinus7Scheme(g, k=k, eps=1.0, metric=m, seed=6)
+        rep = measure_stretch(
+            s, m, _pairs(g.n), multiplicative_slack=s.stretch_bound()
+        )
+        assert rep.max_additive_over <= 1e-6
+
+    def test_always_two_better_than_tz(self, weighted):
+        g, m = weighted
+        for k in (3, 4, 5):
+            t16 = Stretch4kMinus7Scheme(g, k=k, eps=1.0, metric=m, seed=7)
+            tz = ThorupZwickScheme(g, k=k, metric=m, seed=7)
+            assert t16.stretch_bound() == tz.stretch_bound() - 2 + 1.0

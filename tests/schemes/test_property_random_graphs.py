@@ -1,0 +1,92 @@
+"""Hypothesis property tests: theorem bounds over random graph draws.
+
+Each property draws a random connected graph (topology seed, density,
+weight seed) and checks the scheme's ``(alpha, beta)`` guarantee over a
+pair sample.  This complements the fixed-graph tests with breadth: many
+topologies, many constructions, shrinkable counterexamples.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.graph.metric import MetricView
+from repro.routing.simulator import measure_stretch
+from repro.schemes import (
+    Stretch2Plus1Scheme,
+    Stretch5PlusScheme,
+    Warmup3Scheme,
+)
+from repro.baselines.thorup_zwick import ThorupZwickScheme
+
+_SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _sample(n, k=60):
+    return [
+        ((7 * i) % n, (11 * i + 3) % n)
+        for i in range(k)
+        if (7 * i) % n != (11 * i + 3) % n
+    ]
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    density=st.sampled_from([0.08, 0.12, 0.2]),
+)
+@settings(**_SETTINGS)
+def test_warmup3_random_weighted(seed, density):
+    g = with_random_weights(
+        erdos_renyi(36, density, seed=seed), seed=seed + 1
+    )
+    metric = MetricView(g)
+    scheme = Warmup3Scheme(g, eps=0.5, metric=metric, seed=seed % 17)
+    report = measure_stretch(
+        scheme, metric, _sample(36), multiplicative_slack=3.5
+    )
+    assert report.max_additive_over <= 1e-9
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(**_SETTINGS)
+def test_thm10_random_unweighted(seed):
+    g = erdos_renyi(36, 0.12, seed=seed)
+    metric = MetricView(g)
+    scheme = Stretch2Plus1Scheme(g, eps=0.5, metric=metric, seed=seed % 13)
+    report = measure_stretch(
+        scheme, metric, _sample(36), multiplicative_slack=2.5
+    )
+    assert report.max_additive_over <= 1.0 + 1e-9
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(**_SETTINGS)
+def test_thm11_random_weighted(seed):
+    g = with_random_weights(
+        erdos_renyi(36, 0.12, seed=seed), seed=seed + 2
+    )
+    metric = MetricView(g)
+    scheme = Stretch5PlusScheme(g, eps=0.6, metric=metric, seed=seed % 11)
+    report = measure_stretch(
+        scheme, metric, _sample(36), multiplicative_slack=5.6
+    )
+    assert report.max_additive_over <= 1e-6
+
+
+@given(seed=st.integers(0, 10_000), k=st.sampled_from([2, 3]))
+@settings(**_SETTINGS)
+def test_tz_random_weighted(seed, k):
+    g = with_random_weights(
+        erdos_renyi(36, 0.12, seed=seed), seed=seed + 3
+    )
+    metric = MetricView(g)
+    scheme = ThorupZwickScheme(g, k=k, metric=metric, seed=seed % 7)
+    report = measure_stretch(
+        scheme, metric, _sample(36), multiplicative_slack=4 * k - 5
+    )
+    assert report.max_additive_over <= 1e-6

@@ -1,0 +1,213 @@
+"""Per-theorem detail tests: labels, headers, table structure, edge cases."""
+
+import math
+
+import pytest
+
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.graph.metric import MetricView
+from repro.routing.simulator import measure_stretch, route
+from repro.schemes import (
+    GeneralMinusScheme,
+    GeneralPlusScheme,
+    NameIndependent3Eps,
+    Stretch2Plus1Scheme,
+    Stretch4kMinus7Scheme,
+    Stretch5PlusScheme,
+    Warmup3Scheme,
+)
+
+
+@pytest.fixture(scope="module")
+def ug():
+    return erdos_renyi(72, 0.08, seed=201)
+
+
+@pytest.fixture(scope="module")
+def ug_metric(ug):
+    return MetricView(ug)
+
+
+@pytest.fixture(scope="module")
+def wg(ug):
+    return with_random_weights(ug, seed=202)
+
+
+@pytest.fixture(scope="module")
+def wg_metric(wg):
+    return MetricView(wg)
+
+
+class TestWarmup3:
+    def test_label_is_two_words(self, wg, wg_metric):
+        s = Warmup3Scheme(wg, eps=0.5, metric=wg_metric, seed=1)
+        for v in range(wg.n):
+            assert len(s.label_of(v)) == 2
+            assert s.label_of(v)[0] == v
+
+    def test_ball_local_pairs_exact(self, wg, wg_metric):
+        s = Warmup3Scheme(wg, eps=0.5, metric=wg_metric, seed=1)
+        for u in range(0, wg.n, 7):
+            for v in s.family.ball(u):
+                if v != u:
+                    assert route(s, u, v).length == pytest.approx(
+                        wg_metric.d(u, v)
+                    )
+
+    def test_invalid_eps_rejected(self, wg, wg_metric):
+        with pytest.raises(ValueError):
+            Warmup3Scheme(wg, eps=0.0, metric=wg_metric)
+
+
+class TestTheorem10:
+    def test_requires_unweighted(self, wg, wg_metric):
+        with pytest.raises(ValueError):
+            Stretch2Plus1Scheme(wg, metric=wg_metric)
+
+    def test_intersection_pairs_exact(self, ug, ug_metric):
+        """Pairs with a stored intersection route on exact shortest paths."""
+        s = Stretch2Plus1Scheme(ug, eps=0.5, metric=ug_metric, seed=2)
+        checked = 0
+        for u in range(ug.n):
+            for v in range(ug.n):
+                if u != v and s.table_of(u).has("xsect", v):
+                    assert route(s, u, v).length == pytest.approx(
+                        ug_metric.d(u, v)
+                    )
+                    checked += 1
+        assert checked > 0
+
+    def test_label_holds_pivot_data(self, ug, ug_metric):
+        s = Stretch2Plus1Scheme(ug, eps=0.5, metric=ug_metric, seed=2)
+        for v in range(0, ug.n, 5):
+            vv, color, pivot, pdist, tlabel = s.label_of(v)
+            assert vv == v
+            assert pivot in s.landmarks
+            assert pdist == int(round(ug_metric.d(v, pivot)))
+
+    def test_cluster_bound_from_lemma4(self, ug, ug_metric):
+        s = Stretch2Plus1Scheme(ug, eps=0.5, metric=ug_metric, seed=2)
+        bound = 4 * ug.n / (ug.n / s.q)
+        assert s.bunches.max_cluster_size() <= bound
+
+
+class TestTheorem11:
+    def test_own_cluster_pairs_exact(self, wg, wg_metric):
+        s = Stretch5PlusScheme(wg, eps=0.6, metric=wg_metric, seed=3)
+        checked = 0
+        for u in range(wg.n):
+            for v in s.bunches.cluster(u):
+                if u != v:
+                    assert route(s, u, v).length == pytest.approx(
+                        wg_metric.d(u, v)
+                    )
+                    checked += 1
+        assert checked > 0
+
+    def test_label_is_four_words(self, wg, wg_metric):
+        s = Stretch5PlusScheme(wg, eps=0.6, metric=wg_metric, seed=3)
+        for v in range(wg.n):
+            label = s.label_of(v)
+            assert len(label) == 4
+            assert label[0] == v
+
+    def test_landmark_destinations(self, wg, wg_metric):
+        """Destinations that are landmarks exercise the p_A(v)=v path."""
+        s = Stretch5PlusScheme(wg, eps=0.6, metric=wg_metric, seed=3)
+        for v in s.landmarks[:8]:
+            for u in range(0, wg.n, 11):
+                if u != v:
+                    r = route(s, u, v)
+                    assert r.delivered
+                    assert r.length <= s.stretch_bound() * wg_metric.d(u, v) + 1e-9
+
+
+class TestGeneralized:
+    def test_requires_unweighted(self, wg, wg_metric):
+        with pytest.raises(ValueError):
+            GeneralMinusScheme(wg, metric=wg_metric)
+
+    def test_requires_ell_at_least_two(self, ug, ug_metric):
+        with pytest.raises(ValueError):
+            GeneralMinusScheme(ug, ell=1, metric=ug_metric)
+
+    def test_minus_beats_plus_on_stretch(self, ug, ug_metric):
+        minus = GeneralMinusScheme(
+            ug, ell=2, eps=1.0, alpha=0.6, metric=ug_metric, seed=4
+        )
+        plus = GeneralPlusScheme(
+            ug, ell=2, eps=1.0, alpha=0.6, metric=ug_metric, seed=4
+        )
+        assert minus.stretch_bound()[0] < plus.stretch_bound()[0]
+        # ... at the price of bigger tables
+        assert (
+            minus.stats().avg_table_words > plus.stats().avg_table_words
+        )
+
+    def test_nested_ball_families(self, ug, ug_metric):
+        s = GeneralMinusScheme(
+            ug, ell=2, eps=1.0, alpha=0.6, metric=ug_metric, seed=4
+        )
+        for i in range(len(s.families) - 1):
+            assert s.families[i].ell <= s.families[i + 1].ell
+
+    def test_landmark_sets_shrink_with_level(self, ug, ug_metric):
+        s = GeneralMinusScheme(
+            ug, ell=2, eps=1.0, alpha=0.6, metric=ug_metric, seed=4
+        )
+        # |L_i| = Õ(q^{2l-i-1}) decreases in i
+        assert len(s.landmark_sets[0]) >= len(s.landmark_sets[2]) - 5
+
+
+class TestTheorem16:
+    def test_requires_k_at_least_three(self, wg, wg_metric):
+        with pytest.raises(ValueError):
+            Stretch4kMinus7Scheme(wg, k=2, metric=wg_metric)
+
+    def test_beats_tz_bound_for_same_k(self, wg, wg_metric):
+        from repro.baselines.thorup_zwick import ThorupZwickScheme
+
+        k = 3
+        tz = ThorupZwickScheme(wg, k=k, metric=wg_metric, seed=5)
+        t16 = Stretch4kMinus7Scheme(
+            wg, k=k, eps=1.0, metric=wg_metric, seed=5
+        )
+        assert t16.stretch_bound() < tz.stretch_bound()
+
+    def test_label_carries_partition_index(self, wg, wg_metric):
+        s = Stretch4kMinus7Scheme(wg, k=3, eps=1.0, metric=wg_metric, seed=5)
+        for v in range(0, wg.n, 9):
+            vv, entries, part = s.label_of(v)
+            assert vv == v
+            assert len(entries) == 3
+            assert 0 <= part < s.q
+
+
+class TestNameIndependent:
+    def test_label_is_just_the_name(self, wg, wg_metric):
+        s = NameIndependent3Eps(wg, eps=0.5, metric=wg_metric, seed=6)
+        for v in range(wg.n):
+            assert s.label_of(v) == v
+
+    def test_colors_recomputable_from_name(self, wg, wg_metric):
+        from repro.structures.coloring import hash_color
+
+        s = NameIndependent3Eps(wg, eps=0.5, metric=wg_metric, seed=6)
+        for v in range(wg.n):
+            assert s.colors[v] == hash_color(v, s.q, s.hash_seed)
+
+
+class TestHeaderSizes:
+    def test_headers_logarithmic(self, wg, wg_metric):
+        """Headers stay O(b + log) words — never grow with the path."""
+        s = Stretch5PlusScheme(wg, eps=0.6, metric=wg_metric, seed=3)
+        report = measure_stretch(
+            s,
+            wg_metric,
+            [(u, v) for u in range(0, wg.n, 3) for v in range(1, wg.n, 4) if u != v],
+            multiplicative_slack=s.stretch_bound(),
+        )
+        b = s.technique.b
+        logd = math.log2(max(2.0, wg_metric.n * wg_metric.normalized_diameter()))
+        cap = 2 * b * (logd + 2) + 16
+        assert report.max_header_words <= cap

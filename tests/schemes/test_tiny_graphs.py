@@ -1,0 +1,82 @@
+"""Tiny and degenerate graphs: every scheme must either work or reject
+its preconditions loudly.
+
+On a 2-vertex path there is nothing to route compactly, but a production
+library must not loop, misdeliver or crash obscurely on such inputs.
+"""
+
+import pytest
+
+from repro.baselines.thorup_zwick import ThorupZwickScheme
+from repro.graph.core import Graph
+from repro.graph.generators import complete, cycle, path, star
+from repro.graph.metric import MetricView
+from repro.routing.simulator import route
+from repro.schemes import (
+    GeneralMinusScheme,
+    GeneralPlusScheme,
+    NameIndependent3Eps,
+    Stretch2Plus1Scheme,
+    Stretch4kMinus7Scheme,
+    Stretch5PlusScheme,
+    Warmup3Scheme,
+)
+from repro.structures.coloring import ColoringError
+
+TINY_GRAPHS = [
+    pytest.param(path(2), id="P2"),
+    pytest.param(path(3), id="P3"),
+    pytest.param(complete(3), id="K3"),
+    pytest.param(star(5), id="star5"),
+    pytest.param(cycle(5), id="C5"),
+]
+
+ALWAYS_WORK = [
+    pytest.param(Warmup3Scheme, {}, id="warmup3"),
+    pytest.param(Stretch2Plus1Scheme, {}, id="thm10"),
+    pytest.param(Stretch5PlusScheme, {}, id="thm11"),
+    pytest.param(NameIndependent3Eps, {}, id="name-indep"),
+    pytest.param(ThorupZwickScheme, {"k": 2}, id="tz2"),
+    pytest.param(Stretch4kMinus7Scheme, {"k": 3}, id="thm16"),
+]
+
+
+@pytest.mark.parametrize("graph", TINY_GRAPHS)
+@pytest.mark.parametrize("factory,kwargs", ALWAYS_WORK)
+def test_tiny_graph_all_pairs_exact_delivery(graph, factory, kwargs):
+    metric = MetricView(graph)
+    scheme = factory(graph, metric=metric, seed=1, **kwargs)
+    for u in graph.vertices():
+        for v in graph.vertices():
+            result = route(scheme, u, v)
+            assert result.delivered
+            # tiny graphs collapse every structure into exact balls
+            assert result.length <= 8 * metric.d(u, v) + 2 + 1e-9
+
+
+@pytest.mark.parametrize("factory", [GeneralMinusScheme, GeneralPlusScheme])
+def test_generalized_reject_too_small_graphs_loudly(factory):
+    """P2's single-vertex balls cannot host a 2-coloring: the scheme must
+    fail with the documented ColoringError, not misbehave."""
+    g = path(2)
+    with pytest.raises(ColoringError):
+        factory(g, ell=2, metric=MetricView(g), seed=1)
+
+
+@pytest.mark.parametrize("factory,kwargs", ALWAYS_WORK)
+def test_single_vertex_graph(factory, kwargs):
+    g = Graph(1)
+    metric = MetricView(g)
+    scheme = factory(g, metric=metric, seed=1, **kwargs)
+    assert route(scheme, 0, 0).delivered
+
+
+def test_empty_graph_rejected():
+    with pytest.raises(ValueError):
+        Warmup3Scheme(Graph(0))
+
+
+def test_disconnected_graph_rejected():
+    g = Graph.from_edges(4, [(0, 1), (2, 3)])
+    with pytest.raises(ValueError):
+        Warmup3Scheme(g)

@@ -1,0 +1,90 @@
+"""The Lemma 6 coloring and its name-independent hash variant."""
+
+import pytest
+
+from repro.structures.balls import BallFamily
+from repro.structures.coloring import (
+    ColoringError,
+    color_classes,
+    find_coloring,
+    find_hash_coloring,
+    hash_color,
+    verify_coloring,
+)
+
+
+def _ball_sets(metric, ell):
+    fam = BallFamily(metric, ell)
+    return [fam.ball(u) for u in range(metric.n)]
+
+
+class TestFindColoring:
+    def test_requirements_on_balls(self, metric_er):
+        q = 4
+        sets = _ball_sets(metric_er, 16)
+        colors = find_coloring(sets, metric_er.n, q, seed=1)
+        # requirement 1: every ball has every color
+        for s in sets:
+            assert {colors[v] for v in s} == set(range(q))
+        # requirement 2: balanced classes
+        classes = color_classes(colors, q)
+        assert max(len(c) for c in classes) <= 4 * metric_er.n / q
+
+    def test_deterministic_for_seed(self, metric_er):
+        sets = _ball_sets(metric_er, 16)
+        assert find_coloring(sets, metric_er.n, 4, seed=9) == find_coloring(
+            sets, metric_er.n, 4, seed=9
+        )
+
+    def test_single_color_trivial(self, metric_er):
+        sets = _ball_sets(metric_er, 3)
+        colors = find_coloring(sets, metric_er.n, 1, seed=0)
+        assert set(colors) == {0}
+
+    def test_too_small_sets_rejected(self):
+        with pytest.raises(ColoringError):
+            find_coloring([[0, 1]], 10, 5)
+
+    def test_classes_partition_everything(self, metric_er):
+        sets = _ball_sets(metric_er, 16)
+        colors = find_coloring(sets, metric_er.n, 4, seed=2)
+        classes = color_classes(colors, 4)
+        assert sorted(v for cls in classes for v in cls) == list(
+            range(metric_er.n)
+        )
+
+
+class TestVerifyColoring:
+    def test_detects_missing_color(self):
+        assert not verify_coloring([0, 0, 0], [[0, 1, 2]], 2)
+
+    def test_detects_imbalance(self):
+        colors = [0] * 9 + [1]
+        assert not verify_coloring(
+            colors, [[0, 9]], 2, max_class_size=4.0
+        )
+
+    def test_accepts_valid(self):
+        assert verify_coloring([0, 1, 0, 1], [[0, 1], [2, 3]], 2)
+
+
+class TestHashColoring:
+    def test_stable_across_calls(self):
+        assert hash_color(17, 8, 3) == hash_color(17, 8, 3)
+
+    def test_in_range(self):
+        for v in range(100):
+            assert 0 <= hash_color(v, 7, 5) < 7
+
+    def test_find_hash_coloring_valid(self, metric_er):
+        sets = _ball_sets(metric_er, 20)
+        seed, colors = find_hash_coloring(sets, metric_er.n, 3, seed=1)
+        for s in sets:
+            assert {colors[v] for v in s} == {0, 1, 2}
+        # colors are recomputable from the name + seed alone
+        for v in range(metric_er.n):
+            assert colors[v] == hash_color(v, 3, seed)
+
+    def test_hash_coloring_too_small_rejected(self):
+        with pytest.raises(ColoringError):
+            find_hash_coloring([[0]], 10, 3)

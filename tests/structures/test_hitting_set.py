@@ -1,0 +1,81 @@
+"""Hitting sets (Lemma 5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.hitting_set import (
+    greedy_hitting_set,
+    random_hitting_set,
+    verify_hitting_set,
+)
+
+
+class TestGreedy:
+    def test_hits_everything(self):
+        sets = [[0, 1, 2], [2, 3, 4], [4, 5, 6], [0, 6]]
+        h = greedy_hitting_set(sets)
+        assert verify_hitting_set(set(h), sets)
+
+    def test_picks_popular_element(self):
+        sets = [[0, i] for i in range(1, 6)]
+        assert greedy_hitting_set(sets) == [0]
+
+    def test_deterministic(self):
+        sets = [[0, 1], [1, 2], [2, 3], [3, 0]]
+        assert greedy_hitting_set(sets) == greedy_hitting_set(sets)
+
+    def test_empty_input(self):
+        assert greedy_hitting_set([]) == []
+
+    def test_skips_empty_sets(self):
+        assert greedy_hitting_set([[], [1]]) == [1]
+
+    def test_size_reasonable(self):
+        # 20 disjoint sets need >= 20 hitters; overlapping ones far fewer.
+        disjoint = [[i, 100 + i] for i in range(20)]
+        assert len(greedy_hitting_set(disjoint)) == 20
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 30), min_size=1, max_size=8),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_valid(self, sets):
+        h = greedy_hitting_set(sets)
+        assert verify_hitting_set(set(h), sets)
+
+
+class TestRandom:
+    def test_hits_everything(self):
+        sets = [list(range(i, i + 10)) for i in range(0, 50, 5)]
+        h = random_hitting_set(sets, 60, seed=3)
+        assert verify_hitting_set(set(h), sets)
+
+    def test_deterministic_for_seed(self):
+        sets = [list(range(i, i + 10)) for i in range(0, 50, 5)]
+        assert random_hitting_set(sets, 60, seed=3) == random_hitting_set(
+            sets, 60, seed=3
+        )
+
+    def test_empty_input(self):
+        assert random_hitting_set([], 10) == []
+
+    def test_ball_workload(self, metric_er):
+        """Realistic use: hit every ball of a BallFamily."""
+        from repro.structures.balls import BallFamily
+
+        fam = BallFamily(metric_er, 10)
+        balls = [fam.ball(u) for u in range(metric_er.n)]
+        greedy = greedy_hitting_set(balls)
+        assert verify_hitting_set(set(greedy), balls)
+        # Õ(n/s) sanity: greedy needs far fewer hitters than vertices.
+        assert len(greedy) < metric_er.n / 2
+        sampled = random_hitting_set(balls, metric_er.n, seed=1)
+        assert verify_hitting_set(set(sampled), balls)
+        # The random variant carries the full ln(k) factor, which dominates
+        # at n=80; only validity is asserted here.
+        assert len(sampled) <= metric_er.n

@@ -1,0 +1,58 @@
+"""Cluster-bounded sampling (Lemma 4)."""
+
+import pytest
+
+from repro.structures.sampling import cluster_sizes, sample_cluster_bounded
+
+
+class TestClusterSizes:
+    def test_empty_landmarks_gives_full_clusters(self, metric_er):
+        sizes = cluster_sizes(metric_er, [])
+        assert all(s == metric_er.n for s in sizes)
+
+    def test_all_landmarks_gives_empty_clusters(self, metric_er):
+        sizes = cluster_sizes(metric_er, list(range(metric_er.n)))
+        assert all(s == 0 for s in sizes)
+
+    def test_landmark_clusters_empty(self, metric_er):
+        a = [0, 5, 9]
+        sizes = cluster_sizes(metric_er, a)
+        for w in a:
+            assert sizes[w] == 0
+
+
+class TestSampling:
+    @pytest.mark.parametrize("s", [4.0, 8.0, 20.0])
+    def test_postcondition_holds(self, metric_er, s):
+        a = sample_cluster_bounded(metric_er, s, seed=1)
+        sizes = cluster_sizes(metric_er, a)
+        assert sizes.max() <= 4.0 * metric_er.n / s
+
+    def test_postcondition_weighted(self, metric_er_weighted):
+        a = sample_cluster_bounded(metric_er_weighted, 10.0, seed=2)
+        sizes = cluster_sizes(metric_er_weighted, a)
+        assert sizes.max() <= 4.0 * metric_er_weighted.n / 10.0
+
+    def test_deterministic_for_seed(self, metric_er):
+        assert sample_cluster_bounded(metric_er, 8.0, seed=5) == \
+            sample_cluster_bounded(metric_er, 8.0, seed=5)
+
+    def test_size_scales_with_s(self, metric_er):
+        small = sample_cluster_bounded(metric_er, 4.0, seed=3)
+        large = sample_cluster_bounded(metric_er, 30.0, seed=3)
+        assert len(small) <= len(large) + 5  # generous slack for randomness
+
+    def test_invalid_s_rejected(self, metric_er):
+        with pytest.raises(ValueError):
+            sample_cluster_bounded(metric_er, 0.0)
+
+    def test_custom_bound_factor(self, metric_er):
+        a = sample_cluster_bounded(metric_er, 8.0, seed=4, bound_factor=2.0)
+        sizes = cluster_sizes(metric_er, a)
+        assert sizes.max() <= 2.0 * metric_er.n / 8.0
+
+    def test_huge_s_means_dense_sample(self, metric_er):
+        n = metric_er.n
+        a = sample_cluster_bounded(metric_er, float(n), seed=6)
+        sizes = cluster_sizes(metric_er, a)
+        assert sizes.max() <= 4

@@ -1,0 +1,43 @@
+"""Smoke tests of the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestRoute:
+    def test_route_prints_path(self, capsys):
+        rc = main(
+            ["route", "--scheme", "tz2", "--n", "80", "--target", "33"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "route 0 -> 33" in out
+        assert "stretch" in out
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["route", "--scheme", "nope"])
+
+
+class TestValidate:
+    def test_validate_ok(self, capsys):
+        rc = main(
+            ["validate", "--scheme", "warmup3", "--n", "80",
+             "--pairs", "60"]
+        )
+        assert rc == 0
+        assert "validation: OK" in capsys.readouterr().out
+
+    def test_thm10_on_geo_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["validate", "--scheme", "thm10", "--family", "geo"])
+
+
+class TestTable1:
+    def test_table1_runs(self, capsys):
+        rc = main(["table1", "--n", "90", "--pairs", "80"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Thm 11" in out

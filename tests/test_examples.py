@@ -1,0 +1,61 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Each example's ``main()`` is executed in-process; assertions inside the
+examples (bound checks) double as test assertions.  The heavier examples
+are exercised with their default parameters — they are sized to finish in
+seconds.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs(capsys):
+    _load("quickstart").main()
+    out = capsys.readouterr().out
+    assert "max stretch" in out
+    assert "routing tables" in out
+
+
+def test_name_independent_dht_runs(capsys):
+    _load("name_independent_dht").main()
+    out = capsys.readouterr().out
+    assert "name-independent" in out
+    assert "1 word" in out
+
+
+@pytest.mark.slow
+def test_sensor_grid_runs(capsys):
+    _load("sensor_grid").main()
+    out = capsys.readouterr().out
+    assert "Theorem 11" in out
+
+
+@pytest.mark.slow
+def test_isp_topology_runs(capsys):
+    _load("isp_topology").main()
+    out = capsys.readouterr().out
+    assert "headline" in out
+
+
+def test_compare_schemes_runs(capsys, monkeypatch):
+    module = _load("compare_schemes")
+    monkeypatch.setattr(
+        sys, "argv", ["compare_schemes.py", "--n", "80", "--pairs", "60"]
+    )
+    module.main()
+    out = capsys.readouterr().out
+    assert "measured on family=er" in out
+    assert "VIOLATION" not in out

@@ -1,0 +1,111 @@
+"""Cross-module integration tests: the full paper pipeline on one graph.
+
+These tests mirror how a downstream user composes the library: one graph,
+one shared metric, several schemes and oracles, compared against each other
+the way the paper's Table 1 does.
+"""
+
+import pytest
+
+from repro.baselines.pr_oracle import PROracle
+from repro.baselines.thorup_zwick import ThorupZwickScheme
+from repro.baselines.tz_oracle import TZOracle
+from repro.eval.harness import evaluate_oracle, evaluate_scheme
+from repro.eval.workloads import sample_pairs
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.graph.metric import MetricView
+from repro.schemes import (
+    Stretch2Plus1Scheme,
+    Stretch4kMinus7Scheme,
+    Stretch5PlusScheme,
+    Warmup3Scheme,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    g = erdos_renyi(90, 0.06, seed=301)
+    gw = with_random_weights(g, seed=302)
+    return {
+        "g": g,
+        "gw": gw,
+        "m": MetricView(g),
+        "mw": MetricView(gw),
+        "pairs": sample_pairs(90, 260, seed=303),
+    }
+
+
+def test_unweighted_table1_block(world):
+    """Theorem 10 must beat the unweighted baselines on stretch while using
+    more space than Theorem 11-class schemes — the Table 1 ordering."""
+    ev10 = evaluate_scheme(
+        world["g"], Stretch2Plus1Scheme, world["pairs"],
+        metric=world["m"], eps=0.5, seed=1,
+    )
+    ev_tz3 = evaluate_scheme(
+        world["g"], ThorupZwickScheme, world["pairs"],
+        metric=world["m"], k=3, seed=1,
+    )
+    assert ev10.within_bound and ev_tz3.within_bound
+    # (2+eps,1) routing is never worse than the 7-stretch baseline here
+    assert ev10.stretch.max_stretch <= ev_tz3.stretch.max_stretch + 1e-9
+
+
+def test_weighted_table1_block(world):
+    ev11 = evaluate_scheme(
+        world["gw"], Stretch5PlusScheme, world["pairs"],
+        metric=world["mw"], eps=0.6, seed=1,
+    )
+    ev16 = evaluate_scheme(
+        world["gw"], Stretch4kMinus7Scheme, world["pairs"],
+        metric=world["mw"], k=4, eps=1.0, seed=1,
+    )
+    ev_tz2 = evaluate_scheme(
+        world["gw"], ThorupZwickScheme, world["pairs"],
+        metric=world["mw"], k=2, seed=1,
+    )
+    assert ev11.within_bound and ev16.within_bound and ev_tz2.within_bound
+    # space ordering: 3-stretch TZ (n^1/2) uses more table space than the
+    # n^{1/4}-type Theorem 16 scheme
+    assert (
+        ev_tz2.stats.avg_table_words > ev16.stats.avg_table_words * 0.5
+    )
+
+
+def test_routing_almost_matches_oracle(world):
+    """The paper's headline: routing stretch ~ oracle stretch + eps."""
+    ev10 = evaluate_scheme(
+        world["g"], Stretch2Plus1Scheme, world["pairs"],
+        metric=world["m"], eps=0.5, seed=2,
+    )
+    ev_pr = evaluate_oracle(
+        world["g"], PROracle, world["pairs"], metric=world["m"], seed=2
+    )
+    assert ev_pr.within_bound
+    # the routed stretch is within eps + additive slack of the oracle's
+    assert ev10.stretch.max_stretch <= ev_pr.max_stretch + 0.5 + 1.0
+
+
+def test_oracle_vs_scheme_total_space(world):
+    """Oracles spend total space; schemes spend per-vertex space.
+
+    PR stores Õ(n^{5/3}) in total; Theorem 10 stores Õ(n^{2/3}) per vertex
+    = Õ(n^{5/3}) total as well — the two should be the same order."""
+    ev10 = evaluate_scheme(
+        world["g"], Stretch2Plus1Scheme, world["pairs"],
+        metric=world["m"], eps=0.5, seed=3,
+    )
+    pr = PROracle(world["g"], metric=world["m"], seed=3)
+    ratio = ev10.stats.total_table_words / max(pr.space_words()["total"], 1)
+    assert 0.05 < ratio < 50.0
+
+
+def test_shared_metric_consistency(world):
+    """All constructions on a shared MetricView agree on distances."""
+    s1 = Warmup3Scheme(world["gw"], eps=0.5, metric=world["mw"], seed=4)
+    s2 = Stretch5PlusScheme(world["gw"], eps=0.6, metric=world["mw"], seed=4)
+    assert s1.metric is world["mw"]
+    assert s2.metric is world["mw"]
+    o = TZOracle(world["gw"], k=2, metric=world["mw"], seed=4)
+    for u, v in world["pairs"][:50]:
+        assert o.query(u, v) >= world["mw"].d(u, v) - 1e-9

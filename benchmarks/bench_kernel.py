@@ -1,0 +1,205 @@
+"""CSR kernel benchmark: all-balls preprocessing time + lazy-metric memory.
+
+The tentpole claims of the flat-array kernel PR, measured:
+
+1. **Speed** — batched ``all_balls(g, ell)`` (the dominant preprocessing
+   step of every scheme) vs. the seed pure-Python path (a
+   ``truncated_dijkstra_py`` loop over the list-of-dicts ``Graph``), on the
+   canonical workload ``n ~ 2000``, ``m ~ 4n``, ``ell ~ sqrt(n log n)``.
+   Gate: >= 3x on the unweighted workload.
+2. **Memory** — peak traced allocation of ``MetricView(mode="lazy")`` +
+   ``BallFamily`` across an n-sweep vs. the dense mode, with the scaling
+   exponent ``log2(peak(2n)/peak(n))``.  Gate: sub-quadratic (< 2; dense
+   is quadratic by construction).
+
+Results land in ``BENCH_kernel.json`` at the repository root (full runs
+only — ``REPRO_BENCH_SMOKE=1`` shrinks the sizes for CI and skips the
+write so committed full-run numbers survive).  Runs under pytest
+(``pytest benchmarks/bench_kernel.py``) or standalone
+(``python benchmarks/bench_kernel.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import resource
+import time
+import tracemalloc
+
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.graph.metric import MetricView
+from repro.graph.shortest_paths import all_balls, truncated_dijkstra_py
+from repro.structures.balls import BallFamily
+
+from conftest import SMOKE, smoke_scale
+
+SECTION = "CSR kernel: all-balls speedup and lazy-metric memory"
+
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_kernel.json"
+)
+
+_RESULTS: dict = {}
+
+
+def _workload(n: int, *, weighted: bool = False, seed: int = 7):
+    """ER graph with m ~ 4n and the paper-style ball size sqrt(n log n)."""
+    g = erdos_renyi(n, 8.0 / (n - 1), seed=seed)
+    if weighted:
+        g = with_random_weights(g, seed=seed + 92)
+    ell = max(1, int(math.ceil(math.sqrt(n * math.log2(n)))))
+    return g, ell
+
+
+def _time_all_balls(n: int, *, weighted: bool) -> dict:
+    g, ell = _workload(n, weighted=weighted)
+    t0 = time.perf_counter()
+    pure = [truncated_dijkstra_py(g, u, ell)[0] for u in g.vertices()]
+    t_pure = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    kernel, _ = all_balls(g, ell)
+    t_kernel = time.perf_counter() - t0
+    assert kernel == pure, "kernel balls diverge from the pure reference"
+    return {
+        "n": n,
+        "m": g.m,
+        "ell": ell,
+        "weighted": weighted,
+        "pure_s": round(t_pure, 4),
+        "kernel_s": round(t_kernel, 4),
+        "speedup": round(t_pure / t_kernel, 2) if t_kernel > 0 else None,
+    }
+
+
+def _peak_ball_family(n: int, mode: str) -> dict:
+    """Peak traced allocation of metric + ball family construction."""
+    g, ell = _workload(n)
+    tracemalloc.start()
+    metric = MetricView(g, mode=mode)
+    family = BallFamily(metric, ell)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert family.n == n
+    return {
+        "n": n,
+        "ell": ell,
+        "mode": mode,
+        "peak_bytes": int(peak),
+        "peak_mb": round(peak / 2**20, 2),
+    }
+
+
+def run_speed(n: int) -> dict:
+    out = {
+        "unweighted": _time_all_balls(n, weighted=False),
+        "weighted": _time_all_balls(n, weighted=True),
+    }
+    _RESULTS["all_balls"] = out
+    return out
+
+
+def run_memory(sizes) -> dict:
+    lazy = [_peak_ball_family(n, "lazy") for n in sizes]
+    dense = _peak_ball_family(sizes[-1], "dense")
+    exponent = None
+    if len(lazy) >= 2 and lazy[-2]["peak_bytes"] > 0:
+        ratio = lazy[-1]["peak_bytes"] / lazy[-2]["peak_bytes"]
+        step = lazy[-1]["n"] / lazy[-2]["n"]
+        exponent = round(math.log(ratio, step), 3)
+    out = {
+        "lazy": lazy,
+        "dense_at_largest_n": dense,
+        "lazy_scaling_exponent": exponent,
+        "dense_over_lazy_peak": (
+            round(dense["peak_bytes"] / lazy[-1]["peak_bytes"], 2)
+            if lazy[-1]["peak_bytes"]
+            else None
+        ),
+        "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+    _RESULTS["lazy_memory"] = out
+    return out
+
+
+def _flush(smoke: bool) -> None:
+    if smoke or not _RESULTS:
+        return
+    _RESULTS["workload"] = (
+        "erdos_renyi(n, 8/(n-1), seed=7); ell = ceil(sqrt(n log2 n)); "
+        "pure path = truncated_dijkstra_py per source (seed implementation)"
+    )
+    with open(RESULT_PATH, "w") as fh:
+        json.dump(_RESULTS, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_all_balls_speedup(report, bench_scale):
+    n = bench_scale(2000, 200)
+    out = run_speed(n)
+    report.section(SECTION)
+    for kind in ("unweighted", "weighted"):
+        r = out[kind]
+        report.line(
+            f"all_balls {kind} n={r['n']} m={r['m']} ell={r['ell']}: "
+            f"pure {r['pure_s']*1000:.0f} ms -> kernel "
+            f"{r['kernel_s']*1000:.0f} ms ({r['speedup']}x)"
+        )
+    if not SMOKE:
+        assert out["unweighted"]["speedup"] >= 3.0, out
+        assert out["weighted"]["speedup"] >= 1.0, out
+
+
+def test_lazy_metric_memory_subquadratic(report, bench_scale):
+    sizes = bench_scale([500, 1000, 2000], [100, 200])
+    out = run_memory(sizes)
+    report.section(SECTION)
+    for r in out["lazy"]:
+        report.line(
+            f"lazy metric + balls n={r['n']}: peak {r['peak_mb']} MB"
+        )
+    report.line(
+        f"dense at n={out['dense_at_largest_n']['n']}: peak "
+        f"{out['dense_at_largest_n']['peak_mb']} MB "
+        f"({out['dense_over_lazy_peak']}x lazy); "
+        f"lazy scaling exponent {out['lazy_scaling_exponent']}"
+    )
+    if not SMOKE:
+        assert out["lazy_scaling_exponent"] < 1.9, out
+        assert out["dense_over_lazy_peak"] > 1.0, out
+    _flush(SMOKE)
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+# ----------------------------------------------------------------------
+def main() -> None:
+    n = smoke_scale(2000, 200)
+    sizes = smoke_scale([500, 1000, 2000], [100, 200])
+    speed = run_speed(n)
+    for kind, r in speed.items():
+        print(
+            f"all_balls[{kind}] n={r['n']} m={r['m']} ell={r['ell']}: "
+            f"pure {r['pure_s']:.3f}s kernel {r['kernel_s']:.3f}s "
+            f"=> {r['speedup']}x"
+        )
+    mem = run_memory(sizes)
+    for r in mem["lazy"]:
+        print(f"lazy peak n={r['n']}: {r['peak_mb']} MB")
+    print(
+        f"dense peak n={mem['dense_at_largest_n']['n']}: "
+        f"{mem['dense_at_largest_n']['peak_mb']} MB "
+        f"({mem['dense_over_lazy_peak']}x lazy), "
+        f"lazy exponent {mem['lazy_scaling_exponent']}"
+    )
+    _flush(SMOKE)
+    if not SMOKE:
+        print(f"wrote {os.path.normpath(RESULT_PATH)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,16 @@ Every bench records its paper-style rows through the ``report`` fixture;
 the rows are printed in the terminal summary (so ``pytest benchmarks/
 --benchmark-only`` shows the regenerated tables next to pytest-benchmark's
 timing table) and appended to ``benchmarks/results.txt`` for EXPERIMENTS.md.
+
+Smoke mode
+----------
+Setting ``REPRO_BENCH_SMOKE=1`` switches benches that opt in (via the
+``bench_scale`` fixture or :func:`smoke_scale`) to toy problem sizes, so
+``REPRO_BENCH_SMOKE=1 pytest benchmarks/bench_kernel.py`` completes in
+seconds.  This keeps the benchmarks exercised (and un-bit-rotted) by
+cheap CI runs without paying full experiment cost; full-size runs simply
+omit the variable.  Smoke runs never overwrite committed full-run result
+files (see ``bench_kernel.py``).
 """
 
 from __future__ import annotations
@@ -15,6 +25,28 @@ from typing import Dict, List
 import pytest
 
 from repro.eval.reporting import banner
+
+#: REPRO_BENCH_SMOKE in {1, true, yes, on} => benches shrink to smoke
+#: sizes; anything else (including "off"/"no") keeps the full run, so an
+#: unrecognized value never silently skips the full-size gates.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip().lower() in (
+    "1",
+    "true",
+    "yes",
+    "on",
+)
+
+
+def smoke_scale(full, smoke):
+    """``smoke`` under REPRO_BENCH_SMOKE=1, ``full`` otherwise."""
+    return smoke if SMOKE else full
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Fixture form of :func:`smoke_scale` for bench test functions."""
+    return smoke_scale
+
 
 _SECTIONS: "OrderedDict[str, List[str]]" = OrderedDict()
 

@@ -82,12 +82,21 @@ class SampledHierarchy:
                 levels.append(sampled)
         self._levels = levels
 
-        # d(v, A_i) arrays; A_k = empty -> inf.
+        # d(v, A_i) arrays; A_k = empty -> inf.  Level columns come from
+        # the metric's row-oriented API: O(|A_i| * n) memory per level,
+        # lazy-metric friendly (A_0 = V still costs O(n) rows, but they
+        # stream through the row blocks instead of pinning a matrix).
         self._level_dist: List[np.ndarray] = []
         self._level_pivot: List[np.ndarray] = []
         for i in range(k):
             members = levels[i]
-            sub = metric.matrix[:, members]
+            if len(members) == n:
+                # A_0 = V: d(v, A_0) = 0 with pivot v (weights are
+                # positive), no distance columns needed.
+                self._level_dist.append(np.zeros(n))
+                self._level_pivot.append(np.arange(n, dtype=np.int64))
+                continue
+            sub = metric.columns(members)
             arg = np.argmin(sub, axis=1)
             self._level_dist.append(sub[np.arange(n), arg])
             self._level_pivot.append(
@@ -107,16 +116,19 @@ class SampledHierarchy:
         for i in range(1, k):
             self._level_of[levels[i]] = i
 
-        # Clusters and bunches.
+        # Clusters and bunches, blockwise over distance rows (the lazy
+        # metric never materializes the full matrix for this scan).
         self._clusters: Dict[int, List[int]] = {}
         self._bunches: List[List[int]] = [[] for _ in range(n)]
-        for w in range(n):
-            next_dist = self._level_dist[int(self._level_of[w]) + 1]
-            members = np.flatnonzero(metric.matrix[w] < next_dist).tolist()
-            if members:
-                self._clusters[w] = members
-            for v in members:
-                self._bunches[v].append(w)
+        for start, block in metric.iter_row_blocks():
+            for i in range(block.shape[0]):
+                w = start + i
+                next_dist = self._level_dist[int(self._level_of[w]) + 1]
+                members = np.flatnonzero(block[i] < next_dist).tolist()
+                if members:
+                    self._clusters[w] = members
+                for v in members:
+                    self._bunches[v].append(w)
 
     # ------------------------------------------------------------------
     @property
@@ -143,6 +155,10 @@ class SampledHierarchy:
         """``C(w)`` sorted by vertex id (may be empty)."""
         return self._clusters.get(w, [])
 
+    def clusters(self):
+        """``(w, C(w))`` pairs for every *nonempty* cluster, ``w`` ascending."""
+        return self._clusters.items()
+
     def bunch(self, v: int) -> List[int]:
         """``B(v)`` sorted by vertex id."""
         return self._bunches[v]
@@ -150,7 +166,7 @@ class SampledHierarchy:
     def in_cluster(self, w: int, v: int) -> bool:
         """Whether ``v ∈ C(w)``."""
         next_dist = self._level_dist[self.level_of(w) + 1]
-        return bool(self.metric.matrix[w, v] < next_dist[v])
+        return bool(self.metric.d(w, v) < next_dist[v])
 
     def max_bunch_size(self) -> int:
         return max((len(b) for b in self._bunches), default=0)

@@ -69,12 +69,11 @@ class ThorupZwickScheme(SchemeBase):
         )
 
         # Trees T(w) over clusters; members keep records, labels go into
-        # destination labels (and the owner's table at level 0).
+        # destination labels (and the owner's table at level 0).  Each
+        # restricted SPT runs on the cluster's induced subgraph through the
+        # CSR kernel (work proportional to the cluster, not the graph).
         self._trees: Dict[int, TreeRouting] = {}
-        for w in graph.vertices():
-            members = self.hierarchy.cluster(w)
-            if not members:
-                continue
+        for w, members in self.hierarchy.clusters():
             parents = self.metric.restricted_spt_parents(w, members)
             tree = TreeRouting(RootedTree(parents), self.ports)
             self._trees[w] = tree

@@ -45,16 +45,20 @@ class TZOracle:
         self.metric = metric if metric is not None else MetricView(graph)
         if k == 1:
             # Degenerate exact oracle (the paper's k=1 row): stores all
-            # pairwise distances.
+            # pairwise distances.  Row-at-a-time extraction keeps this a
+            # sequential scan over the metric's row oracle rather than n^2
+            # scalar d() calls.
             self.hierarchy = None
-            self._bunch_dist = [
-                {
-                    w: self.metric.d(v, w)
-                    for w in graph.vertices()
-                    if w != v
-                }
-                for v in graph.vertices()
-            ]
+            self._bunch_dist = []
+            for v in graph.vertices():
+                row = self.metric.row(v)
+                self._bunch_dist.append(
+                    {
+                        w: float(row[w])
+                        for w in graph.vertices()
+                        if w != v
+                    }
+                )
             self._pivots = [[(v, 0.0)] for v in graph.vertices()]
             return
         self.hierarchy = (
@@ -62,10 +66,12 @@ class TZOracle:
             if hierarchy is not None
             else SampledHierarchy(self.metric, k, seed=seed)
         )
-        self._bunch_dist: List[Dict[int, float]] = [
-            {w: self.metric.d(v, w) for w in self.hierarchy.bunch(v)}
-            for v in graph.vertices()
-        ]
+        self._bunch_dist: List[Dict[int, float]] = []
+        for v in graph.vertices():
+            row = self.metric.row(v)
+            self._bunch_dist.append(
+                {w: float(row[w]) for w in self.hierarchy.bunch(v)}
+            )
         self._pivots = [
             [
                 (

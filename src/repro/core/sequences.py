@@ -96,7 +96,9 @@ def build_lemma7_sequence(
     Parameters
     ----------
     hitting:
-        A hitting set for all balls of ``family`` (Lemma 5).
+        A hitting set for all balls of ``family`` (Lemma 5).  Passing a
+        ``set``/``frozenset`` avoids the per-call O(|H|) conversion — this
+        function runs once per same-class (source, destination) pair.
     b:
         The paper's ``b = ceil(2 / eps)``; the progress threshold is
         ``s = d(u, v) / b``.
@@ -105,7 +107,9 @@ def build_lemma7_sequence(
         raise ValueError("no sequence for a vertex to itself")
     if b < 1:
         raise ValueError(f"b must be >= 1, got {b}")
-    hitting_set = set(hitting)
+    hitting_set = (
+        hitting if isinstance(hitting, (set, frozenset)) else set(hitting)
+    )
     s = metric.d(u, v) / b
     waypoints: List[int] = []
     x = u
@@ -230,7 +234,8 @@ def build_lemma8_sequence(
         return Lemma8Sequence(tuple(waypoints), to_relay=False)
 
     # Subsequence cap: path lengths are below n * max-distance, thresholds
-    # double, so log2(n * D) + slack rounds always suffice.
+    # double, so log2(n * D) + slack rounds always suffice.  diameter() is
+    # cached by the metric — this runs once per (source, target) pair.
     diameter = max(metric.diameter(), lam)
     max_rounds = int(math.log2(max(2.0, metric.n * diameter / lam))) + 4
     x = u2

@@ -96,12 +96,15 @@ class Technique1:
         self.cat_htree = f"{prefix}htree"
 
         if hitting is None:
-            balls = [family.ball(u) for u in metric.graph.vertices()]
+            balls = family.balls()
             if use_greedy_hitting:
                 hitting = greedy_hitting_set(balls)
             else:
                 hitting = random_hitting_set(balls, metric.n, seed=seed)
         self.hitting = sorted(hitting)
+        # Frozen once; build_lemma7_sequence runs per (u, v) pair and must
+        # not rebuild an O(|H|) set every call.
+        self._hitting_set = frozenset(self.hitting)
 
         self._trees: Dict[int, TreeRouting] = {}
         for h in self.hitting:
@@ -128,7 +131,7 @@ class Technique1:
                     if u == v:
                         continue
                     seq = build_lemma7_sequence(
-                        metric, family, self.hitting, u, v, self.b
+                        metric, family, self._hitting_set, u, v, self.b
                     )
                     tlabel = (
                         self._trees[seq.hub].label_of(v)

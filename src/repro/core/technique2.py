@@ -134,8 +134,8 @@ class Technique2:
 
     # ------------------------------------------------------------------
     def _validate_ball_hitting(self, q: int) -> None:
-        for x in range(self.metric.n):
-            present = {self._class_of[y] for y in self.family.ball(x)}
+        for x, ball in enumerate(self.family.balls()):
+            present = {self._class_of[y] for y in ball}
             if len(present) < q:
                 missing = sorted(set(range(q)) - present)
                 raise ValueError(

@@ -57,8 +57,17 @@ def stratified_pairs(
 
     n = metric.n
     rng = random.Random(seed)
-    finite = metric.matrix[np.isfinite(metric.matrix)]
-    positive = finite[finite > 0]
+    # Blockwise row scan: quantile edges come from the row-oriented API so
+    # a lazy metric never materializes (and pins) the dense matrix here.
+    positive_blocks = []
+    for _, block in metric.iter_row_blocks():
+        finite = block[np.isfinite(block)]
+        positive_blocks.append(finite[finite > 0])
+    positive = (
+        np.concatenate(positive_blocks)
+        if positive_blocks
+        else np.zeros(0)
+    )
     if positive.size == 0:
         return {}
     edges = np.quantile(positive, np.linspace(0, 1, buckets + 1))

@@ -1,7 +1,23 @@
-"""Graph substrate: representation, generators, shortest paths, metric view."""
+"""Graph substrate: representation, generators, shortest paths, metric view.
+
+Shortest-path work dispatches through :mod:`repro.graph.shortest_paths` to
+the flat-array CSR kernel (:mod:`repro.graph.csr`) when numpy is present,
+with the pure-Python implementations as the differential-test fallback.
+"""
 
 from .core import Graph, GraphError
+# numpy is a hard dependency of the metric import above, so the CSR
+# kernel import needs no guard here; REPRO_KERNEL=pure still bypasses it
+# at dispatch time.
+from .csr import CSRGraph, csr_graph
 from .metric import MetricView
 from .trees import RootedTree
 
-__all__ = ["Graph", "GraphError", "MetricView", "RootedTree"]
+__all__ = [
+    "Graph",
+    "GraphError",
+    "MetricView",
+    "RootedTree",
+    "CSRGraph",
+    "csr_graph",
+]

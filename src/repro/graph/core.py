@@ -41,7 +41,7 @@ class Graph:
     paper's model and both would break the fixed-port assumptions.
     """
 
-    __slots__ = ("_n", "_adj", "_m")
+    __slots__ = ("_n", "_adj", "_m", "_version", "_csr_cache")
 
     def __init__(self, n: int) -> None:
         if n < 0:
@@ -51,6 +51,11 @@ class Graph:
         # which gives us a deterministic neighbour ordering for ports.
         self._adj: List[Dict[int, float]] = [dict() for _ in range(n)]
         self._m = 0
+        # Mutation counter; lets derived structures (the CSR kernel) detect
+        # staleness without holding a reference that outlives the edges.
+        self._version = 0
+        # (version, CSRGraph) pair maintained by repro.graph.csr.csr_graph.
+        self._csr_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -94,12 +99,16 @@ class Graph:
         return g
 
     def copy(self) -> "Graph":
-        """Return a deep copy of this graph."""
+        """Return a deep copy of this graph.
+
+        The copy replicates each adjacency dict directly so per-vertex
+        neighbour *insertion order* is preserved exactly.  (Re-adding edges
+        in ``u < v`` scan order would silently permute the deterministic
+        port numbering :mod:`repro.routing.ports` derives from it.)
+        """
         g = Graph(self._n)
-        for u in range(self._n):
-            for v, w in self._adj[u].items():
-                if u < v:
-                    g.add_edge(u, v, w)
+        g._adj = [dict(adj) for adj in self._adj]
+        g._m = self._m
         return g
 
     # ------------------------------------------------------------------
@@ -120,12 +129,14 @@ class Graph:
         self._adj[u][v] = float(weight)
         self._adj[v][u] = float(weight)
         self._m += 1
+        self._version += 1
 
     def add_or_update_edge(self, u: int, v: int, weight: float = 1.0) -> None:
         """Add edge ``{u, v}`` or update its weight if already present."""
         if self.has_edge(u, v):
             self._adj[u][v] = float(weight)
             self._adj[v][u] = float(weight)
+            self._version += 1
         else:
             self.add_edge(u, v, weight)
 

@@ -1,0 +1,681 @@
+"""Flat-array CSR shortest-path kernel — the preprocessing hot path.
+
+Every scheme in this reproduction spends nearly all of its preprocessing
+time running (truncated) Dijkstra over the list-of-dicts :class:`Graph`.
+This module provides an immutable, numpy-backed CSR mirror of a graph —
+:class:`CSRGraph` — plus flat-array implementations of the shortest-path
+primitives, and a batched :meth:`CSRGraph.all_balls` that computes the
+paper's vicinities ``B(u, ell)`` for *every* vertex at once.
+
+Kernel / fallback dispatch
+--------------------------
+Callers do not import this module directly; they go through the dispatch
+functions in :mod:`repro.graph.shortest_paths` (``dijkstra``,
+``truncated_dijkstra``, ``multi_source_distances``, ``all_balls``,
+``bounded_distance``).  The dispatch picks this kernel when numpy imports
+cleanly and ``REPRO_KERNEL=pure`` is not set, and otherwise falls back to
+the pure-Python implementations, which stay in the tree as the
+differential-test reference.  Inside the kernel, :meth:`all_balls` and
+:meth:`rows` additionally use scipy's C ``csgraph.dijkstra`` (chunked over
+sources so peak memory stays ``O(chunk * n)``, never ``O(n^2)``) when scipy
+is importable.
+
+The CSR arrays are built once per :class:`Graph` *version* and cached on
+the graph instance (:func:`csr_graph`); mutating the graph invalidates the
+cache.  Per-source scratch state (tentative-distance and settled buffers)
+is preallocated once per :class:`CSRGraph` and reset with a generation
+counter instead of being reallocated for every source, which is what makes
+the batched ball sweep cheap.
+
+Tie-breaking invariant
+----------------------
+All kernels preserve the paper's Section 2 total order *exactly*: balls are
+``(distance, id)``-ordered prefixes (heap keys are ``(dist, vertex)``
+tuples), multi-source ties resolve toward the smaller source id (the
+lexicographic ``p_A(v)`` rule), and Dijkstra parents tie toward the
+smallest predecessor id.  Distances are bitwise identical to the
+pure-Python path: both accumulate the same float64 edge weights along the
+same shortest paths, and the final distance of a vertex is the minimum
+over the same candidate set regardless of relaxation order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .core import Graph
+
+try:  # scipy is optional; the kernel degrades gracefully without it.
+    from scipy.sparse import csr_matrix as _scipy_csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
+
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _HAVE_SCIPY = False
+
+__all__ = ["CSRGraph", "csr_graph", "cached_csr_graph"]
+
+_INF = float("inf")
+
+#: default cap on the scipy row-chunk buffer (bytes); keeps the batched
+#: ball sweep and lazy row computations at O(chunk * n) peak memory.
+_CHUNK_BYTES = 1 << 22
+
+
+def csr_graph(g: Graph) -> "CSRGraph":
+    """The CSR mirror of ``g``, built once per graph version and cached."""
+    cached = g._csr_cache
+    if cached is not None and cached[0] == g._version:
+        return cached[1]
+    kernel = CSRGraph.from_graph(g)
+    g._csr_cache = (g._version, kernel)
+    return kernel
+
+
+def cached_csr_graph(g: Graph) -> Optional["CSRGraph"]:
+    """A *current* cached CSR mirror of ``g``, or ``None`` — never builds.
+
+    Mutation-heavy callers (e.g. the greedy spanner, which queries the
+    spanner while growing it) use this so each query does not pay an
+    O(n + m) rebuild; they fall back to the pure path instead.
+    """
+    cached = g._csr_cache
+    if cached is not None and cached[0] == g._version:
+        return cached[1]
+    return None
+
+
+class CSRGraph:
+    """Immutable flat-array (CSR) view of an undirected weighted graph.
+
+    ``indptr``/``indices``/``weights`` are the usual CSR triple with both
+    edge directions materialized; per-row neighbour order is the graph's
+    deterministic insertion order.  ``_adj`` is the same adjacency as plain
+    Python ``(neighbour, weight)`` tuple lists — CPython iterates those
+    much faster than numpy scalars, so the heap kernels run on it while the
+    numpy arrays serve construction, scipy interop and vectorized
+    postprocessing.
+    """
+
+    __slots__ = (
+        "n",
+        "m",
+        "indptr",
+        "indices",
+        "weights",
+        "_adj",
+        "_scipy_mat",
+        "_gen",
+        "_best",
+        "_best_stamp",
+        "_settled_stamp",
+        "_np_stamp",
+        "_degrees",
+        "_unweighted",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        self.n = int(n)
+        self.m = int(len(indices) // 2)
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self._adj: Optional[List[List[Tuple[int, float]]]] = None
+        self._scipy_mat = None
+        # Generation-stamped scratch buffers: a slot is valid only when its
+        # stamp equals the current generation, so "resetting" all n slots
+        # between sources is a single integer increment.
+        self._gen = 0
+        self._best = [0.0] * self.n
+        self._best_stamp = [0] * self.n
+        self._settled_stamp = [0] * self.n
+        self._np_stamp = np.zeros(self.n, dtype=np.int64)
+        self._degrees = np.diff(indptr)
+        self._unweighted: Optional[bool] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, g: Graph) -> "CSRGraph":
+        """Build the CSR arrays from a :class:`Graph` (insertion order kept)."""
+        n = g.n
+        nnz = 2 * g.m
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        indices = np.empty(nnz, dtype=np.int64)
+        weights = np.empty(nnz, dtype=np.float64)
+        pos = 0
+        for u in range(n):
+            adj_u = g._adj[u]
+            indptr[u + 1] = indptr[u] + len(adj_u)
+            for v, w in adj_u.items():
+                indices[pos] = v
+                weights[pos] = w
+                pos += 1
+        return cls(n, indptr, indices, weights)
+
+    def _flat_adj(self) -> List[List[Tuple[int, float]]]:
+        if self._adj is None:
+            idx = self.indices.tolist()
+            wts = self.weights.tolist()
+            ptr = self.indptr.tolist()
+            self._adj = [
+                list(zip(idx[ptr[u] : ptr[u + 1]], wts[ptr[u] : ptr[u + 1]]))
+                for u in range(self.n)
+            ]
+        return self._adj
+
+    def _scipy_matrix(self):
+        """The scipy CSR adjacency (copied arrays so scipy cannot reorder ours)."""
+        if not _HAVE_SCIPY:
+            return None
+        if self._scipy_mat is None:
+            self._scipy_mat = _scipy_csr_matrix(
+                (
+                    self.weights.copy(),
+                    self.indices.copy(),
+                    self.indptr.copy(),
+                ),
+                shape=(self.n, self.n),
+            )
+        return self._scipy_mat
+
+    # ------------------------------------------------------------------
+    # Single-source kernels
+    # ------------------------------------------------------------------
+    def dijkstra(self, source: int) -> Tuple[List[float], List[Optional[int]]]:
+        """Flat-array single-source Dijkstra.
+
+        Matches :func:`repro.graph.shortest_paths.dijkstra_py` exactly,
+        including the deterministic parent rule (ties toward the smallest
+        predecessor id).
+        """
+        adj = self._flat_adj()
+        n = self.n
+        dist: List[float] = [_INF] * n
+        parent: List[Optional[int]] = [None] * n
+        dist[source] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        done = bytearray(n)
+        while heap:
+            d, u = heapq.heappop(heap)
+            if done[u]:
+                continue
+            done[u] = 1
+            for v, w in adj[u]:
+                nd = d + w
+                dv = dist[v]
+                if nd < dv:
+                    dist[v] = nd
+                    parent[v] = u
+                    heapq.heappush(heap, (nd, v))
+                elif nd == dv:
+                    pv = parent[v]
+                    if pv is not None and u < pv:
+                        parent[v] = u
+                        heapq.heappush(heap, (nd, v))
+        return dist, parent
+
+    def truncated_dijkstra(
+        self, source: int, ell: int
+    ) -> Tuple[List[int], Dict[int, float]]:
+        """The ``ell`` closest vertices of ``source`` in ``(dist, id)`` order.
+
+        Scratch buffers are generation-stamped, so back-to-back calls (the
+        all-balls sweep) do no per-source O(n) reallocation.
+        """
+        if ell <= 0:
+            return [], {}
+        adj = self._flat_adj()
+        self._gen += 1
+        gen = self._gen
+        best = self._best
+        best_stamp = self._best_stamp
+        ball: List[int] = []
+        dist: Dict[int, float] = {}
+        best[source] = 0.0
+        best_stamp[source] = gen
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        while heap and len(ball) < ell:
+            d, u = heapq.heappop(heap)
+            if u in dist:
+                continue
+            if best_stamp[u] == gen and d > best[u]:
+                continue
+            dist[u] = d
+            ball.append(u)
+            for v, w in adj[u]:
+                nd = d + w
+                if v not in dist and (
+                    best_stamp[v] != gen or nd < best[v]
+                ):
+                    best[v] = nd
+                    best_stamp[v] = gen
+                    heapq.heappush(heap, (nd, v))
+        return ball, dist
+
+    def ball_with_radius(
+        self, source: int, ell: int, tol: float = 0.0
+    ) -> Tuple[List[int], Dict[int, float], float]:
+        """``B(source, ell)`` plus the paper's radius ``r_u(ell)``.
+
+        After the ball fills, the search keeps popping: if any *new* vertex
+        settles within ``tol`` of the boundary distance, the boundary level
+        is only partially contained and the radius drops to the previous
+        level — identical semantics to
+        :meth:`repro.graph.metric.MetricView.ball_radius`.
+        """
+        if ell <= 0:
+            raise ValueError("empty ball has no radius")
+        adj = self._flat_adj()
+        self._gen += 1
+        gen = self._gen
+        best = self._best
+        best_stamp = self._best_stamp
+        ball: List[int] = []
+        dist: Dict[int, float] = {}
+        best[source] = 0.0
+        best_stamp[source] = gen
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        dmax = 0.0
+        boundary_complete = True
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in dist:
+                continue
+            if best_stamp[u] == gen and d > best[u]:
+                continue
+            if len(ball) >= ell:
+                # First excess settle decides the boundary level.
+                boundary_complete = d > dmax + tol
+                break
+            dist[u] = d
+            ball.append(u)
+            dmax = d
+            for v, w in adj[u]:
+                nd = d + w
+                if v not in dist and (
+                    best_stamp[v] != gen or nd < best[v]
+                ):
+                    best[v] = nd
+                    best_stamp[v] = gen
+                    heapq.heappush(heap, (nd, v))
+        if boundary_complete:
+            radius = dmax
+        else:
+            inner = [d for d in dist.values() if d < dmax - tol]
+            radius = max(inner) if inner else 0.0
+        return ball, dist, radius
+
+    def multi_source_distances(
+        self, sources: Sequence[int]
+    ) -> Tuple[List[float], List[int]]:
+        """Nearest-source distances; ties toward the smaller source id."""
+        adj = self._flat_adj()
+        n = self.n
+        dist: List[float] = [_INF] * n
+        nearest: List[int] = [-1] * n
+        heap: List[Tuple[float, int, int]] = []
+        for s in sorted(set(sources)):
+            dist[s] = 0.0
+            nearest[s] = s
+            heap.append((0.0, s, s))
+        heapq.heapify(heap)
+        while heap:
+            d, src, u = heapq.heappop(heap)
+            if (d, src) > (dist[u], nearest[u]):
+                continue
+            for v, w in adj[u]:
+                nd = d + w
+                dv = dist[v]
+                if nd < dv or (nd == dv and src < nearest[v]):
+                    dist[v] = nd
+                    nearest[v] = src
+                    heapq.heappush(heap, (nd, src, v))
+        return dist, nearest
+
+    def bounded_distance(
+        self, source: int, target: int, limit: float
+    ) -> float:
+        """Distance ``d(source, target)`` if at most ``limit``, else ``inf``."""
+        adj = self._flat_adj()
+        self._gen += 1
+        gen = self._gen
+        best = self._best
+        best_stamp = self._best_stamp
+        settled_stamp = self._settled_stamp
+        best[source] = 0.0
+        best_stamp[source] = gen
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if settled_stamp[u] == gen:
+                continue
+            settled_stamp[u] = gen
+            if u == target:
+                return d
+            if d > limit:
+                return _INF
+            for v, w in adj[u]:
+                nd = d + w
+                if nd <= limit and (
+                    best_stamp[v] != gen or nd < best[v]
+                ):
+                    best[v] = nd
+                    best_stamp[v] = gen
+                    heapq.heappush(heap, (nd, v))
+        return _INF
+
+    def subgraph_dijkstra(
+        self, root: int, members: Sequence[int]
+    ) -> Tuple[Dict[int, float], Dict[int, int]]:
+        """Dijkstra restricted to the subgraph induced by ``members``.
+
+        Returns ``(dist, parent)`` maps over the member set (unreachable
+        members are absent).  For shortest-path-closed member sets (the
+        paper's clusters) the induced distances equal the global ones, so
+        this replaces a full-graph SSSP per cluster with work proportional
+        to the cluster.  The parent rule ties toward the smallest
+        predecessor id, as in :meth:`dijkstra`.
+        """
+        adj = self._flat_adj()
+        member_set = set(members)
+        if root not in member_set:
+            raise ValueError(f"root {root} not among members")
+        dist: Dict[int, float] = {root: 0.0}
+        parent: Dict[int, int] = {root: root}
+        settled: set = set()
+        heap: List[Tuple[float, int]] = [(0.0, root)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            if d > dist.get(u, _INF):
+                continue
+            settled.add(u)
+            for v, w in adj[u]:
+                if v not in member_set:
+                    continue
+                nd = d + w
+                dv = dist.get(v, _INF)
+                if nd < dv:
+                    dist[v] = nd
+                    parent[v] = u
+                    heapq.heappush(heap, (nd, v))
+                elif nd == dv and v not in settled and u < parent[v]:
+                    parent[v] = u
+                    heapq.heappush(heap, (nd, v))
+        return dist, parent
+
+    # ------------------------------------------------------------------
+    # Batched kernels
+    # ------------------------------------------------------------------
+    def rows(
+        self, sources: Sequence[int], *, prefer_scipy: bool = True
+    ) -> np.ndarray:
+        """Distance rows for ``sources`` as a ``(len(sources), n)`` array.
+
+        Uses scipy's C Dijkstra (one call per chunk of sources) when
+        available; otherwise loops the flat-array kernel.
+        """
+        sources = list(sources)
+        if not sources:
+            return np.zeros((0, self.n), dtype=np.float64)
+        if prefer_scipy and _HAVE_SCIPY and self.m > 0:
+            mat = self._scipy_matrix()
+            out = _scipy_dijkstra(mat, directed=False, indices=sources)
+            return np.atleast_2d(out)
+        out = np.empty((len(sources), self.n), dtype=np.float64)
+        for i, s in enumerate(sources):
+            out[i] = self.dijkstra(s)[0]
+        return out
+
+    def all_balls(
+        self,
+        ell: int,
+        *,
+        tol: float = 0.0,
+        with_radii: bool = False,
+        prefer_scipy: bool = True,
+        chunk_bytes: int = _CHUNK_BYTES,
+    ) -> Tuple[List[List[int]], Optional[List[float]]]:
+        """``B(u, ell)`` for every vertex ``u``, in ``(dist, id)`` order.
+
+        The scipy fast path processes sources in chunks of
+        ``chunk_bytes / (8 n)`` rows: one C Dijkstra call per chunk, then a
+        vectorized ``(dist, id)`` lexsort per row — peak memory stays
+        ``O(chunk * n)``.  The fallback loops the generation-stamped
+        truncated kernel, which allocates only the O(ell)-sized outputs per
+        source.  Both return exactly the pure-path balls.
+        """
+        n = self.n
+        ell = min(ell, n)
+        if n == 0 or ell <= 0:
+            return [[] for _ in range(n)], ([0.0] * n if with_radii else None)
+        if self.is_unweighted() and tol < 0.5:
+            # Unit weights: distances are exact integer levels and a level
+            # set ordered by id IS the (dist, id) order, so a vectorized
+            # level-BFS reproduces the Dijkstra balls exactly.
+            return self._all_balls_bfs(ell, with_radii=with_radii)
+        if prefer_scipy and _HAVE_SCIPY and self.m > 0 and 4 * ell <= n:
+            return self._all_balls_scipy(
+                ell, tol=tol, with_radii=with_radii, chunk_bytes=chunk_bytes
+            )
+        balls: List[List[int]] = []
+        radii: Optional[List[float]] = [] if with_radii else None
+        for u in range(n):
+            if with_radii:
+                ball, _, radius = self.ball_with_radius(u, ell, tol)
+                radii.append(radius)
+            else:
+                ball, _ = self.truncated_dijkstra(u, ell)
+            balls.append(ball)
+        return balls, radii
+
+    def is_unweighted(self) -> bool:
+        """True when every edge weight is exactly 1.0 (cached)."""
+        if self._unweighted is None:
+            self._unweighted = bool(np.all(self.weights == 1.0))
+        return self._unweighted
+
+    def _all_balls_bfs(
+        self, ell: int, *, with_radii: bool
+    ) -> Tuple[List[List[int]], Optional[List[float]]]:
+        """Batched balls on unit-weight graphs via vectorized level BFS.
+
+        Per source, each BFS level is gathered with one ragged numpy
+        indexing pass over the CSR arrays (no per-edge Python work) and
+        deduplicated with ``np.unique``, whose sorted output is exactly the
+        within-level id order of the ``(dist, id)`` total order.  The
+        visited array is generation-stamped — no per-source reallocation.
+        """
+        n = self.n
+        indptr, indices, degrees = self.indptr, self.indices, self._degrees
+        stamp = self._np_stamp
+        balls: List[List[int]] = []
+        radii: Optional[List[float]] = [] if with_radii else None
+        for u in range(n):
+            self._gen += 1
+            gen = self._gen
+            frontier = np.array([u], dtype=np.int64)
+            stamp[u] = gen
+            parts = [frontier]
+            size = 1
+            depth = 0
+            dmax = 0
+            complete = True
+            while size < ell and frontier.size:
+                if frontier.size == 1:
+                    f = int(frontier[0])
+                    nbrs = indices[indptr[f] : indptr[f + 1]]
+                else:
+                    starts = indptr[frontier]
+                    counts = degrees[frontier]
+                    total = int(counts.sum())
+                    if total == 0:
+                        break
+                    cum = np.cumsum(counts)
+                    base = np.repeat(starts - (cum - counts), counts)
+                    nbrs = indices[base + np.arange(total)]
+                fresh = nbrs[stamp[nbrs] != gen]
+                if fresh.size == 0:
+                    break
+                # sort + adjacent-diff dedup: same result as np.unique,
+                # without its hashing overhead on these small arrays.
+                fresh = np.sort(fresh)
+                new = fresh[
+                    np.concatenate(([True], fresh[1:] != fresh[:-1]))
+                ]
+                stamp[new] = gen
+                depth += 1
+                frontier = new
+                if size + new.size <= ell:
+                    parts.append(new)
+                    size += new.size
+                    dmax = depth
+                else:
+                    parts.append(new[: ell - size])
+                    size = ell
+                    dmax = depth
+                    complete = False
+            balls.append(np.concatenate(parts).tolist())
+            if with_radii:
+                radii.append(float(dmax if complete else dmax - 1))
+        return balls, radii
+
+    def _estimate_ball_limit(self, ell: int, tol: float) -> float:
+        """A distance limit expected to cover ``B(u, ell)`` for most ``u``.
+
+        Samples ~32 exact balls with the flat kernel and takes the largest
+        boundary distance plus 5% headroom.  The limit only steers how much
+        of each neighbourhood scipy expands; rows it cannot certify are
+        recomputed exactly (see :meth:`_all_balls_scipy`), so a bad
+        estimate costs time, never correctness.
+        """
+        stride = max(1, self.n // 32)
+        sample_max = 0.0
+        short = 0
+        samples = 0
+        for s in range(0, self.n, stride):
+            samples += 1
+            ball, dist = self.truncated_dijkstra(s, ell)
+            if len(ball) == ell:
+                sample_max = max(sample_max, dist[ball[-1]])
+            else:
+                short += 1  # source's component has fewer than ell vertices
+        if sample_max <= 0.0 or 4 * short > samples:
+            return _INF
+        return sample_max * 1.05 + tol
+
+    def _all_balls_scipy(
+        self,
+        ell: int,
+        *,
+        tol: float,
+        with_radii: bool,
+        chunk_bytes: int,
+    ) -> Tuple[List[List[int]], Optional[List[float]]]:
+        """Batched balls via scipy's C Dijkstra, truncated by a distance limit.
+
+        A full SSSP per source wastes ~``n / ell`` of its work on vertices
+        far outside the ball.  Passing ``limit`` makes scipy stop expanding
+        beyond it, so per-source work tracks the ball neighbourhood.  A row
+        is *certified* when it has >= ``ell`` finite entries (then the true
+        boundary distance is <= limit and no member was cut off) and, when
+        radii are requested, ``limit >= dmax + tol`` (so every vertex in
+        the boundary tolerance band is visible).  Uncertified rows are
+        recomputed without a limit — correctness never depends on the
+        estimate.
+        """
+        n = self.n
+        mat = self._scipy_matrix()
+        limit = self._estimate_ball_limit(ell, tol)
+        chunk = max(1, min(n, chunk_bytes // max(1, 8 * n)))
+        balls: List[Optional[List[int]]] = [None] * n
+        radii: Optional[List[float]] = [0.0] * n if with_radii else None
+        redo: List[int] = []
+        for start in range(0, n, chunk):
+            srcs = list(range(start, min(start + chunk, n)))
+            dmat = np.atleast_2d(
+                _scipy_dijkstra(
+                    mat, directed=False, indices=srcs, limit=limit
+                )
+            )
+            for i, s in enumerate(srcs):
+                if not self._extract_ball(
+                    dmat[i], s, ell, tol, limit, with_radii, balls, radii
+                ):
+                    redo.append(s)
+        for start in range(0, len(redo), chunk):
+            srcs = redo[start : start + chunk]
+            dmat = np.atleast_2d(
+                _scipy_dijkstra(mat, directed=False, indices=srcs)
+            )
+            for i, s in enumerate(srcs):
+                self._extract_ball(
+                    dmat[i], s, ell, tol, _INF, with_radii, balls, radii
+                )
+        return balls, radii
+
+    def _extract_ball(
+        self,
+        row: np.ndarray,
+        source: int,
+        ell: int,
+        tol: float,
+        limit: float,
+        with_radii: bool,
+        balls: List[Optional[List[int]]],
+        radii: Optional[List[float]],
+    ) -> bool:
+        """Fill ``balls[source]`` from a (possibly limited) distance row.
+
+        Returns ``False`` when the limit cannot certify the row (see
+        :meth:`_all_balls_scipy`); with ``limit == inf`` every row is
+        certified.
+        """
+        finite_idx = np.flatnonzero(np.isfinite(row))
+        if finite_idx.size < ell and limit != _INF:
+            return False
+        finite_d = row[finite_idx]
+        # (dist, id) total order; lexsort's last key is primary.
+        order = np.lexsort((finite_idx, finite_d))
+        top = finite_idx[order[:ell]]
+        ball = top.tolist()
+        if with_radii:
+            dmax = float(row[ball[-1]])
+            if limit != _INF and limit < dmax + tol:
+                return False
+            radii[source] = _radius_from_row(row, ball, tol)
+        balls[source] = ball
+        return True
+
+
+def _radius_from_row(row: np.ndarray, ball: List[int], tol: float) -> float:
+    """The paper's ``r_u(ell)`` from a full distance row.
+
+    Mirrors :meth:`repro.graph.metric.MetricView.ball_radius`: the boundary
+    distance when the boundary level is fully contained in the ball, else
+    the previous level.
+    """
+    if not ball:
+        raise ValueError("empty ball has no radius")
+    member_dist = row[np.asarray(ball, dtype=np.int64)]
+    dmax = float(member_dist[-1])
+    at_dmax_total = int(np.count_nonzero(np.abs(row - dmax) <= tol))
+    at_dmax_in_ball = int(
+        np.count_nonzero(np.abs(member_dist - dmax) <= tol)
+    )
+    if at_dmax_in_ball == at_dmax_total:
+        return dmax
+    inner = member_dist[member_dist < dmax - tol]
+    return float(inner.max()) if inner.size else 0.0

@@ -1,30 +1,59 @@
-"""Exact all-pairs metric view used by the centralized preprocessing phase.
+"""Exact metric view used by the centralized preprocessing phase.
 
 Compact routing schemes have two phases: a *centralized preprocessing* phase
 that may inspect the whole graph, and a *distributed routing* phase that may
 only touch local tables.  This module implements the global knowledge the
-preprocessing phase is allowed to use: exact all-pairs distances, shortest
-path walking, vicinity balls and the normalized diameter ``D``.
+preprocessing phase is allowed to use: exact distances, shortest path
+walking, vicinity balls and the normalized diameter ``D``.
 
-Distances are computed once (scipy's C Dijkstra when available, pure-Python
-Dijkstra otherwise) and shared by every structure built on the same graph.
+Dense vs. lazy mode
+-------------------
+The original implementation eagerly built the full ``n x n`` distance
+matrix, which caps experiments at small ``n`` (32 MB at ``n = 2000``,
+quadratic beyond).  :class:`MetricView` now has two modes:
+
+* ``mode="dense"`` — the eager all-pairs matrix, exactly as before
+  (scipy's C Dijkstra when available, pure-Python otherwise, symmetrized).
+  Best for small graphs and access patterns that genuinely read most pairs.
+* ``mode="lazy"`` — a per-row distance oracle: rows are computed on demand
+  through the CSR kernel (:mod:`repro.graph.csr`) or scipy's
+  ``csgraph.dijkstra(indices=...)``, and LRU-cached.  Peak memory is
+  ``O(cache_rows * n)`` instead of ``O(n^2)``, matching the preprocessing
+  access pattern (balls, landmark columns, row blocks).
+
+``mode="auto"`` (the default) picks dense up to ``dense_threshold``
+vertices and lazy above, so existing small-graph callers see bit-identical
+behaviour while large-``n`` benchmarks stop paying quadratic memory.
+Whole-matrix consumers were rewritten against the row-oriented API
+(:meth:`rows`, :meth:`columns`, :meth:`iter_row_blocks`,
+:meth:`count_rows_below`); :attr:`matrix` remains as a dense-only escape
+hatch that materializes (and keeps) the full matrix in lazy mode.
 
 Floating point
 --------------
 Weighted graphs use float weights, so "is this edge on a shortest path?"
-is decided with a relative tolerance (:attr:`MetricView.tol`).  All structures
-derive shortest-path facts from the *same* distance matrix, which keeps them
-mutually consistent.
+is decided with a relative tolerance (:attr:`MetricView.tol`).  All
+structures derive shortest-path facts from the *same* oracle, which keeps
+them mutually consistent.  In lazy mode the tolerance scale is estimated
+from one distance row (twice the eccentricity of vertex 0 upper-bounds the
+diameter by the triangle inequality) instead of the true maximum distance.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import math
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .core import Graph
-from .shortest_paths import dijkstra
+from .shortest_paths import (
+    dijkstra,
+    dijkstra_py,
+    subgraph_dijkstra,
+    use_kernel,
+)
 
 __all__ = ["MetricView"]
 
@@ -39,76 +68,310 @@ class MetricView:
     g:
         The (connected) graph.
     use_scipy:
-        Use ``scipy.sparse.csgraph.dijkstra`` for the all-pairs computation.
+        Use ``scipy.sparse.csgraph.dijkstra`` for distance computations.
         The pure-Python path exists for environments without scipy and for
         differential testing.
+    mode:
+        ``"dense"`` (eager all-pairs matrix), ``"lazy"`` (on-demand
+        LRU-cached rows) or ``"auto"`` (dense up to ``dense_threshold``
+        vertices).
+    dense_threshold:
+        The ``auto`` cut-over size.
+    cache_rows:
+        Lazy-mode LRU capacity in rows; defaults to ``max(32, 4 sqrt(n))``
+        so cached rows stay ``O(sqrt(n) * n)`` memory.
     """
 
-    def __init__(self, g: Graph, use_scipy: bool = True) -> None:
+    def __init__(
+        self,
+        g: Graph,
+        use_scipy: bool = True,
+        *,
+        mode: str = "auto",
+        dense_threshold: int = 2048,
+        cache_rows: Optional[int] = None,
+    ) -> None:
+        if mode not in ("auto", "dense", "lazy"):
+            raise ValueError(f"unknown MetricView mode {mode!r}")
         self.graph = g
         self.n = g.n
+        self._use_scipy = bool(use_scipy)
+        if mode == "auto":
+            mode = "dense" if g.n <= dense_threshold else "lazy"
+        self._mode = mode
         self._csr = None
-        if use_scipy and g.n > 0 and g.m > 0:
-            from scipy.sparse.csgraph import dijkstra as csgraph_dijkstra
-
-            self._csr = g.to_csr()
-            dist = csgraph_dijkstra(self._csr, directed=False)
-            # Per-source float rounding makes dist marginally asymmetric;
-            # strict comparisons (cluster membership) need exact symmetry.
-            self._dist = np.minimum(dist, dist.T)
-        else:
-            rows = []
-            for u in g.vertices():
-                dist_u, _ = dijkstra(g, u)
-                rows.append(dist_u)
-            self._dist = (
-                np.asarray(rows, dtype=float)
-                if rows
-                else np.zeros((0, 0), dtype=float)
-            )
-        finite = self._dist[np.isfinite(self._dist)]
-        scale = float(finite.max()) if finite.size else 1.0
-        #: absolute tolerance for shortest-path membership tests
-        self.tol = 1e-9 * max(scale, 1.0)
+        self._dist: Optional[np.ndarray] = None
+        self._tol: Optional[float] = None
+        self._row_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._cache_rows = (
+            cache_rows
+            if cache_rows is not None
+            else max(32, 4 * int(math.isqrt(max(1, g.n))))
+        )
+        self._diameter: Optional[float] = None
+        self._stats: Optional[Tuple[bool, float, float]] = None
         self._next_hop: Optional[np.ndarray] = None
         #: auto-build the O(n^2)-memory next-hop cache below this size
         self._next_hop_auto_threshold = 4096
 
+        if self._mode == "dense":
+            if self._use_scipy and g.n > 0 and g.m > 0:
+                try:
+                    from scipy.sparse.csgraph import (
+                        dijkstra as csgraph_dijkstra,
+                    )
+                except ImportError:
+                    self._use_scipy = False
+                else:
+                    self._csr = g.to_csr()
+                    dist = csgraph_dijkstra(self._csr, directed=False)
+                    # Per-source float rounding makes dist marginally
+                    # asymmetric; strict comparisons (cluster membership)
+                    # need exact symmetry.
+                    self._dist = np.minimum(dist, dist.T)
+            if self._dist is None:
+                rows = []
+                for u in g.vertices():
+                    dist_u, _ = dijkstra_py(g, u)
+                    rows.append(dist_u)
+                self._dist = (
+                    np.asarray(rows, dtype=float)
+                    if rows
+                    else np.zeros((0, 0), dtype=float)
+                )
+            finite = self._dist[np.isfinite(self._dist)]
+            scale = float(finite.max()) if finite.size else 1.0
+            self._tol = 1e-9 * max(scale, 1.0)
+
+    # ------------------------------------------------------------------
+    # Mode and kernel plumbing
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        """``"dense"`` or ``"lazy"`` (resolved, never ``"auto"``)."""
+        return self._mode
+
+    @property
+    def is_lazy(self) -> bool:
+        return self._mode == "lazy"
+
+    def _kernel(self):
+        """The CSR kernel of the graph, or ``None`` on the pure path."""
+        if self.n == 0 or not use_kernel():
+            return None
+        from .csr import csr_graph
+
+        return csr_graph(self.graph)
+
+    @property
+    def tol(self) -> float:
+        """Absolute tolerance for shortest-path membership tests."""
+        if self._tol is None:
+            # Lazy mode: 2 * ecc(0) >= diam by the triangle inequality,
+            # which gives the right order of magnitude without a full
+            # all-pairs scan.  (Heuristic, like the tolerance itself.)
+            scale = 1.0
+            if self.n > 0:
+                row = self.row(0)
+                finite = row[np.isfinite(row)]
+                if finite.size:
+                    scale = 2.0 * float(finite.max())
+            self._tol = 1e-9 * max(scale, 1.0)
+        return self._tol
+
     # ------------------------------------------------------------------
     # Distances
     # ------------------------------------------------------------------
-    def d(self, u: int, v: int) -> float:
-        """Exact distance between ``u`` and ``v``."""
-        return float(self._dist[u, v])
+    def _compute_rows(self, sources: Sequence[int]) -> np.ndarray:
+        """Distance rows for ``sources``, bypassing the cache."""
+        sources = list(sources)
+        if not sources:
+            return np.zeros((0, self.n), dtype=np.float64)
+        kernel = self._kernel()
+        if kernel is not None:
+            return kernel.rows(sources, prefer_scipy=self._use_scipy)
+        out = np.empty((len(sources), self.n), dtype=np.float64)
+        for i, s in enumerate(sources):
+            out[i] = dijkstra(self.graph, s)[0]
+        return out
 
     def row(self, u: int) -> np.ndarray:
         """Read-only distance row of ``u`` (length ``n``)."""
-        return self._dist[u]
+        if self._dist is not None:
+            return self._dist[u]
+        cached = self._row_cache.get(u)
+        if cached is not None:
+            self._row_cache.move_to_end(u)
+            return cached
+        row = self._compute_rows([u])[0]
+        self._row_cache[u] = row
+        if len(self._row_cache) > self._cache_rows:
+            self._row_cache.popitem(last=False)
+        return row
+
+    def d(self, u: int, v: int) -> float:
+        """Exact distance between ``u`` and ``v``."""
+        if self._dist is not None:
+            return float(self._dist[u, v])
+        return float(self.row(u)[v])
+
+    def rows(self, sources: Sequence[int]) -> np.ndarray:
+        """Distance rows for ``sources`` as a ``(len(sources), n)`` array."""
+        sources = list(sources)
+        if self._dist is not None:
+            return self._dist[sources]
+        missing = [s for s in sources if s not in self._row_cache]
+        fresh: Dict[int, np.ndarray] = {}
+        if missing:
+            computed = self._compute_rows(missing)
+            for s, row in zip(missing, computed):
+                fresh[s] = row
+        out = np.empty((len(sources), self.n), dtype=np.float64)
+        for i, s in enumerate(sources):
+            out[i] = fresh[s] if s in fresh else self.row(s)
+        # Cache the fresh rows afterwards so assembling a batch larger
+        # than the LRU capacity cannot evict rows mid-assembly.
+        for s, row in fresh.items():
+            self.row_cache_put(s, row)
+        return out
+
+    def row_cache_put(self, u: int, row: np.ndarray) -> None:
+        """Insert a computed row into the lazy LRU cache (no-op when dense)."""
+        if self._dist is not None:
+            return
+        self._row_cache[u] = row
+        self._row_cache.move_to_end(u)
+        while len(self._row_cache) > self._cache_rows:
+            self._row_cache.popitem(last=False)
+
+    def columns(self, members: Sequence[int]) -> np.ndarray:
+        """``matrix[:, members]`` as an ``(n, len(members))`` array.
+
+        Distances are symmetric, so the columns of ``members`` are their
+        rows transposed — ``O(|members| * n)`` memory in lazy mode, which
+        is exactly the landmark access pattern of the preprocessing phase.
+        """
+        if self._dist is not None:
+            return self._dist[:, list(members)]
+        return self.rows(members).T
+
+    def iter_row_blocks(
+        self, block_rows: Optional[int] = None
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(start, rows)`` blocks covering all sources in order.
+
+        Dense mode yields the whole matrix as one zero-copy block; lazy
+        mode computes transient blocks of ``block_rows`` rows (default
+        sized so a block stays a few MB) without populating the row cache,
+        so a full scan stays ``O(block * n)`` memory.
+        """
+        if self.n == 0:
+            return
+        if self._dist is not None:
+            yield 0, self._dist
+            return
+        if block_rows is None:
+            block_rows = max(1, (1 << 22) // max(1, 8 * self.n))
+        for start in range(0, self.n, block_rows):
+            stop = min(start + block_rows, self.n)
+            yield start, self._compute_rows(range(start, stop))
+
+    def count_rows_below(self, thresholds: np.ndarray) -> np.ndarray:
+        """``((matrix < thresholds[None, :]).sum(axis=1))`` without the matrix.
+
+        ``out[w] = |{v : d(w, v) < thresholds[v]}|`` — the cluster-size
+        count of Lemma 4 — computed blockwise in lazy mode.
+        """
+        out = np.zeros(self.n, dtype=np.int64)
+        for start, block in self.iter_row_blocks():
+            out[start : start + block.shape[0]] = (
+                block < thresholds[None, :]
+            ).sum(axis=1)
+        return out
 
     @property
     def matrix(self) -> np.ndarray:
-        """The full ``n x n`` distance matrix (do not mutate)."""
+        """The full ``n x n`` distance matrix (do not mutate).
+
+        Lazy-mode escape hatch: materializes (and keeps) the dense matrix,
+        reinstating ``O(n^2)`` memory.  Internal consumers use the
+        row-oriented API instead; this exists for external code and tests.
+        The materialized matrix is symmetrized like the dense-mode one, so
+        the escape hatch honours the original ``matrix`` contract (exact
+        symmetry for strict comparisons).
+        """
+        if self._dist is None:
+            blocks = [block for _, block in self.iter_row_blocks()]
+            if blocks:
+                dist = np.vstack(blocks)
+                self._dist = np.minimum(dist, dist.T)
+            else:
+                self._dist = np.zeros((0, 0), dtype=float)
+            self._row_cache.clear()
         return self._dist
+
+    # ------------------------------------------------------------------
+    # Global scalar facts
+    # ------------------------------------------------------------------
+    def _scan_stats(self) -> Tuple[bool, float, float]:
+        """``(all_finite, max_finite, min_finite_offdiag)`` over all pairs.
+
+        One blockwise pass in lazy mode (cached); direct reads when dense.
+        """
+        if self._stats is None:
+            all_finite = True
+            dmax = 0.0
+            dmin = _INF
+            any_finite = False
+            for start, block in self.iter_row_blocks():
+                finite_mask = np.isfinite(block)
+                if not finite_mask.all():
+                    all_finite = False
+                finite = block[finite_mask]
+                if finite.size:
+                    any_finite = True
+                    dmax = max(dmax, float(finite.max()))
+                    # Exclude the diagonal zeros from the minimum.
+                    rows_idx, cols_idx = np.nonzero(finite_mask)
+                    offdiag = block[finite_mask][
+                        (rows_idx + start) != cols_idx
+                    ]
+                    if offdiag.size:
+                        dmin = min(dmin, float(offdiag.min()))
+            if not any_finite:
+                dmax = 0.0
+            self._stats = (all_finite, dmax, dmin)
+        return self._stats
 
     def is_connected(self) -> bool:
         """True when every pairwise distance is finite."""
-        return bool(np.isfinite(self._dist).all())
+        if self._dist is not None:
+            return bool(np.isfinite(self._dist).all())
+        if self.n == 0:
+            return True
+        # Undirected graph: one row decides connectivity — no need for
+        # the full blockwise scan (row 0 is cached; the tol estimate
+        # computes it anyway).
+        return bool(np.isfinite(self.row(0)).all())
 
     def diameter(self) -> float:
-        """Maximum finite pairwise distance."""
-        finite = self._dist[np.isfinite(self._dist)]
-        return float(finite.max()) if finite.size else 0.0
+        """Maximum finite pairwise distance (cached — hot in Lemma 8)."""
+        if self._diameter is None:
+            if self._dist is not None:
+                finite = self._dist[np.isfinite(self._dist)]
+                self._diameter = float(finite.max()) if finite.size else 0.0
+            else:
+                self._diameter = self._scan_stats()[1]
+        return self._diameter
 
     def normalized_diameter(self) -> float:
         """The paper's ``D = max d(u,v) / min_{u != v} d(u,v)``."""
         if self.n < 2:
             return 1.0
-        off_diag = self._dist[~np.eye(self.n, dtype=bool)]
-        finite = off_diag[np.isfinite(off_diag)]
-        if finite.size == 0:
+        dmin = self.min_pairwise_distance()
+        dmax = self.diameter()
+        if dmax <= 0:
             return 1.0
-        dmin = float(finite.min())
-        dmax = float(finite.max())
         if dmin <= 0:
             raise ValueError("graph contains distinct vertices at distance 0")
         return dmax / dmin
@@ -117,9 +380,12 @@ class MetricView:
         """``min_{u != v} d(u, v)`` (the paper's ``omega_min`` analogue)."""
         if self.n < 2:
             return 1.0
-        off_diag = self._dist[~np.eye(self.n, dtype=bool)]
-        finite = off_diag[np.isfinite(off_diag)]
-        return float(finite.min()) if finite.size else 1.0
+        if self._dist is not None:
+            off_diag = self._dist[~np.eye(self.n, dtype=bool)]
+            finite = off_diag[np.isfinite(off_diag)]
+            return float(finite.min()) if finite.size else 1.0
+        dmin = self._scan_stats()[2]
+        return dmin if math.isfinite(dmin) else 1.0
 
     # ------------------------------------------------------------------
     # Shortest-path structure
@@ -137,7 +403,32 @@ class MetricView:
 
         This is the paper's ``omega_min`` from Lemma 8: edges with
         ``w(u,v) > d(u,v)`` never appear on shortest paths and are ignored.
+        With the CSR kernel available the scan is vectorized per distance
+        row block; the scalar edge loop remains as the fallback.
         """
+        kernel = self._kernel()
+        if kernel is not None and self.graph.m > 0:
+            tol = self.tol
+            best = _INF
+            indptr, indices, weights = (
+                kernel.indptr,
+                kernel.indices,
+                kernel.weights,
+            )
+            for start, block in self.iter_row_blocks():
+                for i in range(block.shape[0]):
+                    u = start + i
+                    lo, hi = indptr[u], indptr[u + 1]
+                    if lo == hi:
+                        continue
+                    w_u = weights[lo:hi]
+                    d_u = block[i, indices[lo:hi]]
+                    tight = np.abs(w_u - d_u) <= tol
+                    if tight.any():
+                        best = min(best, float(w_u[tight].min()))
+            if best is _INF or not math.isfinite(best):
+                raise ValueError("graph has no shortest-path edges")
+            return best
         weights = [
             w for u, v, w in self.graph.edges() if self.is_tight_edge(u, v)
         ]
@@ -159,12 +450,12 @@ class MetricView:
         nh = np.full((n, n), -1, dtype=np.int32)
         for u in range(n):
             best_d = np.full(n, _INF)
-            row_u = self._dist[u]
+            row_u = self.row(u)
             # Ascending neighbour ids + strict improvement == ties to the
             # smaller id, matching the scalar rule.
             for x in sorted(self.graph.neighbors(u)):
                 w = self.graph.weight(u, x)
-                row_x = self._dist[x]
+                row_x = self.row(x)
                 tight = np.abs(w + row_x - row_u) <= self.tol
                 better = tight & (row_x < best_d)
                 best_d[better] = row_x[better]
@@ -181,7 +472,15 @@ class MetricView:
         """
         if u == v:
             raise ValueError("next_hop undefined for u == v")
-        if self._next_hop is None and self.n <= self._next_hop_auto_threshold:
+        # Auto-build only in dense mode: the cache loop reads the rows of
+        # every vertex's neighbours, which a lazy metric would recompute
+        # O(m) times.  Lazy callers get the scalar scan over LRU rows
+        # (or may call build_next_hop_cache explicitly, eyes open).
+        if (
+            self._next_hop is None
+            and self._dist is not None
+            and self.n <= self._next_hop_auto_threshold
+        ):
             self.build_next_hop_cache()
         if self._next_hop is not None:
             hop = int(self._next_hop[u, v])
@@ -208,13 +507,18 @@ class MetricView:
 
         Uses scipy's C Dijkstra when available (the hot path — schemes build
         hundreds of trees).  Any valid SPT serves tree routing; consistency
-        with :attr:`matrix` is guaranteed because distances agree.
+        with the distance oracle is guaranteed because distances agree.
         """
-        if self._csr is not None:
+        mat = self._csr
+        if mat is None and self._use_scipy:
+            kernel = self._kernel()
+            if kernel is not None:
+                mat = kernel._scipy_matrix()
+        if mat is not None:
             from scipy.sparse.csgraph import dijkstra as csgraph_dijkstra
 
             _, pred = csgraph_dijkstra(
-                self._csr, directed=False, indices=root,
+                mat, directed=False, indices=root,
                 return_predecessors=True,
             )
             parents = {root: root}
@@ -222,9 +526,7 @@ class MetricView:
                 if v != root and pred[v] >= 0:
                     parents[v] = int(pred[v])
             return parents
-        from .shortest_paths import dijkstra as py_dijkstra
-
-        dist, parent = py_dijkstra(self.graph, root)
+        dist, parent = dijkstra(self.graph, root)
         parents = {root: root}
         for v in range(self.n):
             if v != root and parent[v] is not None:
@@ -238,24 +540,33 @@ class MetricView:
 
         Used for cluster trees ``T_{C_A(w)}``: every member's SPT parent is
         itself a member (closure), so the restriction is a valid tree.
+
+        Runs Dijkstra on the *induced subgraph* — work proportional to the
+        cluster instead of the whole graph (flat-array CSR kernel when
+        active, an equivalent pure loop otherwise) — and validates closure
+        by checking the induced distances against the oracle's global
+        distances: they coincide exactly when the member set realizes all
+        its shortest paths internally.  Both dispatch paths apply the same
+        criterion, so they accept and reject the same member sets.
         """
-        parents = self.spt_parents(root)
         member_set = set(members)
         if root not in member_set:
             raise ValueError(f"root {root} not among members")
+        dist, parent = subgraph_dijkstra(self.graph, root, members)
+        row = self.row(root)
+        tol = self.tol
         out = {root: root}
         for v in members:
             if v == root:
                 continue
-            p = parents.get(v)
-            if p is None:
-                raise ValueError(f"member {v} unreachable from {root}")
-            if p not in member_set:
+            dv = dist.get(v, _INF)
+            if not math.isfinite(dv) or abs(dv - float(row[v])) > tol:
                 raise ValueError(
                     f"member set not shortest-path closed toward {root}: "
-                    f"parent {p} of {v} is not a member"
+                    f"induced distance of {v} is {dv}, global is "
+                    f"{float(row[v])}"
                 )
-            out[v] = p
+            out[v] = parent[v]
         return out
 
     def shortest_path(self, u: int, v: int) -> List[int]:
@@ -282,7 +593,7 @@ class MetricView:
         """
         if ell <= 0:
             return []
-        row = self._dist[u]
+        row = self.row(u)
         order = np.lexsort((np.arange(self.n), row))
         ball: List[int] = []
         for idx in order:
@@ -293,6 +604,42 @@ class MetricView:
                 break
         return ball
 
+    def all_balls(
+        self, ell: int, *, with_radii: bool = True
+    ) -> Tuple[List[List[int]], Optional[List[float]]]:
+        """``B(u, ell)`` (and radii) for every vertex — the batched sweep.
+
+        In lazy mode this goes through the CSR kernel's chunked
+        :meth:`~repro.graph.csr.CSRGraph.all_balls`, so the whole family
+        costs ``O(chunk * n)`` memory; dense mode reads the matrix rows it
+        already has.  Each mode is internally consistent (balls match that
+        mode's :meth:`ball`/:meth:`row`); across modes results coincide
+        exactly on unweighted graphs, while weighted distances can differ
+        from the symmetrized dense matrix by one ulp at exact float ties
+        (see the module docstring).
+        """
+        if self.n == 0 or ell <= 0:
+            return (
+                [[] for _ in range(self.n)],
+                [0.0] * self.n if with_radii else None,
+            )
+        if self._dist is None:
+            kernel = self._kernel()
+            if kernel is not None:
+                return kernel.all_balls(
+                    min(ell, self.n),
+                    tol=self.tol,
+                    with_radii=with_radii,
+                    prefer_scipy=self._use_scipy,
+                )
+        balls = [self.ball(u, ell) for u in range(self.n)]
+        radii = (
+            [self.ball_radius(u, balls[u]) for u in range(self.n)]
+            if with_radii
+            else None
+        )
+        return balls, radii
+
     def ball_radius(self, u: int, ball: Sequence[int]) -> float:
         """The paper's ``r_u(ell)`` for a ball produced by :meth:`ball`.
 
@@ -301,15 +648,6 @@ class MetricView:
         ``(dist, id)``-prefixes, this is the boundary distance when the
         boundary level is fully contained, else the previous level.
         """
-        if not ball:
-            raise ValueError("empty ball has no radius")
-        row = self._dist[u]
-        dmax = float(row[ball[-1]])
-        at_dmax_total = int(np.count_nonzero(np.abs(row - dmax) <= self.tol))
-        at_dmax_in_ball = sum(
-            1 for b in ball if abs(row[b] - dmax) <= self.tol
-        )
-        if at_dmax_in_ball == at_dmax_total:
-            return dmax
-        inner = [float(row[b]) for b in ball if row[b] < dmax - self.tol]
-        return max(inner) if inner else 0.0
+        from .csr import _radius_from_row
+
+        return _radius_from_row(self.row(u), list(ball), self.tol)

@@ -9,13 +9,24 @@ the total order ``x <_u y  iff  (d(u,x), x) < (d(u,y), y)``.  Property 1 —
 ``v in B(u, ell)`` and ``w`` on a shortest ``u``–``v`` path implies
 ``v in B(w, ell)`` — holds for this order for *every* shortest path, which is
 what makes ball routing (Lemma 2) loop-free.  All ball computations in the
-repository go through :func:`truncated_dijkstra` or
-:func:`repro.graph.metric.MetricView.ball`, both of which honour this order.
+repository go through :func:`truncated_dijkstra` / :func:`all_balls` or
+:func:`repro.graph.metric.MetricView.ball`, all of which honour this order.
+
+Kernel dispatch
+---------------
+Each public function dispatches to the flat-array CSR kernel
+(:mod:`repro.graph.csr`) when numpy imports cleanly, and otherwise runs the
+pure-Python implementation.  The pure implementations stay exported under
+``*_py`` names as the differential-test reference; setting the environment
+variable ``REPRO_KERNEL=pure`` forces them everywhere.  Both paths produce
+*identical* results — same distances, same ``(dist, id)`` ball order, same
+deterministic parents — which ``tests/graph/test_csr.py`` asserts.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,10 +38,43 @@ __all__ = [
     "truncated_dijkstra",
     "shortest_path_tree",
     "multi_source_distances",
+    "all_balls",
+    "bounded_distance",
+    "subgraph_dijkstra",
     "path_length",
+    "dijkstra_py",
+    "truncated_dijkstra_py",
+    "multi_source_distances_py",
+    "bounded_distance_py",
+    "subgraph_dijkstra_py",
+    "use_kernel",
 ]
 
 _INF = float("inf")
+
+
+def use_kernel() -> bool:
+    """Whether the CSR kernel is active (numpy present, no env override)."""
+    if os.environ.get("REPRO_KERNEL", "").strip().lower() in (
+        "pure",
+        "py",
+        "python",
+    ):
+        return False
+    try:
+        from . import csr  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _kernel(g: Graph):
+    """The cached CSR kernel for ``g``, or ``None`` for the pure path."""
+    if g.n == 0 or not use_kernel():
+        return None
+    from .csr import csr_graph
+
+    return csr_graph(g)
 
 
 def bfs_distances(g: Graph, source: int) -> List[float]:
@@ -50,12 +94,22 @@ def bfs_distances(g: Graph, source: int) -> List[float]:
 def dijkstra(
     g: Graph, source: int
 ) -> Tuple[List[float], List[Optional[int]]]:
-    """Single-source Dijkstra.
+    """Single-source Dijkstra (kernel-dispatched).
 
     Returns ``(dist, parent)`` where ``parent[v]`` is ``v``'s predecessor on
     a shortest path from ``source`` (ties resolved toward the smallest
     ``(distance, id)`` predecessor, keeping trees deterministic).
     """
+    kernel = _kernel(g)
+    if kernel is not None:
+        return kernel.dijkstra(source)
+    return dijkstra_py(g, source)
+
+
+def dijkstra_py(
+    g: Graph, source: int
+) -> Tuple[List[float], List[Optional[int]]]:
+    """Pure-Python single-source Dijkstra (differential-test reference)."""
     dist = [_INF] * g.n
     parent: List[Optional[int]] = [None] * g.n
     dist[source] = 0.0
@@ -83,11 +137,20 @@ def truncated_dijkstra(
     Returns ``(ball, dist)`` where ``ball`` lists the closest vertices in
     increasing ``(distance, id)`` order (``source`` itself first) and ``dist``
     maps each ball member to its distance.  This is the paper's
-    ``B(u, ell)``.
-
-    The heap is keyed by ``(distance, id)`` so pops follow exactly the total
-    order ``<_u`` described in the module docstring.
+    ``B(u, ell)``.  Kernel-dispatched; both paths key their heap by
+    ``(distance, id)`` so pops follow exactly the total order ``<_u``
+    described in the module docstring.
     """
+    kernel = _kernel(g)
+    if kernel is not None:
+        return kernel.truncated_dijkstra(source, ell)
+    return truncated_dijkstra_py(g, source, ell)
+
+
+def truncated_dijkstra_py(
+    g: Graph, source: int, ell: int
+) -> Tuple[List[int], Dict[int, float]]:
+    """Pure-Python truncated Dijkstra (differential-test reference)."""
     if ell <= 0:
         return [], {}
     ball: List[int] = []
@@ -108,6 +171,67 @@ def truncated_dijkstra(
                 best[v] = nd
                 heapq.heappush(heap, (nd, v))
     return ball, dist
+
+
+def all_balls(
+    g: Graph, ell: int, *, tol: float = 0.0, with_radii: bool = False
+) -> Tuple[List[List[int]], Optional[List[float]]]:
+    """``B(u, ell)`` for every vertex, batched (kernel-dispatched).
+
+    Returns ``(balls, radii)`` with ``radii`` ``None`` unless requested.
+    The kernel path reuses preallocated per-source buffers (or scipy's C
+    Dijkstra, chunked) instead of reallocating per source; the pure path
+    loops :func:`truncated_dijkstra_py`.  Ball contents and order are
+    identical on every path.
+    """
+    if g.n == 0 or ell <= 0:
+        # Same degenerate result on every path (the kernel short-circuits
+        # identically before its radius computation).
+        return (
+            [[] for _ in range(g.n)],
+            [0.0] * g.n if with_radii else None,
+        )
+    kernel = _kernel(g)
+    if kernel is not None:
+        return kernel.all_balls(ell, tol=tol, with_radii=with_radii)
+    balls: List[List[int]] = []
+    radii: Optional[List[float]] = [] if with_radii else None
+    for u in g.vertices():
+        ball, dist = truncated_dijkstra_py(g, u, min(ell, g.n))
+        balls.append(ball)
+        if with_radii:
+            radii.append(_ball_radius_py(g, ball, dist, tol))
+    return balls, radii
+
+
+def _ball_radius_py(
+    g: Graph, ball: List[int], dist: Dict[int, float], tol: float
+) -> float:
+    """Radius ``r_u(ell)`` for a pure-path ball (reference implementation).
+
+    The boundary level is complete iff no vertex outside the ball lies
+    within ``tol`` of the boundary distance; outside vertices at smaller
+    distance cannot exist because balls are ``(dist, id)`` prefixes, so it
+    suffices to scan the neighbours of ball members.
+    """
+    if not ball:
+        raise ValueError("empty ball has no radius")
+    dmax = dist[ball[-1]]
+    complete = True
+    for u in ball:
+        du = dist[u]
+        for v, w in g.neighbor_items(u):
+            if v in dist:
+                continue
+            if du + w <= dmax + tol:
+                complete = False
+                break
+        if not complete:
+            break
+    if complete:
+        return dmax
+    inner = [d for d in dist.values() if d < dmax - tol]
+    return max(inner) if inner else 0.0
 
 
 def shortest_path_tree(
@@ -149,17 +273,31 @@ def multi_source_distances(g: Graph, sources: Sequence[int]) -> Tuple[List[float
     """Distance to the nearest source, and that source, for every vertex.
 
     Returns ``(dist, nearest)``.  ``nearest[v]`` is the paper's ``p_A(v)``
-    with ties broken toward the smaller source id (lexicographic rule).
-    ``nearest[v] == -1`` when no source is reachable.
+    with ties broken *lexicographically*: among sources at equal distance
+    from ``v``, the smallest source id wins — the heap carries
+    ``(dist, source, vertex)`` keys so pops realize exactly that order.
+    Duplicate sources are deduplicated up front (a repeated source carries
+    no extra information, and deduplication keeps the seeding loop
+    branch-free).  ``nearest[v] == -1`` when no source is reachable.
+    Kernel-dispatched.
     """
+    kernel = _kernel(g)
+    if kernel is not None:
+        return kernel.multi_source_distances(sources)
+    return multi_source_distances_py(g, sources)
+
+
+def multi_source_distances_py(
+    g: Graph, sources: Sequence[int]
+) -> Tuple[List[float], List[int]]:
+    """Pure-Python multi-source Dijkstra (differential-test reference)."""
     dist = [_INF] * g.n
     nearest = [-1] * g.n
     heap: List[Tuple[float, int, int]] = []
-    for s in sorted(sources):
-        if dist[s] == _INF or s < nearest[s]:
-            dist[s] = 0.0
-            nearest[s] = s
-            heap.append((0.0, s, s))
+    for s in sorted(set(sources)):
+        dist[s] = 0.0
+        nearest[s] = s
+        heap.append((0.0, s, s))
     heapq.heapify(heap)
     while heap:
         d, src, u = heapq.heappop(heap)
@@ -172,6 +310,102 @@ def multi_source_distances(g: Graph, sources: Sequence[int]) -> Tuple[List[float
                 nearest[v] = src
                 heapq.heappush(heap, (nd, src, v))
     return dist, nearest
+
+
+def bounded_distance(
+    g: Graph, source: int, target: int, limit: float
+) -> float:
+    """``d(source, target)`` when at most ``limit``; ``inf`` otherwise.
+
+    Uses the CSR kernel only when a *current* CSR mirror is already cached
+    on ``g`` — never builds one, because the hot caller (the greedy
+    spanner) queries a graph it is still mutating, where a per-call
+    O(n + m) rebuild would dwarf the query.  Static graphs get the kernel
+    by building it once via :func:`repro.graph.csr.csr_graph`.
+    """
+    if use_kernel() and g.n > 0:
+        from .csr import cached_csr_graph
+
+        kernel = cached_csr_graph(g)
+        if kernel is not None:
+            return kernel.bounded_distance(source, target, limit)
+    return bounded_distance_py(g, source, target, limit)
+
+
+def bounded_distance_py(
+    g: Graph, source: int, target: int, limit: float
+) -> float:
+    """Pure-Python bounded-radius Dijkstra (differential-test reference)."""
+    dist = {source: 0.0}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    seen: set = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in seen:
+            continue
+        seen.add(u)
+        if u == target:
+            return d
+        if d > limit:
+            return _INF
+        for v, w in g.neighbor_items(u):
+            nd = d + w
+            if nd <= limit and nd < dist.get(v, _INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return _INF
+
+
+def subgraph_dijkstra(
+    g: Graph, root: int, members: Sequence[int]
+) -> Tuple[Dict[int, float], Dict[int, int]]:
+    """Dijkstra restricted to the subgraph induced by ``members``.
+
+    Returns ``(dist, parent)`` maps over the member set (unreachable
+    members absent; ``parent[root] == root``).  For shortest-path-closed
+    member sets (the paper's clusters) the induced distances equal the
+    global ones, which is what
+    :meth:`repro.graph.metric.MetricView.restricted_spt_parents` validates.
+    Kernel-dispatched; parent ties go to the smallest predecessor id on
+    both paths.
+    """
+    kernel = _kernel(g)
+    if kernel is not None:
+        return kernel.subgraph_dijkstra(root, members)
+    return subgraph_dijkstra_py(g, root, members)
+
+
+def subgraph_dijkstra_py(
+    g: Graph, root: int, members: Sequence[int]
+) -> Tuple[Dict[int, float], Dict[int, int]]:
+    """Pure-Python induced-subgraph Dijkstra (differential-test reference)."""
+    member_set = set(members)
+    if root not in member_set:
+        raise ValueError(f"root {root} not among members")
+    dist: Dict[int, float] = {root: 0.0}
+    parent: Dict[int, int] = {root: root}
+    settled: set = set()
+    heap: List[Tuple[float, int]] = [(0.0, root)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if d > dist.get(u, _INF):
+            continue
+        settled.add(u)
+        for v, w in g.neighbor_items(u):
+            if v not in member_set:
+                continue
+            nd = d + w
+            dv = dist.get(v, _INF)
+            if nd < dv:
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+            elif nd == dv and v not in settled and u < parent[v]:
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    return dist, parent
 
 
 def path_length(g: Graph, path: Sequence[int]) -> float:

@@ -38,21 +38,25 @@ def ball_size_parameter(n: int, q: float, alpha: float) -> int:
 
 
 class BallFamily:
-    """All balls ``B(u, ell)`` of a graph for one size parameter ``ell``."""
+    """All balls ``B(u, ell)`` of a graph for one size parameter ``ell``.
+
+    Construction goes through :meth:`MetricView.all_balls` — the batched
+    sweep that, with a lazy metric, runs on the CSR kernel with reused
+    per-source buffers (never materializing the distance matrix) and, with
+    a dense metric, reads the matrix rows it already has.  Either way the
+    balls agree exactly with the owning metric's own ``ball``/``row``
+    view, which is what Property 1 and the routing structures rely on.
+    """
 
     def __init__(self, metric: MetricView, ell: int) -> None:
         if ell < 1:
             raise ValueError(f"ball size must be >= 1, got {ell}")
         self.metric = metric
         self.ell = min(ell, metric.n)
-        self._balls: List[List[int]] = []
-        self._sets: List[FrozenSet[int]] = []
-        self._radii: List[float] = []
-        for u in range(metric.n):
-            ball = metric.ball(u, self.ell)
-            self._balls.append(ball)
-            self._sets.append(frozenset(ball))
-            self._radii.append(metric.ball_radius(u, ball))
+        balls, radii = metric.all_balls(self.ell, with_radii=True)
+        self._balls: List[List[int]] = balls
+        self._radii: List[float] = radii
+        self._sets: List[FrozenSet[int]] = [frozenset(b) for b in balls]
 
     @property
     def n(self) -> int:
@@ -61,6 +65,10 @@ class BallFamily:
     def ball(self, u: int) -> List[int]:
         """``B(u, ell)`` in increasing ``(distance, id)`` order."""
         return self._balls[u]
+
+    def balls(self) -> List[List[int]]:
+        """All balls, indexed by vertex (shared list — do not mutate)."""
+        return self._balls
 
     def ball_set(self, u: int) -> FrozenSet[int]:
         """``B(u, ell)`` as a set for O(1) membership."""

@@ -33,7 +33,7 @@ class BunchStructure:
         if not self.landmarks:
             raise ValueError("landmark set must be nonempty")
         n = metric.n
-        sub = metric.matrix[:, self.landmarks]  # (n, |A|)
+        sub = metric.columns(self.landmarks)  # (n, |A|)
         # p_A(v): closest landmark, ties to the smaller landmark id; the
         # landmark columns are sorted by id, so argmin's first-hit rule is
         # exactly the lexicographic tie break.
@@ -43,13 +43,18 @@ class BunchStructure:
 
         self._bunches: List[List[int]] = [[] for _ in range(n)]
         self._clusters: Dict[int, List[int]] = {}
-        rows_less = metric.matrix < self._d_to_a[None, :]  # [w, v]
-        for w in range(n):
-            members = np.flatnonzero(rows_less[w]).tolist()
-            if members:
-                self._clusters[w] = members
-            for v in members:
-                self._bunches[v].append(w)
+        d_to_a = self._d_to_a[None, :]
+        # Blockwise row scan: cluster of w reads only d(w, .), so the full
+        # n x n "rows_less" boolean matrix never materializes.
+        for start, block in metric.iter_row_blocks():
+            rows_less = block < d_to_a  # [w - start, v]
+            for i in range(block.shape[0]):
+                w = start + i
+                members = np.flatnonzero(rows_less[i]).tolist()
+                if members:
+                    self._clusters[w] = members
+                for v in members:
+                    self._bunches[v].append(w)
         self._trees: Dict[int, RootedTree] = {}
 
     # ------------------------------------------------------------------

@@ -27,16 +27,20 @@ def _distance_to_set(metric: MetricView, members: List[int]) -> np.ndarray:
     """``d(v, A)`` for every vertex ``v`` (``inf`` for empty ``A``)."""
     if not members:
         return np.full(metric.n, np.inf)
-    return metric.matrix[:, members].min(axis=1)
+    # Landmark columns are the landmark rows transposed (symmetry), which
+    # keeps this O(|A| * n) memory with a lazy metric.
+    return metric.columns(members).min(axis=1)
 
 
 def cluster_sizes(metric: MetricView, members: List[int]) -> np.ndarray:
     """``|C_A(w)|`` for every ``w`` with ``A = members``.
 
     ``C_A(w) = {v : d(w, v) < d(v, A)}`` (strict, following the paper).
+    Counted blockwise through the metric's row-oriented API so no dense
+    ``n x n`` comparison matrix is ever materialized.
     """
     d_to_a = _distance_to_set(metric, members)
-    return (metric.matrix < d_to_a[None, :]).sum(axis=1)
+    return metric.count_rows_below(d_to_a)
 
 
 def sample_cluster_bounded(

@@ -47,6 +47,33 @@ class TestConstruction:
         assert g.m == 1
         assert h.m == 2
 
+    def test_copy_preserves_neighbor_insertion_order(self):
+        """Regression: copy() used to re-add edges in u < v scan order,
+        silently permuting the port numbering of copied graphs."""
+        g = Graph(4)
+        g.add_edge(2, 3)
+        g.add_edge(2, 0)
+        g.add_edge(2, 1)
+        g.add_edge(0, 1)
+        h = g.copy()
+        for u in g.vertices():
+            assert h.neighbors(u) == g.neighbors(u)
+        assert h.neighbors(2) == [3, 0, 1]  # insertion order, not [0, 1, 3]
+        assert h.neighbor_items(2) == g.neighbor_items(2)
+
+    def test_copy_preserves_ports(self):
+        from repro.routing.ports import PortAssignment
+
+        g = Graph(5)
+        for u, v in [(3, 1), (3, 4), (3, 0), (1, 0), (4, 0), (2, 4)]:
+            g.add_edge(u, v)
+        h = g.copy()
+        pg, ph = PortAssignment(g), PortAssignment(h)
+        for u in g.vertices():
+            assert pg.degree(u) == ph.degree(u)
+            for p in range(pg.degree(u)):
+                assert pg.neighbor(u, p) == ph.neighbor(u, p)
+
 
 class TestMutation:
     def test_self_loop_rejected(self):

@@ -1,0 +1,425 @@
+"""Differential tests: CSR kernel vs pure Python vs scipy.
+
+The CSR kernel must be a *drop-in* replacement for the pure-Python
+shortest-path substrate: identical distances, identical ball memberships
+and — crucially for the paper's Section 2 total order — identical
+``(dist, id)`` ball *order*.  These tests pin that equivalence on random
+weighted and unweighted graphs for every kernel path (flat Python loops,
+the scipy-limit batch, and the unit-weight BFS sweep).
+
+A note on the dense matrix: ``MetricView`` in dense+scipy mode symmetrizes
+its matrix (``min(dist, dist.T)``), which can differ from any forward
+single-source run by one ulp on weighted graphs.  Kernel results are
+therefore compared against the *forward* pure reference (exact equality),
+and against the dense metric only on unweighted graphs, where all paths
+are exact.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graph.core import Graph
+from repro.graph.csr import CSRGraph, cached_csr_graph, csr_graph
+from repro.graph.generators import (
+    erdos_renyi,
+    grid,
+    random_geometric,
+    with_random_weights,
+)
+from repro.graph.metric import MetricView
+from repro.graph.shortest_paths import (
+    _ball_radius_py,
+    all_balls,
+    bounded_distance,
+    bounded_distance_py,
+    dijkstra,
+    dijkstra_py,
+    multi_source_distances,
+    multi_source_distances_py,
+    truncated_dijkstra,
+    truncated_dijkstra_py,
+    use_kernel,
+)
+
+
+def _graphs():
+    """Random weighted and unweighted graphs of a few shapes."""
+    gs = []
+    for seed in (1, 5):
+        g = erdos_renyi(50, 0.12, seed=seed)
+        gs.append(("er-unweighted", g))
+        gs.append(("er-weighted", with_random_weights(g, seed=seed + 50)))
+    gs.append(("grid", grid(6, 7)))
+    gs.append(("geometric-weighted", random_geometric(60, 0.25, seed=3)))
+    gs.append(("sparse-disconnected", erdos_renyi(60, 0.03, seed=11)))
+    return gs
+
+
+GRAPHS = _graphs()
+
+
+@pytest.fixture(params=GRAPHS, ids=[name for name, _ in GRAPHS])
+def graph(request):
+    return request.param[1]
+
+
+class TestKernelAvailability:
+    def test_kernel_active_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert use_kernel()
+
+    def test_env_override_forces_pure(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "pure")
+        assert not use_kernel()
+        g = erdos_renyi(20, 0.2, seed=1)
+        # dispatch still returns correct results on the pure path
+        assert dijkstra(g, 0) == dijkstra_py(g, 0)
+
+    def test_csr_cache_invalidated_by_mutation(self):
+        g = erdos_renyi(20, 0.2, seed=2)
+        k1 = csr_graph(g)
+        assert csr_graph(g) is k1
+        assert cached_csr_graph(g) is k1
+        u, v = next((u, v) for u in range(20) for v in range(20)
+                    if u != v and not g.has_edge(u, v))
+        g.add_edge(u, v, 1.0)
+        assert cached_csr_graph(g) is None
+        k2 = csr_graph(g)
+        assert k2 is not k1
+        assert k2.m == k1.m + 1
+
+
+class TestDijkstraAgreement:
+    def test_distances_and_parents_identical(self, graph):
+        kernel = csr_graph(graph)
+        for source in range(0, graph.n, 7):
+            dist_py, parent_py = dijkstra_py(graph, source)
+            dist_k, parent_k = kernel.dijkstra(source)
+            assert dist_k == dist_py  # bitwise, not approx
+            assert parent_k == parent_py
+
+    def test_dispatch_matches_pure(self, graph):
+        dist, parent = dijkstra(graph, 0)
+        dist_py, parent_py = dijkstra_py(graph, 0)
+        assert dist == dist_py and parent == parent_py
+
+
+class TestTruncatedAgreement:
+    @pytest.mark.parametrize("ell", [1, 2, 7, 23, 1000])
+    def test_ball_and_order_identical(self, graph, ell):
+        kernel = csr_graph(graph)
+        for source in range(0, graph.n, 9):
+            ball_py, dist_py = truncated_dijkstra_py(graph, source, ell)
+            ball_k, dist_k = kernel.truncated_dijkstra(source, ell)
+            assert ball_k == ball_py  # same members in the same order
+            assert dist_k == dist_py
+
+    def test_dispatch_matches_pure(self, graph):
+        assert truncated_dijkstra(graph, 0, 9) == truncated_dijkstra_py(
+            graph, 0, 9
+        )
+
+
+class TestAllBallsAgreement:
+    """Every all_balls path returns the pure reference exactly."""
+
+    @pytest.mark.parametrize("ell", [1, 4, 13, 40])
+    def test_all_paths_identical(self, graph, ell):
+        tol = 1e-9
+        ell_eff = min(ell, graph.n)
+        ref_balls = []
+        ref_radii = []
+        for u in graph.vertices():
+            ball, dist = truncated_dijkstra_py(graph, u, ell_eff)
+            ref_balls.append(ball)
+            ref_radii.append(_ball_radius_py(graph, ball, dist, tol))
+        kernel = csr_graph(graph)
+        flat_balls, flat_radii = kernel.all_balls(
+            ell_eff, tol=tol, with_radii=True, prefer_scipy=False
+        )
+        assert flat_balls == ref_balls
+        assert flat_radii == ref_radii
+        scipy_balls, scipy_radii = kernel.all_balls(
+            ell_eff, tol=tol, with_radii=True, prefer_scipy=True
+        )
+        assert scipy_balls == ref_balls
+        assert scipy_radii == ref_radii
+        disp_balls, _ = all_balls(graph, ell, tol=tol)
+        assert disp_balls == ref_balls
+
+    def test_zero_ell_same_on_every_path(self, graph, monkeypatch):
+        n = graph.n
+        expect = ([[] for _ in range(n)], [0.0] * n)
+        assert all_balls(graph, 0, with_radii=True) == expect
+        monkeypatch.setenv("REPRO_KERNEL", "pure")
+        assert all_balls(graph, 0, with_radii=True) == expect
+        monkeypatch.delenv("REPRO_KERNEL")
+        m = MetricView(graph, mode="lazy")
+        assert m.all_balls(0) == expect
+        assert MetricView(graph, mode="dense").all_balls(0) == expect
+
+    def test_scipy_limit_path_forced(self):
+        # Large-ish sparse graph so 4*ell <= n actually takes the
+        # scipy-limit branch (with redo safety net) rather than BFS.
+        g = with_random_weights(erdos_renyi(300, 0.02, seed=8), seed=9)
+        kernel = csr_graph(g)
+        ell = 20
+        ref = [truncated_dijkstra_py(g, u, ell)[0] for u in g.vertices()]
+        got, _ = kernel.all_balls(ell, tol=1e-9, prefer_scipy=True)
+        assert got == ref
+
+    def test_bfs_path_forced(self):
+        g = erdos_renyi(300, 0.02, seed=8)  # unit weights -> BFS sweep
+        kernel = csr_graph(g)
+        assert kernel.is_unweighted()
+        ell = 20
+        ref_balls = []
+        ref_radii = []
+        for u in g.vertices():
+            ball, dist = truncated_dijkstra_py(g, u, ell)
+            ref_balls.append(ball)
+            ref_radii.append(_ball_radius_py(g, ball, dist, 1e-9))
+        got, radii = kernel.all_balls(ell, tol=1e-9, with_radii=True)
+        assert got == ref_balls
+        assert radii == ref_radii
+
+
+class TestMultiSourceAgreement:
+    def test_identical(self, graph):
+        kernel = csr_graph(graph)
+        sources = [0, graph.n // 3, graph.n - 1]
+        assert kernel.multi_source_distances(
+            sources
+        ) == multi_source_distances_py(graph, sources)
+
+    def test_duplicate_sources(self, graph):
+        """Deduplication: repeated sources change nothing (satellite)."""
+        sources = [0, graph.n // 2, graph.n // 2, 0, 0]
+        expect = multi_source_distances(graph, [0, graph.n // 2])
+        assert multi_source_distances(graph, sources) == expect
+        assert multi_source_distances_py(graph, sources) == expect
+
+
+class TestBoundedDistanceAgreement:
+    @pytest.mark.parametrize("limit", [0.5, 2.0, 7.5, float("inf")])
+    def test_identical(self, graph, limit):
+        kernel = csr_graph(graph)
+        for s, t in [(0, graph.n - 1), (1, graph.n // 2), (3, 3)]:
+            assert kernel.bounded_distance(
+                s, t, limit
+            ) == bounded_distance_py(graph, s, t, limit)
+
+    def test_dispatch_uses_cached_kernel_only(self):
+        g = erdos_renyi(30, 0.15, seed=4)
+        assert cached_csr_graph(g) is None
+        # no cached kernel -> pure path, still correct
+        assert bounded_distance(g, 0, 5, 100.0) == bounded_distance_py(
+            g, 0, 5, 100.0
+        )
+        csr_graph(g)
+        assert bounded_distance(g, 0, 5, 100.0) == bounded_distance_py(
+            g, 0, 5, 100.0
+        )
+
+
+class TestSubgraphDijkstra:
+    def test_closed_set_matches_global_distances(self):
+        g = with_random_weights(erdos_renyi(40, 0.15, seed=6), seed=7)
+        kernel = csr_graph(g)
+        dist_py, _ = dijkstra_py(g, 0)
+        # A shortest-path-closed set toward 0: the 12 closest vertices.
+        members, _ = truncated_dijkstra_py(g, 0, 12)
+        dist, parent = kernel.subgraph_dijkstra(0, members)
+        for v in members:
+            assert dist[v] == dist_py[v]
+            assert parent[v] in members
+
+    def test_kernel_matches_pure_reference(self, graph):
+        from repro.graph.shortest_paths import subgraph_dijkstra_py
+
+        kernel = csr_graph(graph)
+        members, _ = truncated_dijkstra_py(graph, 0, max(3, graph.n // 3))
+        assert kernel.subgraph_dijkstra(0, members) == subgraph_dijkstra_py(
+            graph, 0, members
+        )
+
+    def test_root_not_member_raises(self):
+        from repro.graph.shortest_paths import subgraph_dijkstra_py
+
+        g = grid(3, 3)
+        with pytest.raises(ValueError):
+            csr_graph(g).subgraph_dijkstra(0, [1, 2])
+        with pytest.raises(ValueError):
+            subgraph_dijkstra_py(g, 0, [1, 2])
+
+    def test_distance_closed_set_accepted_on_both_paths(self, monkeypatch):
+        """Diamond: 3's deterministic global SPT parent (1) is outside the
+        member set, but {0,2,3} realizes all its shortest paths internally
+        — both dispatch paths must accept it with the same tree."""
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        m = MetricView(g, mode="dense")
+        expect = {0: 0, 2: 0, 3: 2}
+        assert m.restricted_spt_parents(0, [0, 2, 3]) == expect
+        monkeypatch.setenv("REPRO_KERNEL", "pure")
+        assert m.restricted_spt_parents(0, [0, 2, 3]) == expect
+
+
+class TestMetricModesAgree:
+    """Dense and lazy MetricView agree on unweighted graphs (exact)."""
+
+    @pytest.mark.parametrize("use_scipy", [True, False])
+    def test_lazy_matches_dense_unweighted(self, use_scipy):
+        g = erdos_renyi(40, 0.12, seed=13)
+        dense = MetricView(g, use_scipy=use_scipy, mode="dense")
+        lazy = MetricView(g, use_scipy=use_scipy, mode="lazy")
+        assert dense.mode == "dense" and lazy.mode == "lazy"
+        for u in range(g.n):
+            assert np.array_equal(lazy.row(u), dense.row(u))
+        for ell in (1, 6, 17):
+            for u in range(0, g.n, 5):
+                assert lazy.ball(u, ell) == dense.ball(u, ell)
+        fam_d, rad_d = dense.all_balls(9)
+        fam_l, rad_l = lazy.all_balls(9)
+        assert fam_l == fam_d
+        assert rad_l == rad_d
+
+    def test_lazy_matches_dense_weighted_approx(self):
+        g = with_random_weights(erdos_renyi(40, 0.12, seed=14), seed=15)
+        dense = MetricView(g, mode="dense")
+        lazy = MetricView(g, mode="lazy")
+        for u in range(0, g.n, 3):
+            assert np.allclose(lazy.row(u), dense.row(u))
+        # random float weights make exact (dist, id) ties measure-zero,
+        # so ball order agrees despite the dense matrix symmetrization
+        for u in range(0, g.n, 7):
+            assert lazy.ball(u, 11) == dense.ball(u, 11)
+
+    def test_lazy_scalar_facts(self):
+        g = erdos_renyi(35, 0.15, seed=16)
+        dense = MetricView(g, mode="dense")
+        lazy = MetricView(g, mode="lazy")
+        assert lazy.is_connected() == dense.is_connected()
+        assert lazy.diameter() == dense.diameter()
+        assert lazy.min_pairwise_distance() == dense.min_pairwise_distance()
+        assert lazy.normalized_diameter() == dense.normalized_diameter()
+
+    def test_lazy_columns_and_counts(self):
+        # Unweighted: integer distances are exact on every path, so the
+        # strict < counts match bit-for-bit (weighted rows can differ by
+        # one ulp from the symmetrized dense matrix at exact ties).
+        g = erdos_renyi(30, 0.2, seed=17)
+        dense = MetricView(g, mode="dense")
+        lazy = MetricView(g, mode="lazy")
+        members = [2, 11, 23]
+        assert np.array_equal(lazy.columns(members), dense.columns(members))
+        thr = dense.columns(members).min(axis=1)
+        assert np.array_equal(
+            lazy.count_rows_below(thr), dense.count_rows_below(thr)
+        )
+
+    def test_lazy_matrix_escape_hatch(self):
+        g = erdos_renyi(25, 0.2, seed=19)
+        dense = MetricView(g, mode="dense")
+        lazy = MetricView(g, mode="lazy")
+        assert np.array_equal(lazy.matrix, dense.matrix)
+
+    def test_lazy_row_cache_evicts(self):
+        g = erdos_renyi(30, 0.2, seed=20)
+        lazy = MetricView(g, mode="lazy", cache_rows=4)
+        for u in range(g.n):
+            lazy.row(u)
+        assert len(lazy._row_cache) <= 4
+
+    def test_auto_mode_threshold(self):
+        g = erdos_renyi(12, 0.4, seed=21)
+        assert MetricView(g, dense_threshold=20).mode == "dense"
+        assert MetricView(g, dense_threshold=5).mode == "lazy"
+
+
+class TestLazyStructuresIntegration:
+    """The rewired structures agree across metric modes (unweighted=exact)."""
+
+    def test_bunch_structure_lazy_equals_dense(self):
+        from repro.structures.bunches import BunchStructure
+
+        g = erdos_renyi(40, 0.15, seed=23)
+        landmarks = [3, 17, 31]
+        dense = BunchStructure(MetricView(g, mode="dense"), landmarks)
+        lazy = BunchStructure(MetricView(g, mode="lazy"), landmarks)
+        for v in range(g.n):
+            assert lazy.pivot(v) == dense.pivot(v)
+            assert lazy.bunch(v) == dense.bunch(v)
+            assert lazy.cluster(v) == dense.cluster(v)
+
+    def test_hierarchy_and_oracle_lazy_equals_dense(self):
+        from repro.baselines.hierarchy import SampledHierarchy
+        from repro.baselines.tz_oracle import TZOracle
+
+        g = erdos_renyi(45, 0.15, seed=24)
+        md, ml = MetricView(g, mode="dense"), MetricView(g, mode="lazy")
+        hd = SampledHierarchy(md, 2, seed=5)
+        hl = SampledHierarchy(ml, 2, seed=5)
+        assert hd.level(1) == hl.level(1)
+        for v in range(g.n):
+            assert hd.bunch(v) == hl.bunch(v)
+            assert hd.pivot(1, v) == hl.pivot(1, v)
+        hl.validate()
+        od = TZOracle(g, k=2, seed=5, metric=md, hierarchy=hd)
+        ol = TZOracle(g, k=2, seed=5, metric=ml, hierarchy=hl)
+        for u in range(0, g.n, 3):
+            for v in range(1, g.n, 5):
+                assert od.query(u, v) == ol.query(u, v)
+
+    def test_cluster_sampling_lazy_equals_dense(self):
+        from repro.structures.sampling import (
+            cluster_sizes,
+            sample_cluster_bounded,
+        )
+
+        g = erdos_renyi(40, 0.15, seed=25)
+        md, ml = MetricView(g, mode="dense"), MetricView(g, mode="lazy")
+        members = [1, 8, 22, 39]
+        assert np.array_equal(
+            cluster_sizes(md, members), cluster_sizes(ml, members)
+        )
+        assert sample_cluster_bounded(md, 6.0, seed=3) == (
+            sample_cluster_bounded(ml, 6.0, seed=3)
+        )
+
+    def test_restricted_spt_lazy_and_kernel(self):
+        g = with_random_weights(erdos_renyi(40, 0.15, seed=26), seed=27)
+        m = MetricView(g, mode="dense")
+        members = m.ball(0, 12)  # (dist, id)-prefix => shortest-path closed
+        parents = m.restricted_spt_parents(0, members)
+        assert parents[0] == 0
+        member_set = set(members)
+        for v, p in parents.items():
+            assert p in member_set
+            if v != 0:
+                assert m.d(0, v) == pytest.approx(m.d(0, p) + g.weight(p, v))
+
+    def test_restricted_spt_rejects_non_closed(self):
+        from repro.graph.generators import path as path_graph
+
+        m = MetricView(path_graph(5), mode="dense")
+        with pytest.raises(ValueError):
+            m.restricted_spt_parents(0, [0, 4])
+
+
+class TestCSRStructure:
+    def test_insertion_order_preserved(self):
+        g = Graph(4)
+        g.add_edge(2, 3)
+        g.add_edge(2, 0)
+        g.add_edge(2, 1)
+        k = CSRGraph.from_graph(g)
+        lo, hi = k.indptr[2], k.indptr[3]
+        assert k.indices[lo:hi].tolist() == [3, 0, 1]
+
+    def test_empty_graph(self):
+        k = CSRGraph.from_graph(Graph(0))
+        assert k.n == 0 and k.m == 0
+        balls, radii = k.all_balls(3, with_radii=True)
+        assert balls == [] and radii == []

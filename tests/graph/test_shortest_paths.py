@@ -127,6 +127,21 @@ class TestMultiSource:
         _, nearest = multi_source_distances(g, [0, 2])
         assert nearest[1] == 0  # equidistant; smaller id wins
 
+    def test_duplicate_sources_equivalent(self):
+        """Sources are deduplicated up front; repeats change nothing."""
+        g = with_random_weights(erdos_renyi(30, 0.15, seed=6), seed=16)
+        unique = [4, 11, 27]
+        dup = [27, 4, 11, 4, 27, 27]
+        assert multi_source_distances(g, dup) == multi_source_distances(
+            g, unique
+        )
+
+    def test_single_duplicated_source(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        dist, nearest = multi_source_distances(g, [1, 1, 1])
+        assert dist == [1.0, 0.0, 1.0]
+        assert nearest == [1, 1, 1]
+
 
 class TestPathLength:
     def test_sums_weights(self):

@@ -116,19 +116,25 @@ class SampledHierarchy:
         for i in range(1, k):
             self._level_of[levels[i]] = i
 
-        # Clusters and bunches, blockwise over distance rows (the lazy
-        # metric never materializes the full matrix for this scan).
+        # Clusters and bunches via the bounded-row sweep: C(w) only
+        # reaches vertices closer than max d(., A_{level+1}), so each
+        # row scans that neighbourhood instead of the whole graph (top
+        # level owners keep an infinite limit and sweep their component).
         self._clusters: Dict[int, List[int]] = {}
         self._bunches: List[List[int]] = [[] for _ in range(n)]
-        for start, block in metric.iter_row_blocks():
-            for i in range(block.shape[0]):
-                w = start + i
-                next_dist = self._level_dist[int(self._level_of[w]) + 1]
-                members = np.flatnonzero(block[i] < next_dist).tolist()
-                if members:
-                    self._clusters[w] = members
-                for v in members:
-                    self._bunches[v].append(w)
+        level_limits = [
+            float(ld.max()) if ld.size else 0.0 for ld in self._level_dist
+        ]
+        limits = np.array(
+            [level_limits[int(self._level_of[w]) + 1] for w in range(n)]
+        )
+        for w, verts, dists in metric.iter_bounded_rows(limits):
+            next_dist = self._level_dist[int(self._level_of[w]) + 1]
+            members = verts[dists < next_dist[verts]].tolist()
+            if members:
+                self._clusters[w] = members
+            for v in members:
+                self._bunches[v].append(w)
 
     # ------------------------------------------------------------------
     @property

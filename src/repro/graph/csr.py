@@ -13,12 +13,41 @@ Callers do not import this module directly; they go through the dispatch
 functions in :mod:`repro.graph.shortest_paths` (``dijkstra``,
 ``truncated_dijkstra``, ``multi_source_distances``, ``all_balls``,
 ``bounded_distance``).  The dispatch picks this kernel when numpy imports
-cleanly and ``REPRO_KERNEL=pure`` is not set, and otherwise falls back to
-the pure-Python implementations, which stay in the tree as the
-differential-test reference.  Inside the kernel, :meth:`all_balls` and
-:meth:`rows` additionally use scipy's C ``csgraph.dijkstra`` (chunked over
+cleanly and ``REPRO_KERNEL=pure`` is not set (resolved once per process),
+and otherwise falls back to the pure-Python implementations, which stay in
+the tree as the differential-test reference.  Inside the kernel,
+:meth:`rows` additionally uses scipy's C ``csgraph.dijkstra`` (chunked over
 sources so peak memory stays ``O(chunk * n)``, never ``O(n^2)``) when scipy
 is importable.
+
+Batched weighted engine (delta-stepping)
+----------------------------------------
+Weighted ball sweeps used to go through scipy's ``indices=`` Dijkstra,
+which allocates and fills an O(n) output row per source even with a
+distance ``limit``.  :meth:`all_balls` now runs a *bucketed delta-stepping*
+engine (:meth:`_delta_batch`) directly over the flat CSR arrays: a batch of
+``B`` sources is embedded into one flattened index space (``p = i*n + v``
+for batch position ``i``), so every per-bucket edge relaxation is a single
+ragged numpy gather/scatter over all sources at once — no per-edge Python
+work and no per-source O(n) allocation.  Tentative distances live in
+persistent flat buffers reused across batches; instead of an O(B*n) refill,
+only the entries touched by the previous batch are re-initialised (the
+float analogue of the generation-stamp trick used by the scalar kernels).
+
+*Bucket width*: ``delta`` defaults to an eighth of the mean edge weight
+(:meth:`CSRGraph.delta_width`).  Rounds cost little — the candidate queue
+touches only the open bucket — while each source's settled overshoot is
+one bucket past its ball boundary, and on neighbourhood expanders the
+region grows exponentially with that margin, so narrow buckets win.  The
+width never affects results — every bucket is relaxed to a fixpoint before
+it is sealed, so final distances are the unique least fixpoint of
+``d[v] = min(d[u] + w)`` in float64, bitwise identical to the pure path.
+
+Two truncation modes share the engine: *ball mode* stops a source once
+``ell`` vertices settled and the bucket boundary cleared ``d_max + tol``
+(everything the paper's radius rule can see is final), and *bounded mode*
+(:meth:`bounded_rows`) stops at a per-source distance limit — the cluster
+scans of Section 2 structures read exactly the neighbourhoods they need.
 
 The CSR arrays are built once per :class:`Graph` *version* and cached on
 the graph instance (:func:`csr_graph`); mutating the graph invalidates the
@@ -42,6 +71,7 @@ over the same candidate set regardless of relaxation order.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -63,6 +93,34 @@ _INF = float("inf")
 #: default cap on the scipy row-chunk buffer (bytes); keeps the batched
 #: ball sweep and lazy row computations at O(chunk * n) peak memory.
 _CHUNK_BYTES = 1 << 22
+
+#: default sizing budget for the delta-stepping batch (the flattened
+#: tentative-distance buffer stays at ~half of this; candidate queues take
+#: the rest).  Also caps batch*n at ~1M entries, so flattened ids — and
+#: the batch-position sort key at extraction — stay comfortably narrow.
+_DS_BATCH_BYTES = 1 << 24
+
+
+def _argsort_with_id_ties(keys: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """Argsort by ``(keys, ids)`` without a stable float sort.
+
+    numpy's stable (radix) argsort only covers 16-bit integers; its stable
+    float path is ~6x slower than quicksort.  So: quicksort by ``keys``,
+    then repair the (usually rare) equal-key runs with an exact
+    ``(key, id)`` lexsort of just the tied entries.  Bitwise-deterministic
+    for any input, fast when ties are sparse.
+    """
+    order = np.argsort(keys)
+    sk = keys[order]
+    tied = np.zeros(sk.size, dtype=bool)
+    if sk.size > 1:
+        np.equal(sk[1:], sk[:-1], out=tied[1:])
+    if tied.any():
+        tied[:-1] |= tied[1:]  # cover each run's head as well
+        pos = np.flatnonzero(tied)
+        sub = order[pos]
+        order[pos] = sub[np.lexsort((ids[sub], keys[sub]))]
+    return order
 
 
 def csr_graph(g: Graph) -> "CSRGraph":
@@ -115,6 +173,10 @@ class CSRGraph:
         "_np_stamp",
         "_degrees",
         "_unweighted",
+        "_ds_dist",
+        "_ds_delta",
+        "_ds_csr32",
+        "_ds_arange",
     )
 
     def __init__(
@@ -141,6 +203,11 @@ class CSRGraph:
         self._np_stamp = np.zeros(self.n, dtype=np.int64)
         self._degrees = np.diff(indptr)
         self._unweighted: Optional[bool] = None
+        # Delta-stepping scratch (lazily grown, reused across batches).
+        self._ds_dist: Optional[np.ndarray] = None
+        self._ds_delta: Optional[float] = None
+        self._ds_csr32 = None
+        self._ds_arange: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -447,29 +514,57 @@ class CSRGraph:
         with_radii: bool = False,
         prefer_scipy: bool = True,
         chunk_bytes: int = _CHUNK_BYTES,
+        engine: Optional[str] = None,
     ) -> Tuple[List[List[int]], Optional[List[float]]]:
         """``B(u, ell)`` for every vertex ``u``, in ``(dist, id)`` order.
 
-        The scipy fast path processes sources in chunks of
-        ``chunk_bytes / (8 n)`` rows: one C Dijkstra call per chunk, then a
-        vectorized ``(dist, id)`` lexsort per row — peak memory stays
-        ``O(chunk * n)``.  The fallback loops the generation-stamped
-        truncated kernel, which allocates only the O(ell)-sized outputs per
-        source.  Both return exactly the pure-path balls.
+        ``engine`` picks the batched implementation:
+
+        * ``None`` (auto) — vectorized level BFS on unit-weight graphs,
+          the delta-stepping engine (:meth:`_all_balls_delta`) otherwise.
+        * ``"delta"`` — force the delta-stepping engine.
+        * ``"scipy"`` — the chunked scipy ``limit=`` path with exact-redo
+          safety net (the pre-delta implementation, kept for benchmarks
+          and as a fallback); raises when scipy is unavailable or
+          ``prefer_scipy`` is false, never silently times another engine.
+        * ``"flat"`` — loop the generation-stamped scalar kernel.
+        * ``"bfs"`` — the unit-weight level sweep (unit weights only).
+
+        Every engine returns exactly the pure-path balls and radii.
         """
         n = self.n
         ell = min(ell, n)
         if n == 0 or ell <= 0:
             return [[] for _ in range(n)], ([0.0] * n if with_radii else None)
-        if self.is_unweighted() and tol < 0.5:
-            # Unit weights: distances are exact integer levels and a level
-            # set ordered by id IS the (dist, id) order, so a vectorized
-            # level-BFS reproduces the Dijkstra balls exactly.
+        if engine is None:
+            if self.is_unweighted() and tol < 0.5:
+                # Unit weights: distances are exact integer levels and a
+                # level set ordered by id IS the (dist, id) order, so a
+                # vectorized level-BFS reproduces the Dijkstra balls.
+                engine = "bfs"
+            else:
+                engine = "delta"
+        if engine == "bfs":
+            if not (self.is_unweighted() and tol < 0.5):
+                raise ValueError("bfs engine requires unit weights")
             return self._all_balls_bfs(ell, with_radii=with_radii)
-        if prefer_scipy and _HAVE_SCIPY and self.m > 0 and 4 * ell <= n:
-            return self._all_balls_scipy(
-                ell, tol=tol, with_radii=with_radii, chunk_bytes=chunk_bytes
-            )
+        if engine == "delta":
+            return self._all_balls_delta(ell, tol=tol, with_radii=with_radii)
+        if engine == "scipy":
+            if not _HAVE_SCIPY or not prefer_scipy:
+                # An explicitly requested engine must not silently time a
+                # different one (benchmarks race engines by name).
+                raise ValueError("scipy engine requested but unavailable")
+            if self.m > 0:
+                return self._all_balls_scipy(
+                    ell,
+                    tol=tol,
+                    with_radii=with_radii,
+                    chunk_bytes=chunk_bytes,
+                )
+            engine = "flat"  # edgeless graph: nothing for scipy to do
+        if engine != "flat":
+            raise ValueError(f"unknown all_balls engine {engine!r}")
         balls: List[List[int]] = []
         radii: Optional[List[float]] = [] if with_radii else None
         for u in range(n):
@@ -486,6 +581,432 @@ class CSRGraph:
         if self._unweighted is None:
             self._unweighted = bool(np.all(self.weights == 1.0))
         return self._unweighted
+
+    # ------------------------------------------------------------------
+    # Delta-stepping engine
+    # ------------------------------------------------------------------
+    def delta_width(self) -> float:
+        """Default bucket width: one eighth of the mean edge weight.
+
+        Small buckets keep the settled overshoot (one bucket past each
+        source's ball boundary) tight — on neighbourhood-expander graphs
+        the region grows exponentially with distance, so the margin
+        matters far more than the round count; rounds themselves are
+        cheap because the candidate queue touches only the open bucket.
+        Any positive width is *correct* (buckets relax to a fixpoint
+        before sealing); the width only tunes the work profile.  Measured
+        on the bench workload (ER ``n=2000, m~4n``, uniform ``[1, 10]``
+        weights), ``mean/8``–``mean/16`` is the flat optimum.
+        """
+        if self._ds_delta is None:
+            w = self.weights
+            mean = float(w.mean()) if w.size else 1.0
+            self._ds_delta = mean / 8.0 if mean > 0.0 else 1.0
+        return self._ds_delta
+
+    def _ds_batch_size(self, batch_bytes: int = _DS_BATCH_BYTES) -> int:
+        """Sources per delta batch so both buffers stay ~``batch_bytes``."""
+        return max(1, min(self.n, batch_bytes // max(1, 16 * self.n)))
+
+    def _ds_csr_arrays(self):
+        """Int32 CSR mirrors for the engine (half the gather traffic).
+
+        Flattened ``(batch, vertex)`` ids stay below ``batch * n``, which
+        :meth:`_ds_batch_size` keeps well inside int32 range, so the whole
+        index pipeline — including its radix sorts — runs on 4-byte ints.
+        """
+        if self._ds_csr32 is None:
+            self._ds_csr32 = (
+                self.indptr.astype(np.int32),
+                self.indices.astype(np.int32),
+                self._degrees.astype(np.int32),
+            )
+        return self._ds_csr32
+
+    def _ds_buffers(self, batch: int) -> np.ndarray:
+        """Persistent flattened ``(batch * n)`` scratch, inf-initialised.
+
+        Reused across batches; callers must restore every touched entry to
+        ``inf`` before returning (sparse reset — the float analogue of the
+        generation-stamp trick).
+        """
+        need = batch * self.n
+        if self._ds_dist is None or self._ds_dist.size < need:
+            self._ds_dist = np.full(need, _INF)
+        return self._ds_dist
+
+    def _ds_arange_view(self, tot: int) -> np.ndarray:
+        """A read-only ``arange(tot)`` view from a grown-on-demand buffer."""
+        if self._ds_arange is None or self._ds_arange.size < tot:
+            self._ds_arange = np.arange(
+                max(tot, 2 * len(self.indices) or 1), dtype=np.int32
+            )
+        return self._ds_arange[:tot]
+
+    def _delta_batch(
+        self,
+        sources: Sequence[int],
+        *,
+        ell: Optional[int] = None,
+        limits: Optional[np.ndarray] = None,
+        tol: float = 0.0,
+        delta: Optional[float] = None,
+        prune: float = _INF,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One bucketed delta-stepping pass over a batch of sources.
+
+        Exactly one of the truncation modes applies:
+
+        * *ball mode* (``ell``): a source finishes once ``ell`` of its
+          vertices settled **and** the sealed bucket boundary cleared the
+          fill boundary by ``tol`` — every distance the radius rule can
+          inspect is final at that point.
+        * *bounded mode* (``limits``): a source finishes once the sealed
+          boundary reaches its limit; settled vertices beyond the limit
+          are dropped from the output.
+
+        ``prune`` discards relaxation candidates at distance >= ``prune``
+        *before* the scatter, confining the search to the target
+        neighbourhood instead of everything below the bucket boundary.
+        Distances below ``prune`` stay exact (every prefix of a shortest
+        path is at most its endpoint's distance, so no contributing
+        relaxation is dropped); entries at or beyond it may be missing or
+        stale, which callers must account for (bounded mode passes the max
+        limit, so its output is always exact; ball mode certifies
+        ``d_max + tol < prune`` per source and recomputes the rest).
+
+        Returns ``(bounds, verts, dists)``: per-source slices
+        ``verts[bounds[i]:bounds[i+1]]`` of settled vertices, sorted by
+        ``(dist, id)`` in ball mode and by ``id`` in bounded mode.
+        Distances are the least float64 fixpoint of the Bellman relaxation
+        — bitwise identical to the scalar Dijkstra kernels.
+        """
+        n = self.n
+        srcs = np.asarray(list(sources), dtype=np.int64)
+        nb = len(srcs)
+        if nb == 0:
+            return (
+                np.zeros(1, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        if delta is None:
+            delta = self.delta_width()
+        if limits is not None:
+            lim = np.asarray(limits, dtype=np.float64)
+            # Bounded outputs are strict (d < limit), so the limit itself
+            # is a valid per-source prune horizon.
+            cap = np.minimum(np.full(nb, prune), lim)
+        else:
+            cap = np.full(nb, prune)
+        indptr, indices, degrees = self._ds_csr_arrays()
+        weights = self.weights
+        dist = self._ds_buffers(nb)
+        inv_delta = 1.0 / delta
+        start = np.arange(nb, dtype=np.int32) * np.int32(n) + srcs.astype(
+            np.int32
+        )
+        # Candidate bucket queue: pending[b] holds (target, dist) chunks
+        # whose tentative distance lies in [b*delta, (b+1)*delta).
+        # Candidates scatter their minimum into the dist buffer the
+        # moment they are generated (so later, worse candidates for the
+        # same vertex are never queued), and a queued entry is *applied*
+        # — confirmed equal to the surviving tentative value — only once
+        # its bucket opens.  Nothing is ever rescanned across buckets.
+        pending: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {
+            0: [(start, np.zeros(nb, dtype=np.float64))]
+        }
+        # Sources are queued like any candidate but must also be
+        # pre-scattered: apply never writes the dist buffer, generation
+        # does.
+        dist[start] = 0.0
+        touched: List[np.ndarray] = [start]
+        any_clipped = False
+        settled_chunks: List[np.ndarray] = []
+        counts = np.zeros(nb, dtype=np.int64)
+        fill_t = np.full(nb, _INF)
+        done = np.zeros(nb, dtype=bool)
+        has_cap = bool(np.isfinite(cap).any())
+        while pending:
+            b = min(pending)
+            chunks = pending.pop(b)
+            t_high = (b + 1) * delta
+            if len(chunks) == 1:
+                cand_t, cand_d = chunks[0]
+            else:
+                cand_t = np.concatenate([c[0] for c in chunks])
+                cand_d = np.concatenate([c[1] for c in chunks])
+            # Bucket keys agree with the boundary comparisons by
+            # construction (see the key fix-up below), so a candidate can
+            # only sit at or past its bucket's boundary when its key was
+            # int16-clamped; the spill scan runs only once that has
+            # happened, forwarding such candidates bucket by bucket —
+            # the monotone requeue keeps sealing sound regardless.
+            if any_clipped:
+                spill = cand_d >= t_high
+                if spill.any():
+                    pending.setdefault(b + 1, []).append(
+                        (cand_t[spill], cand_d[spill])
+                    )
+                    inb = ~spill
+                    cand_t, cand_d = cand_t[inb], cand_d[inb]
+            written: List[np.ndarray] = []
+            # Apply + relax to a fixpoint; edges shorter than delta can
+            # re-enter the open bucket, everything else is queued.
+            while cand_t.size:
+                # A queued candidate is live iff it still IS the best
+                # tentative value of its target (the generation-time
+                # scatter keeps dist at the running minimum, so `<=`
+                # means "not superseded").
+                alive = cand_d <= dist[cand_t]
+                if has_cap:
+                    alive &= cand_d < cap[cand_t // n]
+                t_i = cand_t[alive]
+                if t_i.size == 0:
+                    break
+                d_i = cand_d[alive]
+                # Distinct candidates can tie at the same (minimal) value
+                # for one target; a plain sort + first-hit dedupes.  No
+                # stability needed — every live duplicate carries the
+                # identical value.  (numpy's stable argsort has no radix
+                # path beyond int16, so quicksort is ~6x faster here.)
+                order = np.argsort(t_i)
+                t_s = t_i[order]
+                d_s = d_i[order]
+                head = np.empty(t_s.size, dtype=bool)
+                head[0] = True
+                np.not_equal(t_s[1:], t_s[:-1], out=head[1:])
+                t_u = t_s[head]
+                d_u = d_s[head]
+                written.append(t_u)
+                # Generate the relaxation candidates of the just-settled
+                # vertices (their distances are in the open bucket).
+                v = t_u % n
+                cnt = degrees[v]
+                tot = int(cnt.sum())
+                if tot == 0:
+                    break
+                cum = np.cumsum(cnt)
+                eidx = np.repeat(indptr[v] - (cum - cnt), cnt)
+                eidx += self._ds_arange_view(tot)
+                nd = np.repeat(d_u, cnt) + weights[eidx]
+                if has_cap:
+                    within = nd < np.repeat(cap[t_u // n], cnt)
+                    if not within.all():
+                        nd = nd[within]
+                        eidx = eidx[within]
+                        tgt = (
+                            np.repeat(t_u - v, cnt)[within] + indices[eidx]
+                        )
+                    else:
+                        tgt = np.repeat(t_u - v, cnt) + indices[eidx]
+                else:
+                    tgt = np.repeat(t_u - v, cnt) + indices[eidx]
+                # Keep only genuine improvements and scatter their
+                # minimum into the tentative buffer immediately: later,
+                # worse candidates for the same vertex then never enter
+                # the queues at all.
+                useful = nd < dist[tgt]
+                if not useful.all():
+                    nd = nd[useful]
+                    tgt = tgt[useful]
+                if nd.size == 0:
+                    break
+                np.minimum.at(dist, tgt, nd)
+                touched.append(tgt)
+                now = nd < t_high
+                if now.any():
+                    cand_t, cand_d = tgt[now], nd[now]
+                    later = ~now
+                    tgt, nd = tgt[later], nd[later]
+                else:
+                    cand_t = tgt[:0]
+                if nd.size:
+                    # Bucket keys must agree with the boundary *float
+                    # comparisons* (nd < (k+1)*delta at apply/seal time),
+                    # not just with floor(nd/delta): when nd sits one ulp
+                    # below k*delta the product nd*inv_delta can round up
+                    # to k, which would settle the candidate one bucket
+                    # late and let an exact distance tie span two buckets
+                    # — breaking the (dist, id) assembly invariant.  One
+                    # corrective compare pins k*delta <= nd; a too-low
+                    # key is healed by the spill guard.  (Truncation is
+                    # floor here: every quotient is non-negative.)  Keys
+                    # are then clamped into int16, a radix-friendly
+                    # two-byte sort key; the clamp re-arms the spill
+                    # guard.
+                    rel = (nd * inv_delta).astype(np.int32)
+                    rel -= nd < rel * delta
+                    rel -= b + 1
+                    if int(rel.min()) < 0 or int(rel.max()) > 32000:
+                        np.clip(rel, 0, 32000, out=rel)
+                        any_clipped = True
+                    rel = rel.astype(np.int16)
+                    order = np.argsort(rel, kind="stable")
+                    rel = rel[order]
+                    tgt = tgt[order]
+                    nd = nd[order]
+                    cuts = np.flatnonzero(
+                        np.concatenate(([True], rel[1:] != rel[:-1]))
+                    )
+                    for j, lo in enumerate(cuts):
+                        hi = cuts[j + 1] if j + 1 < len(cuts) else rel.size
+                        pending.setdefault(b + 1 + int(rel[lo]), []).append(
+                            (tgt[lo:hi], nd[lo:hi])
+                        )
+            # Seal the bucket: everything written here is now final.
+            if written:
+                if len(written) == 1:
+                    newly = written[0]
+                else:
+                    newly = np.unique(np.concatenate(written))
+                settled_chunks.append(newly)
+                counts += np.bincount(newly // n, minlength=nb)
+            if ell is not None:
+                just_filled = ~done & np.isinf(fill_t) & (counts >= ell)
+                if just_filled.any():
+                    # A filled source's boundary d_max lies strictly below
+                    # this bucket, so nothing at or beyond fill_t + tol
+                    # can reach its ball or its tol-band: shrink its
+                    # horizon while it waits out the tol margin.
+                    fill_t[just_filled] = t_high
+                    np.minimum(cap, fill_t + tol, out=cap)
+                    has_cap = True
+                finished = ~done & (t_high >= fill_t + tol)
+            else:
+                finished = ~done & (t_high >= lim)
+            if finished.any():
+                done |= finished
+                # Kill the source outright: every queued or future
+                # candidate dies against an impossible horizon.
+                cap[finished] = -_INF
+                has_cap = True
+            # Sources whose queues run dry simply stop contributing —
+            # their settled set is their reachable region below the cap.
+        # Assemble the per-source output order without a full 3-key
+        # lexsort.  Seal chunks arrive in bucket order (disjoint,
+        # ascending distance ranges), each sorted by flattened id:
+        # * ball mode — sort every chunk by distance (stable, so equal
+        #   distances keep id order; a distance tie cannot span buckets),
+        #   concatenate, then one stable sort by source recovers the
+        #   exact (source, dist, id) order.
+        # * bounded mode — the flattened id itself fuses (source, id), so
+        #   a single integer sort is the whole ordering.
+        if not settled_chunks:
+            all_t = np.empty(0, dtype=np.int32)
+            ds = np.empty(0, dtype=np.float64)
+        elif limits is None:
+            parts_t = []
+            parts_d = []
+            for chunk in settled_chunks:
+                dsc = dist[chunk]
+                o = _argsort_with_id_ties(dsc, chunk)
+                parts_t.append(chunk[o])
+                parts_d.append(dsc[o])
+            all_t = np.concatenate(parts_t)
+            ds = np.concatenate(parts_d)
+        else:
+            all_t = np.concatenate(settled_chunks)
+            order = np.argsort(all_t)
+            all_t = all_t[order]
+            ds = dist[all_t]
+        bpos = all_t // n
+        verts = all_t - bpos * n
+        if limits is None:
+            # Batch positions always fit int16 (batch * n is capped at
+            # ~1M entries), where numpy's stable argsort is a radix sort.
+            order = np.argsort(bpos.astype(np.int16), kind="stable")
+            bpos = bpos[order]
+            verts = verts[order]
+            ds = ds[order]
+        else:
+            sel = ds < lim[bpos]
+            bpos, verts, ds = bpos[sel], verts[sel], ds[sel]
+        bounds = np.searchsorted(bpos, np.arange(nb + 1))
+        # Sparse reset of every scattered tentative entry (duplicates are
+        # harmless) — the float analogue of the generation-stamp trick.
+        dist[np.concatenate(touched)] = _INF
+        return bounds, verts, ds
+
+    def _all_balls_delta(
+        self,
+        ell: int,
+        *,
+        tol: float,
+        with_radii: bool,
+        delta: Optional[float] = None,
+        batch_bytes: int = _DS_BATCH_BYTES,
+    ) -> Tuple[List[List[int]], Optional[List[float]]]:
+        """Batched weighted balls via the delta-stepping engine.
+
+        Each source's search self-truncates: once its ball fills, its cap
+        drops to the fill boundary plus ``tol``, so expansion never
+        exceeds the ball region by more than one bucket.  Sources that
+        run dry early (small components) yield their whole reachable set,
+        exactly like the scalar kernel.
+        """
+        n = self.n
+        balls: List[Optional[List[int]]] = [None] * n
+        radii: Optional[List[float]] = [0.0] * n if with_radii else None
+        batch = self._ds_batch_size(batch_bytes)
+        for start in range(0, n, batch):
+            srcs = range(start, min(start + batch, n))
+            bounds, verts, ds = self._delta_batch(
+                srcs, ell=ell, tol=tol, delta=delta
+            )
+            for i, s in enumerate(srcs):
+                lo, hi = int(bounds[i]), int(bounds[i + 1])
+                k = min(ell, hi - lo)
+                balls[s] = verts[lo : lo + k].tolist()
+                if not with_radii or k == 0:
+                    continue
+                # Same rule as _radius_from_row, exploiting that each
+                # per-source segment is distance-sorted: the boundary
+                # level is complete iff nothing past the ball lies within
+                # tol of d_max.  Every vertex within tol of the boundary
+                # is settled (see _delta_batch), so the counts are exact.
+                seg = ds[lo:hi]
+                dmax = float(seg[k - 1])
+                band_lo = int(np.searchsorted(seg, dmax - tol, "left"))
+                band_hi = int(np.searchsorted(seg, dmax + tol, "right"))
+                if band_hi == k:
+                    radii[s] = dmax
+                elif band_lo > 0:
+                    radii[s] = float(seg[band_lo - 1])
+                else:
+                    radii[s] = 0.0
+        return balls, radii
+
+    def bounded_rows(
+        self,
+        sources: Sequence[int],
+        limits,
+        *,
+        delta: Optional[float] = None,
+        batch_bytes: int = _DS_BATCH_BYTES,
+    ):
+        """Yield ``(source, verts, dists)`` with ``d(source, v) < limit``.
+
+        ``limits`` is a scalar or per-source array; ``verts`` ascends by id
+        and covers *exactly* the vertices closer than the source's limit
+        (``inf`` sweeps the source's whole component).  Runs the
+        delta-stepping engine in bounded mode, batched — the cluster-scan
+        primitive behind :class:`~repro.structures.bunches.BunchStructure`
+        and Lemma 4 sampling.
+        """
+        sources = list(sources)
+        lim = np.broadcast_to(
+            np.asarray(limits, dtype=np.float64), (len(sources),)
+        )
+        batch = self._ds_batch_size(batch_bytes)
+        for start in range(0, len(sources), batch):
+            chunk = sources[start : start + batch]
+            bounds, verts, ds = self._delta_batch(
+                chunk, limits=lim[start : start + batch], delta=delta
+            )
+            for i, s in enumerate(chunk):
+                lo, hi = int(bounds[i]), int(bounds[i + 1])
+                yield s, verts[lo:hi], ds[lo:hi]
 
     def _all_balls_bfs(
         self, ell: int, *, with_radii: bool

@@ -26,17 +26,37 @@ vertices and lazy above, so existing small-graph callers see bit-identical
 behaviour while large-``n`` benchmarks stop paying quadratic memory.
 Whole-matrix consumers were rewritten against the row-oriented API
 (:meth:`rows`, :meth:`columns`, :meth:`iter_row_blocks`,
-:meth:`count_rows_below`); :attr:`matrix` remains as a dense-only escape
-hatch that materializes (and keeps) the full matrix in lazy mode.
+:meth:`iter_bounded_rows`, :meth:`count_rows_below`); :attr:`matrix`
+remains as an escape hatch that materializes (and keeps) the full
+symmetrized matrix.
+
+Canonical row orientation
+-------------------------
+On weighted graphs a float shortest-path sum depends on the accumulation
+order, so the forward value ``d_fwd(u, v)`` (Dijkstra from ``u``) and the
+reverse one ``d_fwd(v, u)`` can differ by one ulp at exact real ties.  All
+of :meth:`row`, :meth:`d`, :meth:`rows`, :meth:`columns` and the block
+iterators therefore return the **forward row orientation**: ``d(u, v)`` is
+always the value computed from ``u``'s side, in every mode and on every
+dispatch path (dense, lazy, CSR kernel, scipy, pure) — they are the same
+least float64 fixpoint, hence bit-identical.  Consumers that compare
+distances strictly (cluster membership, pivots) always read one
+orientation consistently, which keeps every structure exact without the
+old dense-mode ``min(dist, dist.T)`` rewrite that the lazy oracle could
+not reproduce.  :attr:`matrix` still returns an exactly-symmetric matrix
+for external code that expects one.
 
 Floating point
 --------------
 Weighted graphs use float weights, so "is this edge on a shortest path?"
 is decided with a relative tolerance (:attr:`MetricView.tol`).  All
 structures derive shortest-path facts from the *same* oracle, which keeps
-them mutually consistent.  In lazy mode the tolerance scale is estimated
-from one distance row (twice the eccentricity of vertex 0 upper-bounds the
-diameter by the triangle inequality) instead of the true maximum distance.
+them mutually consistent.  In lazy mode the tolerance scale is the running
+maximum over all finite distances computed up to the first tolerance read
+(frozen afterwards, so band decisions stay self-consistent within a
+build) — always within a factor of two of the dense scale, because any
+eccentricity is at least half the diameter, without ever paying a full
+all-pairs scan.
 """
 
 from __future__ import annotations
@@ -101,7 +121,13 @@ class MetricView:
         self._mode = mode
         self._csr = None
         self._dist: Optional[np.ndarray] = None
+        self._sym: Optional[np.ndarray] = None
         self._tol: Optional[float] = None
+        self._scale_seen = 0.0
+        #: forward rows computed so far (full-length distance rows).
+        self.rows_computed = 0
+        #: sources swept by the bounded (truncated) kernel engine.
+        self.bounded_rows_computed = 0
         self._row_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self._cache_rows = (
             cache_rows
@@ -124,11 +150,10 @@ class MetricView:
                     self._use_scipy = False
                 else:
                     self._csr = g.to_csr()
-                    dist = csgraph_dijkstra(self._csr, directed=False)
-                    # Per-source float rounding makes dist marginally
-                    # asymmetric; strict comparisons (cluster membership)
-                    # need exact symmetry.
-                    self._dist = np.minimum(dist, dist.T)
+                    # Raw forward rows — the canonical orientation every
+                    # mode shares (see the module docstring); the
+                    # symmetrized escape hatch lives behind ``matrix``.
+                    self._dist = csgraph_dijkstra(self._csr, directed=False)
             if self._dist is None:
                 rows = []
                 for u in g.vertices():
@@ -139,6 +164,7 @@ class MetricView:
                     if rows
                     else np.zeros((0, 0), dtype=float)
                 )
+            self.rows_computed += g.n
             finite = self._dist[np.isfinite(self._dist)]
             scale = float(finite.max()) if finite.size else 1.0
             self._tol = 1e-9 * max(scale, 1.0)
@@ -165,18 +191,24 @@ class MetricView:
 
     @property
     def tol(self) -> float:
-        """Absolute tolerance for shortest-path membership tests."""
-        if self._tol is None:
-            # Lazy mode: 2 * ecc(0) >= diam by the triangle inequality,
-            # which gives the right order of magnitude without a full
-            # all-pairs scan.  (Heuristic, like the tolerance itself.)
-            scale = 1.0
-            if self.n > 0:
-                row = self.row(0)
-                finite = row[np.isfinite(row)]
-                if finite.size:
-                    scale = 2.0 * float(finite.max())
-            self._tol = 1e-9 * max(scale, 1.0)
+        """Absolute tolerance for shortest-path membership tests.
+
+        Dense mode fixes the scale at construction (the true maximum
+        finite distance).  Lazy mode derives it from the *running* maximum
+        over every row computed up to the first tolerance read, then
+        freezes it: any single eccentricity is at least half the diameter,
+        so the lazy scale always sits within a factor of two of the dense
+        one, and freezing keeps every strict-band decision in one
+        structure build self-consistent (a tolerance that kept growing
+        with later rows could make ``ball_radius`` disagree with the
+        radii ``all_balls`` already returned).  A heuristic, like the
+        tolerance itself — it only sets the order of magnitude.
+        """
+        if self._tol is not None:
+            return self._tol
+        if self._scale_seen == 0.0 and self.n > 0:
+            self.row(0)  # seed the running maximum with one eccentricity
+        self._tol = 1e-9 * max(self._scale_seen, 1.0)
         return self._tol
 
     # ------------------------------------------------------------------
@@ -189,10 +221,15 @@ class MetricView:
             return np.zeros((0, self.n), dtype=np.float64)
         kernel = self._kernel()
         if kernel is not None:
-            return kernel.rows(sources, prefer_scipy=self._use_scipy)
-        out = np.empty((len(sources), self.n), dtype=np.float64)
-        for i, s in enumerate(sources):
-            out[i] = dijkstra(self.graph, s)[0]
+            out = kernel.rows(sources, prefer_scipy=self._use_scipy)
+        else:
+            out = np.empty((len(sources), self.n), dtype=np.float64)
+            for i, s in enumerate(sources):
+                out[i] = dijkstra(self.graph, s)[0]
+        self.rows_computed += len(sources)
+        finite = out[np.isfinite(out)]
+        if finite.size:
+            self._scale_seen = max(self._scale_seen, float(finite.max()))
         return out
 
     def row(self, u: int) -> np.ndarray:
@@ -245,14 +282,15 @@ class MetricView:
             self._row_cache.popitem(last=False)
 
     def columns(self, members: Sequence[int]) -> np.ndarray:
-        """``matrix[:, members]`` as an ``(n, len(members))`` array.
+        """Distance columns of ``members`` as an ``(n, len(members))`` array.
 
-        Distances are symmetric, so the columns of ``members`` are their
-        rows transposed — ``O(|members| * n)`` memory in lazy mode, which
-        is exactly the landmark access pattern of the preprocessing phase.
+        ``columns(A)[v, j]`` is the canonical forward value ``d(a_j, v)``
+        — the members' rows transposed, ``O(|members| * n)`` memory in
+        lazy mode, which is exactly the landmark access pattern of the
+        preprocessing phase.  Every consumer that compares these against
+        row reads uses the same ``(… , v)`` orientation, so strict
+        comparisons stay exact (see the module docstring).
         """
-        if self._dist is not None:
-            return self._dist[:, list(members)]
         return self.rows(members).T
 
     def iter_row_blocks(
@@ -276,39 +314,90 @@ class MetricView:
             stop = min(start + block_rows, self.n)
             yield start, self._compute_rows(range(start, stop))
 
-    def count_rows_below(self, thresholds: np.ndarray) -> np.ndarray:
-        """``((matrix < thresholds[None, :]).sum(axis=1))`` without the matrix.
+    def iter_bounded_rows(
+        self, limits, sources: Optional[Sequence[int]] = None
+    ) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(u, verts, dists)`` with ``d(u, v) < limit`` per source.
 
-        ``out[w] = |{v : d(w, v) < thresholds[v]}|`` — the cluster-size
-        count of Lemma 4 — computed blockwise in lazy mode.
+        ``limits`` is a scalar or a per-source array; ``verts`` ascends by
+        vertex id and covers exactly the vertices strictly closer than the
+        source's limit (``inf`` sweeps the whole component).  This is the
+        cluster-scan primitive of the Section 2 structures: with a lazy
+        metric and the CSR kernel it runs the batched truncated
+        delta-stepping engine — work proportional to the scanned
+        neighbourhoods, never a full APSP — and otherwise it filters
+        full rows (free in dense mode).
         """
-        out = np.zeros(self.n, dtype=np.int64)
-        for start, block in self.iter_row_blocks():
-            out[start : start + block.shape[0]] = (
-                block < thresholds[None, :]
-            ).sum(axis=1)
+        if sources is None:
+            sources = range(self.n)
+        sources = list(sources)
+        lim = np.broadcast_to(
+            np.asarray(limits, dtype=np.float64), (len(sources),)
+        )
+        if self._dist is None:
+            kernel = self._kernel()
+            if kernel is not None:
+                self.bounded_rows_computed += len(sources)
+                yield from kernel.bounded_rows(sources, lim)
+                return
+        for i, u in enumerate(sources):
+            row = self.row(u)
+            verts = np.flatnonzero(row < lim[i])
+            yield u, verts, row[verts]
+
+    def count_rows_below(
+        self,
+        thresholds: np.ndarray,
+        sources: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """``out[i] = |{v : d(sources[i], v) < thresholds[v]}|``.
+
+        The cluster-size count of Lemma 4 (all of ``V`` when ``sources``
+        is omitted).  No vertex beyond ``max(thresholds)`` can ever be
+        counted, so the lazy path scans bounded neighbourhoods through
+        :meth:`iter_bounded_rows` instead of full rows; the dense path
+        reads the matrix rows it already has.  Both count the exact same
+        strict comparisons on the same canonical forward rows.
+        """
+        if sources is None:
+            sources = range(self.n)
+        sources = list(sources)
+        if self._dist is not None:
+            return (
+                (self._dist[sources] < thresholds[None, :])
+                .sum(axis=1)
+                .astype(np.int64)
+            )
+        out = np.zeros(len(sources), dtype=np.int64)
+        limit = float(thresholds.max()) if thresholds.size else 0.0
+        for i, (_, verts, dists) in enumerate(
+            self.iter_bounded_rows(limit, sources)
+        ):
+            out[i] = int((dists < thresholds[verts]).sum())
         return out
 
     @property
     def matrix(self) -> np.ndarray:
-        """The full ``n x n`` distance matrix (do not mutate).
+        """The full symmetrized ``n x n`` distance matrix (do not mutate).
 
-        Lazy-mode escape hatch: materializes (and keeps) the dense matrix,
-        reinstating ``O(n^2)`` memory.  Internal consumers use the
-        row-oriented API instead; this exists for external code and tests.
-        The materialized matrix is symmetrized like the dense-mode one, so
-        the escape hatch honours the original ``matrix`` contract (exact
-        symmetry for strict comparisons).
+        Escape hatch for external code that expects an exactly-symmetric
+        all-pairs matrix: ``min(d_fwd, d_fwd.T)`` over the forward rows,
+        materialized (and kept) on first access — ``O(n^2)`` memory, plus
+        the raw forward matrix in lazy mode.  Internal consumers use the
+        row-oriented API, which keeps the canonical forward orientation
+        (see the module docstring) instead.
         """
-        if self._dist is None:
-            blocks = [block for _, block in self.iter_row_blocks()]
-            if blocks:
-                dist = np.vstack(blocks)
-                self._dist = np.minimum(dist, dist.T)
-            else:
-                self._dist = np.zeros((0, 0), dtype=float)
-            self._row_cache.clear()
-        return self._dist
+        if self._sym is None:
+            if self._dist is None:
+                blocks = [block for _, block in self.iter_row_blocks()]
+                self._dist = (
+                    np.vstack(blocks)
+                    if blocks
+                    else np.zeros((0, 0), dtype=float)
+                )
+                self._row_cache.clear()
+            self._sym = np.minimum(self._dist, self._dist.T)
+        return self._sym
 
     # ------------------------------------------------------------------
     # Global scalar facts

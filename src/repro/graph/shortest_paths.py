@@ -21,6 +21,12 @@ pure-Python implementation.  The pure implementations stay exported under
 variable ``REPRO_KERNEL=pure`` forces them everywhere.  Both paths produce
 *identical* results — same distances, same ``(dist, id)`` ball order, same
 deterministic parents — which ``tests/graph/test_csr.py`` asserts.
+
+The choice is resolved **once per process** on first use
+(:func:`use_kernel` caches it), so mutating the environment mid-run cannot
+silently mix kernel and pure results inside one structure build; tests that
+need to flip the switch call :func:`reset_kernel_choice` after changing the
+environment variable.
 """
 
 from __future__ import annotations
@@ -48,13 +54,38 @@ __all__ = [
     "bounded_distance_py",
     "subgraph_dijkstra_py",
     "use_kernel",
+    "reset_kernel_choice",
 ]
 
 _INF = float("inf")
 
+#: cached kernel choice; None = not yet resolved (see use_kernel).
+_KERNEL_CHOICE: Optional[bool] = None
+
 
 def use_kernel() -> bool:
-    """Whether the CSR kernel is active (numpy present, no env override)."""
+    """Whether the CSR kernel is active (numpy present, no env override).
+
+    Resolved once per process and cached: every dispatch in a run sees the
+    same choice, so a mid-run mutation of ``REPRO_KERNEL`` cannot mix
+    kernel and pure results within one structure build.
+    """
+    global _KERNEL_CHOICE
+    if _KERNEL_CHOICE is None:
+        _KERNEL_CHOICE = _resolve_kernel_choice()
+    return _KERNEL_CHOICE
+
+
+def reset_kernel_choice() -> None:
+    """Drop the cached :func:`use_kernel` resolution (test-only hook).
+
+    The next dispatch re-reads ``REPRO_KERNEL`` from the environment.
+    """
+    global _KERNEL_CHOICE
+    _KERNEL_CHOICE = None
+
+
+def _resolve_kernel_choice() -> bool:
     if os.environ.get("REPRO_KERNEL", "").strip().lower() in (
         "pure",
         "py",
@@ -174,15 +205,24 @@ def truncated_dijkstra_py(
 
 
 def all_balls(
-    g: Graph, ell: int, *, tol: float = 0.0, with_radii: bool = False
+    g: Graph,
+    ell: int,
+    *,
+    tol: float = 0.0,
+    with_radii: bool = False,
+    engine: Optional[str] = None,
 ) -> Tuple[List[List[int]], Optional[List[float]]]:
     """``B(u, ell)`` for every vertex, batched (kernel-dispatched).
 
     Returns ``(balls, radii)`` with ``radii`` ``None`` unless requested.
-    The kernel path reuses preallocated per-source buffers (or scipy's C
-    Dijkstra, chunked) instead of reallocating per source; the pure path
-    loops :func:`truncated_dijkstra_py`.  Ball contents and order are
-    identical on every path.
+    The kernel path runs a batched engine — the delta-stepping candidate
+    queue on weighted graphs, a vectorized level BFS on unit weights —
+    with reusable flat buffers instead of per-source allocation; ``engine``
+    forces a specific kernel implementation (see
+    :meth:`repro.graph.csr.CSRGraph.all_balls`; benchmarks use it to pit
+    the engines against each other).  The pure path loops
+    :func:`truncated_dijkstra_py`.  Ball contents and order are identical
+    on every path.
     """
     if g.n == 0 or ell <= 0:
         # Same degenerate result on every path (the kernel short-circuits
@@ -193,7 +233,9 @@ def all_balls(
         )
     kernel = _kernel(g)
     if kernel is not None:
-        return kernel.all_balls(ell, tol=tol, with_radii=with_radii)
+        return kernel.all_balls(
+            ell, tol=tol, with_radii=with_radii, engine=engine
+        )
     balls: List[List[int]] = []
     radii: Optional[List[float]] = [] if with_radii else None
     for u in g.vertices():

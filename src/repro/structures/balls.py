@@ -41,11 +41,13 @@ class BallFamily:
     """All balls ``B(u, ell)`` of a graph for one size parameter ``ell``.
 
     Construction goes through :meth:`MetricView.all_balls` — the batched
-    sweep that, with a lazy metric, runs on the CSR kernel with reused
-    per-source buffers (never materializing the distance matrix) and, with
-    a dense metric, reads the matrix rows it already has.  Either way the
-    balls agree exactly with the owning metric's own ``ball``/``row``
-    view, which is what Property 1 and the routing structures rely on.
+    sweep that, with a lazy metric, runs on the CSR kernel's batched
+    engines (the delta-stepping candidate queue on weighted graphs, the
+    vectorized level BFS on unit weights) with reused flat buffers, never
+    materializing the distance matrix; with a dense metric it reads the
+    matrix rows it already has.  Either way the balls agree exactly with
+    the owning metric's own ``ball``/``row`` view, which is what
+    Property 1 and the routing structures rely on.
     """
 
     def __init__(self, metric: MetricView, ell: int) -> None:

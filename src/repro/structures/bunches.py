@@ -43,18 +43,19 @@ class BunchStructure:
 
         self._bunches: List[List[int]] = [[] for _ in range(n)]
         self._clusters: Dict[int, List[int]] = {}
-        d_to_a = self._d_to_a[None, :]
-        # Blockwise row scan: cluster of w reads only d(w, .), so the full
-        # n x n "rows_less" boolean matrix never materializes.
-        for start, block in metric.iter_row_blocks():
-            rows_less = block < d_to_a  # [w - start, v]
-            for i in range(block.shape[0]):
-                w = start + i
-                members = np.flatnonzero(rows_less[i]).tolist()
-                if members:
-                    self._clusters[w] = members
-                for v in members:
-                    self._bunches[v].append(w)
+        d_to_a = self._d_to_a
+        # Bounded cluster scan: no vertex beyond max d(v, A) can belong
+        # to any cluster, so each row only needs the neighbourhood inside
+        # that radius — the metric's bounded-row sweep (batched truncated
+        # delta-stepping on a lazy metric, plain row reads when dense)
+        # instead of a full blockwise APSP.
+        limit = float(d_to_a.max()) if n else 0.0
+        for w, verts, dists in metric.iter_bounded_rows(limit):
+            members = verts[dists < d_to_a[verts]].tolist()
+            if members:
+                self._clusters[w] = members
+            for v in members:
+                self._bunches[v].append(w)
         self._trees: Dict[int, RootedTree] = {}
 
     # ------------------------------------------------------------------

@@ -7,6 +7,22 @@ current set of "oversized-cluster owners" ``W``, each vertex with
 probability ``s/|W|``, adds the sample to ``A``, and recomputes ``W``; the
 expected number of rounds is ``O(log n)``.
 
+Cross-round cluster-size cache
+------------------------------
+Growing ``A`` only shrinks clusters (``A ⊆ A'`` implies
+``C_{A'}(w) ⊆ C_A(w)``, because ``d(v, A)`` is pointwise non-increasing and
+the membership comparison is strict), so a vertex whose cluster fits the
+bound once can never become oversized again.  The sampler exploits this:
+each round re-counts only the *previously oversized* owners, through the
+metric's bounded-row sweep (no vertex beyond ``max_v d(v, A)`` can be in
+any cluster), and maintains ``d(v, A)`` incrementally from the freshly
+sampled members' rows.  The first round needs no distance scan at all —
+with ``A = ∅`` every cluster is its owner's connected component.  A lazy
+metric therefore stops paying one blockwise APSP per sampling round; the
+candidate set and the RNG stream are *identical* to the rescan-everything
+reference (``use_cache=False``), so both paths return the same set for the
+same seed.
+
 The returned set's postcondition (all clusters within the bound) is checked
 before returning — a failed sample is retried, never silently accepted.
 """
@@ -14,7 +30,7 @@ before returning — a failed sample is retried, never silently accepted.
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -27,8 +43,9 @@ def _distance_to_set(metric: MetricView, members: List[int]) -> np.ndarray:
     """``d(v, A)`` for every vertex ``v`` (``inf`` for empty ``A``)."""
     if not members:
         return np.full(metric.n, np.inf)
-    # Landmark columns are the landmark rows transposed (symmetry), which
-    # keeps this O(|A| * n) memory with a lazy metric.
+    # Landmark columns are the landmark rows transposed (the canonical
+    # row orientation), which keeps this O(|A| * n) memory with a lazy
+    # metric.
     return metric.columns(members).min(axis=1)
 
 
@@ -36,7 +53,7 @@ def cluster_sizes(metric: MetricView, members: List[int]) -> np.ndarray:
     """``|C_A(w)|`` for every ``w`` with ``A = members``.
 
     ``C_A(w) = {v : d(w, v) < d(v, A)}`` (strict, following the paper).
-    Counted blockwise through the metric's row-oriented API so no dense
+    Counted through the metric's bounded row-oriented API so no dense
     ``n x n`` comparison matrix is ever materialized.
     """
     d_to_a = _distance_to_set(metric, members)
@@ -50,6 +67,7 @@ def sample_cluster_bounded(
     *,
     bound_factor: float = 4.0,
     max_rounds: int = 200,
+    use_cache: bool = True,
 ) -> List[int]:
     """Lemma 4: a set ``A`` with ``|C_A(w)| <= bound_factor * n / s`` for all w.
 
@@ -61,6 +79,11 @@ def sample_cluster_bounded(
         Size parameter; the expected size of ``A`` is ``O(s log n)``.
     bound_factor:
         The ``4`` of the paper's ``4n/s`` bound.
+    use_cache:
+        Keep the cross-round cluster-size cache (see the module
+        docstring).  ``False`` re-counts every vertex from scratch each
+        round — the reference path, kept for differential tests and
+        benchmarks; both paths draw identical samples for the same seed.
     """
     n = metric.n
     if n == 0:
@@ -70,9 +93,26 @@ def sample_cluster_bounded(
     bound = bound_factor * n / s
     rng = random.Random(seed)
     a: set[int] = set()
+    # Cross-round state: d(v, A) so far, and the still-suspect owners
+    # (None = first round, where cluster sizes are component sizes).
+    thr = np.full(n, np.inf)
+    candidates: Optional[List[int]] = None
     for _ in range(max_rounds):
-        sizes = cluster_sizes(metric, sorted(a))
-        oversized = [w for w in range(n) if sizes[w] > bound]
+        if not use_cache:
+            sizes = cluster_sizes(metric, sorted(a))
+            oversized = [w for w in range(n) if sizes[w] > bound]
+        elif candidates is None:
+            # A = ∅: every cluster is its owner's connected component —
+            # component sizes need no distance computation at all.
+            comp_sizes = np.zeros(n, dtype=np.int64)
+            for comp in metric.graph.connected_components():
+                comp_sizes[comp] = len(comp)
+            oversized = [w for w in range(n) if comp_sizes[w] > bound]
+        else:
+            sizes = metric.count_rows_below(thr, sources=candidates)
+            oversized = [
+                w for w, sz in zip(candidates, sizes) if sz > bound
+            ]
         if not oversized:
             return sorted(a)
         p = min(1.0, s / len(oversized))
@@ -81,6 +121,13 @@ def sample_cluster_bounded(
             # Guarantee progress on unlucky draws.
             newly = {rng.choice(oversized)}
         a |= newly
+        if use_cache:
+            # Fold the fresh members into d(v, A) — |newly| rows instead
+            # of re-deriving the whole landmark set — and shrink the
+            # suspect set (cluster sizes only ever decrease).
+            new_rows = metric.rows(sorted(newly))
+            np.minimum(thr, new_rows.min(axis=0), out=thr)
+            candidates = oversized
     raise RuntimeError(
         f"cluster-bounded sampling did not converge in {max_rounds} rounds "
         f"(n={n}, s={s})"

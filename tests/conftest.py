@@ -19,6 +19,21 @@ from repro.graph.generators import (
     with_random_weights,
 )
 from repro.graph.metric import MetricView
+from repro.graph.shortest_paths import reset_kernel_choice
+
+
+@pytest.fixture(autouse=True)
+def _fresh_kernel_choice():
+    """Re-resolve the once-per-process REPRO_KERNEL choice around each test.
+
+    The dispatch caches the choice for the life of a process; tests that
+    monkeypatch the environment variable call
+    :func:`reset_kernel_choice` themselves, and this fixture guarantees
+    no cached override leaks into the next test.
+    """
+    reset_kernel_choice()
+    yield
+    reset_kernel_choice()
 
 
 @pytest.fixture(scope="session")

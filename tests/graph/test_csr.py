@@ -38,6 +38,7 @@ from repro.graph.shortest_paths import (
     dijkstra_py,
     multi_source_distances,
     multi_source_distances_py,
+    reset_kernel_choice,
     truncated_dijkstra,
     truncated_dijkstra_py,
     use_kernel,
@@ -72,10 +73,21 @@ class TestKernelAvailability:
 
     def test_env_override_forces_pure(self, monkeypatch):
         monkeypatch.setenv("REPRO_KERNEL", "pure")
+        reset_kernel_choice()
         assert not use_kernel()
         g = erdos_renyi(20, 0.2, seed=1)
         # dispatch still returns correct results on the pure path
         assert dijkstra(g, 0) == dijkstra_py(g, 0)
+
+    def test_choice_cached_until_reset(self, monkeypatch):
+        """A mid-run env mutation must NOT flip the resolved dispatch
+        (satellite: no mixed kernel/pure results within one build)."""
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert use_kernel()
+        monkeypatch.setenv("REPRO_KERNEL", "pure")
+        assert use_kernel()  # still the cached kernel choice
+        reset_kernel_choice()
+        assert not use_kernel()  # the hook re-reads the environment
 
     def test_csr_cache_invalidated_by_mutation(self):
         g = erdos_renyi(20, 0.2, seed=2)
@@ -154,8 +166,10 @@ class TestAllBallsAgreement:
         expect = ([[] for _ in range(n)], [0.0] * n)
         assert all_balls(graph, 0, with_radii=True) == expect
         monkeypatch.setenv("REPRO_KERNEL", "pure")
+        reset_kernel_choice()
         assert all_balls(graph, 0, with_radii=True) == expect
         monkeypatch.delenv("REPRO_KERNEL")
+        reset_kernel_choice()
         m = MetricView(graph, mode="lazy")
         assert m.all_balls(0) == expect
         assert MetricView(graph, mode="dense").all_balls(0) == expect
@@ -263,6 +277,7 @@ class TestSubgraphDijkstra:
         expect = {0: 0, 2: 0, 3: 2}
         assert m.restricted_spt_parents(0, [0, 2, 3]) == expect
         monkeypatch.setenv("REPRO_KERNEL", "pure")
+        reset_kernel_choice()
         assert m.restricted_spt_parents(0, [0, 2, 3]) == expect
 
 
@@ -406,6 +421,159 @@ class TestLazyStructuresIntegration:
         m = MetricView(path_graph(5), mode="dense")
         with pytest.raises(ValueError):
             m.restricted_spt_parents(0, [0, 4])
+
+
+def _duplicate_weight_graph(n=50, p=0.12, seed=9, wseed=17):
+    """Random graph whose weights repeat from a small inexact set.
+
+    Duplicate inexact weights (0.1, 0.25, ...) manufacture exact real
+    distance ties whose float sums depend on accumulation order — the
+    regime where one-ulp divergence between dispatch paths would show.
+    """
+    import random as _random
+
+    base = erdos_renyi(n, p, seed=seed)
+    rng = _random.Random(wseed)
+    g = Graph(n)
+    for u, v, _ in base.edges():
+        g.add_edge(u, v, rng.choice([0.1, 0.2, 0.25, 0.3, 0.7]))
+    return g
+
+
+DELTA_GRAPHS = GRAPHS + [("tie-heavy", _duplicate_weight_graph())]
+
+
+class TestDeltaEngine:
+    """The batched weighted delta-stepping engine vs every other path.
+
+    Distances, ball membership, ball (dist, id) order and radii must be
+    bitwise identical to the pure reference — including graphs with
+    duplicate edge weights (exact ties) and disconnected graphs.
+    """
+
+    @pytest.mark.parametrize(
+        "graph_case", DELTA_GRAPHS, ids=[name for name, _ in DELTA_GRAPHS]
+    )
+    @pytest.mark.parametrize("ell", [1, 5, 17, 1000])
+    def test_balls_and_radii_match_pure(self, graph_case, ell):
+        _, g = graph_case
+        tol = 1e-9
+        ell_eff = min(ell, g.n)
+        ref_balls, ref_radii = [], []
+        for u in g.vertices():
+            ball, dist = truncated_dijkstra_py(g, u, ell_eff)
+            ref_balls.append(ball)
+            ref_radii.append(_ball_radius_py(g, ball, dist, tol))
+        kernel = csr_graph(g)
+        balls, radii = kernel.all_balls(
+            ell_eff, tol=tol, with_radii=True, engine="delta"
+        )
+        assert balls == ref_balls
+        assert radii == ref_radii
+
+    def test_engines_agree_on_weighted_graph(self):
+        g = with_random_weights(erdos_renyi(150, 0.05, seed=21), seed=22)
+        kernel = csr_graph(g)
+        ref = kernel.all_balls(25, tol=1e-9, with_radii=True, engine="flat")
+        for engine in ("delta", "scipy"):
+            assert (
+                kernel.all_balls(
+                    25, tol=1e-9, with_radii=True, engine=engine
+                )
+                == ref
+            )
+
+    def test_auto_picks_delta_for_weighted(self):
+        g = with_random_weights(erdos_renyi(60, 0.1, seed=23), seed=24)
+        kernel = csr_graph(g)
+        assert kernel.all_balls(9) == kernel.all_balls(9, engine="delta")
+
+    def test_unknown_engine_rejected(self):
+        kernel = csr_graph(erdos_renyi(10, 0.3, seed=1))
+        with pytest.raises(ValueError):
+            kernel.all_balls(3, engine="warp")
+
+    def test_bfs_engine_requires_unit_weights(self):
+        g = with_random_weights(erdos_renyi(20, 0.2, seed=2), seed=3)
+        with pytest.raises(ValueError):
+            csr_graph(g).all_balls(3, engine="bfs")
+
+    @pytest.mark.parametrize(
+        "graph_case", DELTA_GRAPHS, ids=[name for name, _ in DELTA_GRAPHS]
+    )
+    def test_bounded_rows_match_reference(self, graph_case):
+        import random as _random
+
+        _, g = graph_case
+        kernel = csr_graph(g)
+        rng = _random.Random(5)
+        scale = max((w for _, _, w in g.edges()), default=1.0)
+        limits = np.array(
+            [rng.uniform(0.5, 4.0) * scale for _ in range(g.n)]
+        )
+        for s, verts, dists in kernel.bounded_rows(range(g.n), limits):
+            row = np.asarray(dijkstra_py(g, s)[0])
+            ref_v = np.flatnonzero(row < limits[s])
+            assert np.array_equal(verts, ref_v)
+            assert np.array_equal(dists, row[ref_v])
+
+    def test_bounded_rows_infinite_limit_sweeps_component(self):
+        g = with_random_weights(
+            erdos_renyi(40, 0.05, seed=25, connected=False), seed=26
+        )
+        kernel = csr_graph(g)
+        for s, verts, dists in kernel.bounded_rows([0, g.n - 1], np.inf):
+            row = np.asarray(dijkstra_py(g, s)[0])
+            ref_v = np.flatnonzero(np.isfinite(row))
+            assert np.array_equal(verts, ref_v)
+            assert np.array_equal(dists, row[ref_v])
+
+
+class TestTieHeavyModeAgreement:
+    """The acceptance regression: lazy and dense MetricView distances are
+    bit-identical at exact weighted ties, with kernel and pure dispatch
+    agreeing (the canonical forward-row orientation)."""
+
+    @pytest.fixture(scope="class")
+    def tie_graph(self):
+        return _duplicate_weight_graph(n=60, p=0.12, seed=9, wseed=23)
+
+    def test_ties_are_real_and_orientation_sensitive(self, tie_graph):
+        # The forward all-pairs matrix genuinely is ulp-asymmetric here;
+        # without one canonical orientation the modes would diverge.
+        m = MetricView(tie_graph, mode="dense")
+        raw = np.vstack([m.row(u) for u in range(tie_graph.n)])
+        assert (raw != raw.T).sum() > 0
+
+    def test_lazy_equals_dense_bitwise(self, tie_graph):
+        dense = MetricView(tie_graph, mode="dense")
+        lazy = MetricView(tie_graph, mode="lazy")
+        for u in range(tie_graph.n):
+            assert np.array_equal(lazy.row(u), dense.row(u))
+        fam_d, rad_d = dense.all_balls(11)
+        fam_l, rad_l = lazy.all_balls(11)
+        assert fam_l == fam_d
+        assert rad_l == rad_d
+
+    def test_kernel_equals_pure_bitwise(self, tie_graph, monkeypatch):
+        kernel_rows = [
+            MetricView(tie_graph, mode="lazy").row(u).copy()
+            for u in range(tie_graph.n)
+        ]
+        kernel_balls, _ = MetricView(tie_graph, mode="lazy").all_balls(11)
+        monkeypatch.setenv("REPRO_KERNEL", "pure")
+        reset_kernel_choice()
+        pure = MetricView(tie_graph, mode="lazy")
+        for u in range(tie_graph.n):
+            assert np.array_equal(pure.row(u), kernel_rows[u])
+        pure_balls, _ = pure.all_balls(11)
+        assert pure_balls == kernel_balls
+
+    def test_matrix_escape_hatch_still_symmetric(self, tie_graph):
+        dense = MetricView(tie_graph, mode="dense")
+        lazy = MetricView(tie_graph, mode="lazy")
+        assert np.array_equal(dense.matrix, dense.matrix.T)
+        assert np.array_equal(lazy.matrix, dense.matrix)
 
 
 class TestCSRStructure:

@@ -39,6 +39,39 @@ class TestDistances:
         assert m.d(0, 2) == math.inf
 
 
+class TestLazyTolScale:
+    """Satellite: the lazy tol scale is a running max over computed rows,
+    always within a factor of two of the dense (true-diameter) scale."""
+
+    @pytest.mark.parametrize("seed", [1, 5, 9, 13])
+    def test_lazy_tol_within_2x_of_dense(self, seed):
+        g = with_random_weights(
+            erdos_renyi(60, 0.08, seed=seed), seed=seed + 100
+        )
+        dense = MetricView(g, mode="dense")
+        lazy = MetricView(g, mode="lazy")
+        # Any eccentricity is >= diam/2, so the seeded lazy scale sits in
+        # [dense/2, dense] — never above, never more than 2x below.
+        assert dense.tol / 2.0 <= lazy.tol <= dense.tol
+
+    def test_lazy_tol_tracks_rows_then_freezes(self):
+        g = with_random_weights(erdos_renyi(50, 0.1, seed=3), seed=4)
+        dense = MetricView(g, mode="dense")
+        # Rows computed before the first read feed the running maximum:
+        # after a full sweep the scales coincide exactly.
+        lazy = MetricView(g, mode="lazy")
+        for u in range(g.n):
+            lazy.row(u)
+        assert lazy.tol == dense.tol
+        # Once read, the tolerance is frozen — later rows cannot shift
+        # strict-band decisions mid-build.
+        fresh = MetricView(g, mode="lazy")
+        first = fresh.tol
+        for u in range(g.n):
+            fresh.row(u)
+        assert fresh.tol == first
+
+
 class TestDiameter:
     def test_grid_diameter(self):
         m = MetricView(grid(4, 5))

@@ -1,7 +1,10 @@
 """Cluster-bounded sampling (Lemma 4)."""
 
+import numpy as np
 import pytest
 
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.graph.metric import MetricView
 from repro.structures.sampling import cluster_sizes, sample_cluster_bounded
 
 
@@ -56,3 +59,55 @@ class TestSampling:
         a = sample_cluster_bounded(metric_er, float(n), seed=6)
         sizes = cluster_sizes(metric_er, a)
         assert sizes.max() <= 4
+
+
+class TestCrossRoundCache:
+    """The cluster-size cache must be invisible: identical samples,
+    identical RNG stream, on every metric mode — only fewer row scans."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_cache_matches_rescan_reference(self, metric_er_weighted, seed):
+        cached = sample_cluster_bounded(
+            metric_er_weighted, 9.0, seed=seed, use_cache=True
+        )
+        rescan = sample_cluster_bounded(
+            metric_er_weighted, 9.0, seed=seed, use_cache=False
+        )
+        assert cached == rescan
+
+    def test_cache_matches_across_modes(self):
+        g = with_random_weights(erdos_renyi(50, 0.12, seed=31), seed=32)
+        md = MetricView(g, mode="dense")
+        ml = MetricView(g, mode="lazy")
+        for seed in (1, 7):
+            assert sample_cluster_bounded(md, 7.0, seed=seed) == (
+                sample_cluster_bounded(ml, 7.0, seed=seed)
+            )
+
+    def test_cache_matches_on_disconnected_graph(self):
+        g = with_random_weights(
+            erdos_renyi(60, 0.04, seed=33, connected=False), seed=34
+        )
+        m = MetricView(g, mode="lazy")
+        assert sample_cluster_bounded(m, 6.0, seed=2) == (
+            sample_cluster_bounded(m, 6.0, seed=2, use_cache=False)
+        )
+
+    def test_cache_skips_repeated_full_scans(self):
+        g = with_random_weights(erdos_renyi(120, 0.06, seed=35), seed=36)
+        rescan = MetricView(g, mode="lazy")
+        sample_cluster_bounded(rescan, 11.0, seed=4, use_cache=False)
+        cached = MetricView(g, mode="lazy")
+        sample_cluster_bounded(cached, 11.0, seed=4, use_cache=True)
+        swept_rescan = rescan.rows_computed + rescan.bounded_rows_computed
+        swept_cached = cached.rows_computed + cached.bounded_rows_computed
+        # The reference pays ~n bounded rows per round; the cache pays n
+        # once (round two) plus the shrinking suspect sets.
+        assert swept_cached < swept_rescan
+
+    def test_count_rows_below_sources_subset(self, metric_er_weighted):
+        m = metric_er_weighted
+        thr = m.columns([3, 17]).min(axis=1)
+        full = m.count_rows_below(thr)
+        subset = m.count_rows_below(thr, sources=[5, 40, 71])
+        assert np.array_equal(subset, full[[5, 40, 71]])

@@ -29,7 +29,6 @@ write so committed full-run numbers survive).  Runs under pytest
 from __future__ import annotations
 
 import importlib.util
-import json
 import math
 import os
 import resource
@@ -46,7 +45,7 @@ from repro.graph.shortest_paths import (
 from repro.structures.balls import BallFamily
 from repro.structures.sampling import sample_cluster_bounded
 
-from conftest import SMOKE, smoke_scale
+from conftest import SMOKE, merge_bench_results, smoke_scale
 
 SECTION = "CSR kernel: all-balls speedup and lazy-metric memory"
 
@@ -212,9 +211,7 @@ def _flush(smoke: bool) -> None:
         "limit (PR 1 weighted engine); lemma4 = sample_cluster_bounded "
         "on MetricView(mode=lazy), s=sqrt(n), seed=5"
     )
-    with open(RESULT_PATH, "w") as fh:
-        json.dump(_RESULTS, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    merge_bench_results(RESULT_PATH, _RESULTS)
 
 
 # ----------------------------------------------------------------------

@@ -6,17 +6,19 @@ tables than the 3-stretch TZ scheme and better stretch than the 7-stretch
 TZ scheme*.  The Chechik row is reference-only (DESIGN.md substitutions);
 Theorem 16 (k=4) is measured against TZ k=4 (stretch 11), the scheme both
 improve on.
+
+Schemes resolve through the ``repro.api`` registry and every row builds
+on one shared substrate, so the timed quantity is each scheme's marginal
+construction cost on the warm substrate.
 """
 
 import pytest
 
-from repro.baselines.thorup_zwick import ThorupZwickScheme
+from repro.api import Substrate, get_spec
 from repro.eval.harness import evaluate_scheme
 from repro.eval.reporting import PAPER_TABLE1_REFERENCE, reference_row
 from repro.eval.workloads import sample_pairs
 from repro.graph.generators import erdos_renyi, with_random_weights
-from repro.graph.metric import MetricView
-from repro.schemes import Stretch4kMinus7Scheme, Stretch5PlusScheme
 
 N = 360
 SECTION = "Table 1 (weighted rows): measured vs paper"
@@ -30,8 +32,8 @@ def graph():
 
 
 @pytest.fixture(scope="module")
-def metric(graph):
-    return MetricView(graph)
+def substrate(graph):
+    return Substrate(graph).ensure_core()
 
 
 @pytest.fixture(scope="module")
@@ -41,45 +43,51 @@ def pairs(graph):
 
 CASES = [
     pytest.param(
-        ThorupZwickScheme, {"k": 2},
+        "tz2", {},
         "TZ k=2  stretch 3   tables Õ(n^1/2)", id="tz-k2",
     ),
     pytest.param(
-        ThorupZwickScheme, {"k": 3},
+        "tz3", {},
         "TZ k=3  stretch 7   tables Õ(n^1/3)", id="tz-k3",
     ),
     pytest.param(
-        ThorupZwickScheme, {"k": 4},
+        "tz4", {},
         "TZ k=4  stretch 11  tables Õ(n^1/4)", id="tz-k4",
     ),
     pytest.param(
-        Stretch5PlusScheme, {"eps": 0.6},
+        "thm11", {"eps": 0.6},
         "Theorem 11  stretch 5+eps  tables Õ(n^1/3 logD /eps)", id="thm11",
     ),
     pytest.param(
-        Stretch4kMinus7Scheme, {"k": 4, "eps": 1.0},
+        "thm16", {"k": 4, "eps": 1.0},
         "Theorem 16 k=4  stretch 9+eps  tables Õ(n^1/4 logD /eps)",
         id="thm16-k4",
     ),
 ]
 
 
-@pytest.mark.parametrize("factory,kwargs,paper_claim", CASES)
+@pytest.mark.parametrize("scheme_name,overrides,paper_claim", CASES)
 def test_table1_weighted(
-    benchmark, report, graph, metric, pairs, factory, kwargs, paper_claim
+    benchmark, report, graph, substrate, pairs,
+    scheme_name, overrides, paper_claim,
 ):
+    spec = get_spec(scheme_name)
+    params = spec.resolve_params(overrides)
+
     def build():
-        return factory(graph, metric=metric, seed=32, **kwargs)
+        return spec.factory(graph, substrate=substrate, seed=32, **params)
 
     scheme = benchmark.pedantic(build, rounds=1, iterations=1)
-    ev = evaluate_scheme(graph, lambda g, metric: scheme, pairs, metric=metric)
+    ev = evaluate_scheme(
+        graph, lambda g, metric: scheme, pairs, metric=substrate.metric
+    )
     assert ev.within_bound, ev.row()
     report.section(SECTION)
     report.line(f"paper: {paper_claim}")
     report.line("   " + ev.row())
 
 
-def test_headline_shape(benchmark, report, graph, metric, pairs):
+def test_headline_shape(benchmark, report, graph, substrate, pairs):
     """The paper's headline: Theorem 11 sits below the sqrt(n) barrier.
 
     Checks the *shape* claims: (a) Theorem 11's tables are well below the
@@ -88,10 +96,10 @@ def test_headline_shape(benchmark, report, graph, metric, pairs):
     """
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     ev11 = evaluate_scheme(
-        graph, Stretch5PlusScheme, pairs, metric=metric, eps=0.6, seed=33
+        graph, "thm11", pairs, substrate=substrate, eps=0.6, seed=33
     )
     ev_tz2 = evaluate_scheme(
-        graph, ThorupZwickScheme, pairs, metric=metric, k=2, seed=33
+        graph, "tz2", pairs, substrate=substrate, seed=33
     )
     assert ev11.stats.avg_table_words < ev_tz2.stats.avg_table_words
     assert ev11.stretch.max_stretch <= 7.0

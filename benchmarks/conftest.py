@@ -18,6 +18,7 @@ files (see ``bench_kernel.py``).
 
 from __future__ import annotations
 
+import json
 import os
 from collections import OrderedDict
 from typing import Dict, List
@@ -40,6 +41,36 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip().lower() in (
 def smoke_scale(full, smoke):
     """``smoke`` under REPRO_BENCH_SMOKE=1, ``full`` otherwise."""
     return smoke if SMOKE else full
+
+
+def merge_bench_results(path: str, updates: dict) -> None:
+    """Read-merge-write a shared JSON results file.
+
+    Several benches own sibling keys in ``BENCH_kernel.json``
+    (``bench_kernel`` the kernel/memory keys, ``bench_preprocessing``
+    the ``substrate_sharing`` key); merging instead of overwriting keeps
+    one bench's full-run numbers alive across the other's runs.  The
+    write is atomic (tmp file + rename) so an interrupted run can never
+    leave a truncated file, and a corrupt existing file raises instead
+    of being silently reset — committed numbers must not vanish.
+    """
+    merged: dict = {}
+    try:
+        with open(path) as fh:
+            merged = json.load(fh)
+    except FileNotFoundError:
+        merged = {}  # no file yet — first full run
+    except ValueError as exc:
+        raise RuntimeError(
+            f"{path} holds invalid JSON; refusing to overwrite committed "
+            f"bench results — repair or delete it first"
+        ) from exc
+    merged.update(updates)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        json.dump(merged, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
 
 
 @pytest.fixture(scope="session")

@@ -6,12 +6,15 @@ Usage:
 
 Builds every implemented scheme (both Table 1 blocks) on one topology and
 prints measured stretch and table sizes next to the paper's asymptotic
-claims.
+claims.  Scheme names resolve through the ``repro.api`` registry and each
+block shares one substrate (exact metric, port numbering, ball
+structures) across its schemes — the per-scheme build times printed at
+the bottom are marginal costs on the warm substrate.
 """
 
 import argparse
 
-from repro.baselines.thorup_zwick import ThorupZwickScheme
+from repro.api import SubstrateCache, get_spec
 from repro.eval.harness import evaluate_scheme
 from repro.eval.reporting import PAPER_TABLE1_REFERENCE, reference_row, table
 from repro.eval.workloads import sample_pairs
@@ -22,14 +25,10 @@ from repro.graph.generators import (
     random_geometric,
     with_random_weights,
 )
-from repro.graph.metric import MetricView
-from repro.schemes import (
-    GeneralMinusScheme,
-    GeneralPlusScheme,
-    Stretch2Plus1Scheme,
-    Stretch4kMinus7Scheme,
-    Stretch5PlusScheme,
-)
+
+#: Table 1 blocks by registered scheme name
+UNWEIGHTED_BLOCK = ["thm10", "thm13", "thm15"]
+WEIGHTED_BLOCK = ["tz2", "tz3", "thm11", "thm16"]
 
 
 def build_graphs(family: str, n: int, seed: int):
@@ -70,44 +69,35 @@ def main() -> None:
         print(reference_row(entry))
     print()
 
+    cache = SubstrateCache()
     rows = []
-    if g_unweighted is not None:
-        metric = MetricView(g_unweighted)
-        pairs = sample_pairs(g_unweighted.n, args.pairs, seed=args.seed + 2)
-        for factory, kwargs in [
-            (Stretch2Plus1Scheme, {"eps": 0.5}),
-            (GeneralMinusScheme, {"ell": 3, "eps": 1.0, "alpha": 0.5}),
-            (GeneralPlusScheme, {"ell": 2, "eps": 1.0, "alpha": 0.5}),
-        ]:
+    timings = []
+
+    def run_block(g, names, kind):
+        substrate = cache.substrate(g)
+        pairs = sample_pairs(
+            g.n, args.pairs,
+            seed=args.seed + (2 if kind == "unweighted" else 3),
+        )
+        for name in names:
             ev = evaluate_scheme(
-                g_unweighted, factory, pairs, metric=metric,
-                seed=args.seed, **kwargs
+                g, name, pairs, substrate=substrate, seed=args.seed
             )
             status = "ok" if ev.within_bound else "VIOLATION"
             rows.append(
-                [ev.name, "unweighted", f"{ev.stretch.max_stretch:.3f}",
+                [ev.name, kind, f"{ev.stretch.max_stretch:.3f}",
                  f"{ev.stretch.avg_stretch:.3f}",
                  f"{ev.stats.avg_table_words:.0f}", status]
             )
+            timings.append(
+                f"{get_spec(name).name}: substrate "
+                f"{ev.substrate_seconds:.2f}s + scheme "
+                f"{ev.build_seconds:.2f}s"
+            )
 
-    metric_w = MetricView(g_weighted)
-    pairs_w = sample_pairs(g_weighted.n, args.pairs, seed=args.seed + 3)
-    for factory, kwargs in [
-        (ThorupZwickScheme, {"k": 2}),
-        (ThorupZwickScheme, {"k": 3}),
-        (Stretch5PlusScheme, {"eps": 0.6}),
-        (Stretch4kMinus7Scheme, {"k": 4, "eps": 1.0}),
-    ]:
-        ev = evaluate_scheme(
-            g_weighted, factory, pairs_w, metric=metric_w,
-            seed=args.seed, **kwargs
-        )
-        status = "ok" if ev.within_bound else "VIOLATION"
-        rows.append(
-            [ev.name, "weighted", f"{ev.stretch.max_stretch:.3f}",
-             f"{ev.stretch.avg_stretch:.3f}",
-             f"{ev.stats.avg_table_words:.0f}", status]
-        )
+    if g_unweighted is not None:
+        run_block(g_unweighted, UNWEIGHTED_BLOCK, "unweighted")
+    run_block(g_weighted, WEIGHTED_BLOCK, "weighted")
 
     print(f"measured on family={args.family}, n={args.n}:")
     print(
@@ -117,6 +107,9 @@ def main() -> None:
             rows,
         )
     )
+    print("\nbuild times (substrate is shared per block):")
+    for line in timings:
+        print("  " + line)
 
 
 if __name__ == "__main__":

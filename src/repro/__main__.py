@@ -1,11 +1,15 @@
 """Command-line entry point: ``python -m repro``.
 
-Subcommands:
+Subcommands (all scheme names resolve through the ``repro.api`` registry):
 
-* ``table1`` — regenerate the paper's Table 1 on a chosen topology
-  (thin wrapper around ``examples/compare_schemes.py`` logic),
+* ``list-schemes`` — print every registered scheme spec (parameters,
+  defaults, stretch bound, accepted graph classes),
+* ``table1`` — regenerate the paper's Table 1 on a chosen topology,
+  sharing one substrate (metric, ports, balls) across all five schemes,
 * ``route`` — build one scheme and trace one message,
-* ``validate`` — run the structural validation checklist on a scheme.
+* ``validate`` — run the structural validation checklist on a scheme,
+* ``save`` — build a scheme and persist its routing state to disk,
+* ``load`` — restore a saved scheme (no preprocessing) and serve it.
 """
 
 from __future__ import annotations
@@ -13,8 +17,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .baselines.thorup_zwick import ThorupZwickScheme
-from .eval.validation import validate_scheme
+from .api import (
+    SchemeParamError,
+    SubstrateCache,
+    TABLE1_SCHEMES,
+    all_specs,
+    build,
+    get_spec,
+    load as load_session,
+    scheme_names,
+)
+from .eval.reporting import table
 from .eval.workloads import sample_pairs
 from .graph.generators import (
     erdos_renyi,
@@ -23,25 +36,6 @@ from .graph.generators import (
     random_geometric,
     with_random_weights,
 )
-from .graph.metric import MetricView
-from .routing import measure_stretch, route
-from .schemes import (
-    NameIndependent3Eps,
-    Stretch2Plus1Scheme,
-    Stretch4kMinus7Scheme,
-    Stretch5PlusScheme,
-    Warmup3Scheme,
-)
-
-SCHEMES = {
-    "thm10": (Stretch2Plus1Scheme, {"eps": 0.5}, False),
-    "thm11": (Stretch5PlusScheme, {"eps": 0.6}, True),
-    "thm16": (Stretch4kMinus7Scheme, {"k": 4, "eps": 1.0}, True),
-    "warmup3": (Warmup3Scheme, {"eps": 0.5}, True),
-    "name-indep": (NameIndependent3Eps, {"eps": 0.5}, True),
-    "tz2": (ThorupZwickScheme, {"k": 2}, True),
-    "tz3": (ThorupZwickScheme, {"k": 3}, True),
-}
 
 FAMILIES = ["er", "grid", "ba", "geo"]
 
@@ -63,40 +57,59 @@ def _build_graph(family: str, n: int, seed: int, weighted: bool):
     return g
 
 
-def _make_scheme(name: str, n: int, family: str, seed: int):
-    if name not in SCHEMES:
-        raise SystemExit(
-            f"unknown scheme {name!r}; choose from {sorted(SCHEMES)}"
+def _build_session(name: str, n: int, family: str, seed: int):
+    """Build one scheme on its preferred variant of the topology."""
+    spec = get_spec(name)
+    weighted = spec.prefers_weighted and family != "geo"
+    g = _build_graph(family, n, seed, weighted)
+    try:
+        spec.check_graph(g)
+    except SchemeParamError as exc:
+        raise SystemExit(str(exc)) from None
+    return build(name, g, seed=seed)
+
+
+def cmd_list_schemes(args) -> int:
+    rows = []
+    for spec in all_specs():
+        params = ", ".join(
+            f"{p.name}={p.default}" for p in spec.params
         )
-    factory, kwargs, weighted = SCHEMES[name]
-    if name == "thm10" and family == "geo":
-        raise SystemExit("thm10 is unweighted-only; pick er/grid/ba")
-    g = _build_graph(family, n, seed, weighted and family != "geo")
-    metric = MetricView(g)
-    scheme = factory(g, metric=metric, seed=seed, **kwargs)
-    return g, metric, scheme
+        graphs = "any" if spec.weighted_capable else "unweighted"
+        rows.append([spec.name, spec.stretch, graphs, params])
+    print(f"{len(rows)} registered schemes:")
+    print(table(["name", "stretch", "graphs", "parameters"], rows))
+    print("\ndetails:")
+    for spec in all_specs():
+        print(f"  {spec.name:<12} {spec.summary}")
+    return 0
 
 
-def cmd_route(args) -> int:
-    g, metric, scheme = _make_scheme(args.scheme, args.n, args.family, args.seed)
-    s = args.source % g.n
-    t = args.target % g.n
-    result = route(scheme, s, t)
-    print(f"{scheme.name} on {g}")
+def _print_route(session, source: int, target: int) -> None:
+    """Trace one message and print the path + measured stretch lines."""
+    s = source % session.graph.n
+    t = target % session.graph.n
+    result = session.route(s, t)
     print(f"route {s} -> {t}: {' -> '.join(map(str, result.path))}")
-    d = metric.d(s, t)
+    d = session.metric.d(s, t)
     if d > 0:
         print(
             f"length {result.length:.4f} vs optimal {d:.4f} "
             f"(stretch {result.length / d:.4f})"
         )
+
+
+def cmd_route(args) -> int:
+    session = _build_session(args.scheme, args.n, args.family, args.seed)
+    print(f"{session.name} on {session.graph}")
+    _print_route(session, args.source, args.target)
     return 0
 
 
 def cmd_validate(args) -> int:
-    g, metric, scheme = _make_scheme(args.scheme, args.n, args.family, args.seed)
-    result = validate_scheme(scheme, metric, sample=args.pairs, seed=args.seed)
-    print(f"{scheme.name} on {g}")
+    session = _build_session(args.scheme, args.n, args.family, args.seed)
+    result = session.validate(sample=args.pairs, seed=args.seed)
+    print(f"{session.name} on {session.graph}")
     print(
         f"checked {result.checked_pairs} pairs: max stretch "
         f"{result.max_stretch:.4f}, max header {result.max_header_words} "
@@ -113,50 +126,99 @@ def cmd_validate(args) -> int:
 
 def cmd_table1(args) -> int:
     rows = []
-    for name in ["thm10", "tz2", "tz3", "thm11", "thm16"]:
-        factory, kwargs, weighted = SCHEMES[name]
-        if name == "thm10" and args.family == "geo":
+    cache = SubstrateCache()
+    graphs = {}  # one graph per (weighted?) variant, substrates shared
+    substrate_seconds = 0.0
+    scheme_seconds = 0.0
+    for name in TABLE1_SCHEMES:
+        spec = get_spec(name)
+        weighted = spec.prefers_weighted and args.family != "geo"
+        if not spec.weighted_capable:
+            if args.family == "geo":
+                continue  # geometric graphs are weighted
+            weighted = False
+        if weighted not in graphs:
+            graphs[weighted] = _build_graph(
+                args.family, args.n, args.seed, weighted
+            )
+        g = graphs[weighted]
+        if not spec.weighted_capable and not g.is_unweighted():
             continue
-        g = _build_graph(
-            args.family, args.n, args.seed, weighted and args.family != "geo"
-        )
-        if name == "thm10" and not g.is_unweighted():
-            continue
-        metric = MetricView(g)
-        scheme = factory(g, metric=metric, seed=args.seed, **kwargs)
+        session = build(name, g, cache=cache, seed=args.seed)
+        substrate_seconds += session.substrate_seconds
+        scheme_seconds += session.build_seconds
         pairs = sample_pairs(g.n, args.pairs, seed=args.seed + 5)
-        bound = scheme.stretch_bound()
-        alpha = bound[0] if isinstance(bound, tuple) else bound
-        rep = measure_stretch(scheme, metric, pairs, multiplicative_slack=alpha)
-        stats = scheme.stats()
+        rep = session.measure(pairs)
+        stats = session.stats()
         rows.append(
-            f"{scheme.name:<26} max={rep.max_stretch:<7.3f} "
+            f"{session.name:<26} max={rep.max_stretch:<7.3f} "
             f"avg={rep.avg_stretch:<7.3f} tbl-avg={stats.avg_table_words:<9.1f}"
         )
     print(f"Table 1 on family={args.family}, n={args.n}:")
     for row in rows:
         print("  " + row)
+    print(
+        f"  [substrate {substrate_seconds:.2f}s shared across "
+        f"{len(rows)} schemes; scheme builds {scheme_seconds:.2f}s]"
+    )
     return 0
+
+
+def cmd_save(args) -> int:
+    session = _build_session(args.scheme, args.n, args.family, args.seed)
+    path = session.save(args.out)
+    stats = session.stats()
+    print(f"{session.name} on {session.graph}")
+    print(
+        f"saved to {path} ({stats.total_table_words} table words, "
+        f"built in {session.build_seconds:.2f}s)"
+    )
+    return 0
+
+
+def cmd_load(args) -> int:
+    try:
+        session = load_session(args.path)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"cannot load {args.path!r}: {exc}") from None
+    print(f"loaded {session.name} [{session.spec_name}] on {session.graph}")
+    if args.measure:
+        rep = session.measure(count=args.measure, seed=args.seed)
+        print(
+            f"measured {args.measure} pairs: max stretch "
+            f"{rep.max_stretch:.4f}, avg {rep.avg_stretch:.4f}"
+        )
+        return 0
+    _print_route(session, args.source, args.target)
+    return 0
+
+
+def _add_build_args(parser, *, default_scheme: str = "thm11") -> None:
+    parser.add_argument(
+        "--scheme", default=default_scheme, choices=scheme_names()
+    )
+    parser.add_argument("--family", default="er", choices=FAMILIES)
+    parser.add_argument("--n", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    p_list = sub.add_parser(
+        "list-schemes", help="print the scheme registry"
+    )
+    p_list.set_defaults(func=cmd_list_schemes)
+
     p_route = sub.add_parser("route", help="trace one message")
-    p_route.add_argument("--scheme", default="thm11", choices=sorted(SCHEMES))
-    p_route.add_argument("--family", default="er", choices=FAMILIES)
-    p_route.add_argument("--n", type=int, default=200)
-    p_route.add_argument("--seed", type=int, default=0)
+    _add_build_args(p_route)
     p_route.add_argument("--source", type=int, default=0)
     p_route.add_argument("--target", type=int, default=42)
     p_route.set_defaults(func=cmd_route)
 
     p_val = sub.add_parser("validate", help="structural validation")
-    p_val.add_argument("--scheme", default="thm11", choices=sorted(SCHEMES))
-    p_val.add_argument("--family", default="er", choices=FAMILIES)
-    p_val.add_argument("--n", type=int, default=200)
-    p_val.add_argument("--seed", type=int, default=0)
+    _add_build_args(p_val)
     p_val.add_argument("--pairs", type=int, default=300)
     p_val.set_defaults(func=cmd_validate)
 
@@ -166,6 +228,26 @@ def main(argv=None) -> int:
     p_t1.add_argument("--seed", type=int, default=0)
     p_t1.add_argument("--pairs", type=int, default=500)
     p_t1.set_defaults(func=cmd_table1)
+
+    p_save = sub.add_parser(
+        "save", help="build a scheme and persist its routing state"
+    )
+    _add_build_args(p_save)
+    p_save.add_argument("--out", required=True, help="output JSON path")
+    p_save.set_defaults(func=cmd_save)
+
+    p_load = sub.add_parser(
+        "load", help="restore a saved scheme and serve it"
+    )
+    p_load.add_argument("path", help="session JSON written by `save`")
+    p_load.add_argument("--source", type=int, default=0)
+    p_load.add_argument("--target", type=int, default=42)
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument(
+        "--measure", type=int, default=0, metavar="PAIRS",
+        help="measure stretch over PAIRS sampled pairs instead of routing",
+    )
+    p_load.set_defaults(func=cmd_load)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,264 @@
+"""Declarative scheme registry: every scheme as a named, validated spec.
+
+Before this module, ``__main__``, the examples, the harness and each
+benchmark carried its own ad-hoc ``SCHEMES`` dict (factory, kwargs,
+weighted flag).  :class:`SchemeSpec` replaces those: one declarative
+record per scheme holding the factory, the parameter schema with
+defaults and validation, the advertised stretch bound and the graph
+classes the scheme accepts.  The registry is the single source of truth
+the CLI, the facade (:func:`repro.api.build`), the harness and the
+benchmarks resolve names against.
+
+The built-in names mirror the paper's Table 1 rows (``thm10`` ...
+``thm16``), the Section 4 warm-ups, and the Thorup–Zwick baselines
+(``tz2``/``tz3``/``tz4``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..baselines.thorup_zwick import ThorupZwickScheme
+from ..graph.core import Graph
+from ..schemes import (
+    GeneralMinusScheme,
+    GeneralPlusScheme,
+    NameIndependent3Eps,
+    Stretch2Plus1Scheme,
+    Stretch4kMinus7Scheme,
+    Stretch5PlusScheme,
+    Warmup3Scheme,
+)
+
+__all__ = [
+    "ParamSpec",
+    "SchemeSpec",
+    "UnknownSchemeError",
+    "SchemeParamError",
+    "register",
+    "get_spec",
+    "scheme_names",
+    "all_specs",
+    "TABLE1_SCHEMES",
+]
+
+
+class UnknownSchemeError(KeyError):
+    """Raised for a name with no registered spec; lists what exists."""
+
+    def __init__(self, name: str, known: List[str]) -> None:
+        self.name = name
+        self.known = known
+        lines = "\n".join(f"  {n}" for n in known)
+        super().__init__(
+            f"unknown scheme {name!r}; registered schemes:\n{lines}"
+        )
+
+    def __str__(self) -> str:  # KeyError quotes its message otherwise
+        return self.args[0]
+
+
+class SchemeParamError(ValueError):
+    """Raised when parameters do not fit a spec's schema."""
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One constructor parameter of a scheme."""
+
+    name: str
+    default: Any
+    kind: type = float
+    #: inclusive lower bound (None = unbounded); schemes enforce the
+    #: strict/semantic checks themselves, this catches CLI typos early
+    minimum: Optional[float] = None
+    doc: str = ""
+
+    def coerce(self, value: Any) -> Any:
+        try:
+            coerced = self.kind(value)
+        except (TypeError, ValueError) as exc:
+            raise SchemeParamError(
+                f"parameter {self.name}={value!r} is not a valid "
+                f"{self.kind.__name__}"
+            ) from exc
+        if self.minimum is not None and coerced < self.minimum:
+            raise SchemeParamError(
+                f"parameter {self.name}={coerced} below minimum "
+                f"{self.minimum}"
+            )
+        return coerced
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """A scheme as a declarative, buildable record."""
+
+    name: str
+    factory: Callable[..., Any]
+    summary: str
+    #: advertised (alpha, beta) stretch at the default parameters,
+    #: e.g. "(2+eps, 1)" — display only; the built scheme reports the
+    #: exact bound via ``stretch_bound()``
+    stretch: str
+    params: Tuple[ParamSpec, ...] = field(default_factory=tuple)
+    #: handles positively-weighted graphs (False = unweighted only)
+    weighted_capable: bool = True
+    #: Table-1 convention: build on the weighted variant of a topology
+    prefers_weighted: bool = False
+
+    def param(self, name: str) -> ParamSpec:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise SchemeParamError(
+            f"scheme {self.name!r} has no parameter {name!r}; "
+            f"expected one of {[p.name for p in self.params]}"
+        )
+
+    def defaults(self) -> Dict[str, Any]:
+        return {p.name: p.default for p in self.params}
+
+    def resolve_params(self, overrides: Dict[str, Any]) -> Dict[str, Any]:
+        """Defaults + validated/coerced overrides (unknown names raise)."""
+        resolved = self.defaults()
+        for name, value in overrides.items():
+            resolved[name] = self.param(name).coerce(value)
+        return resolved
+
+    def check_graph(self, graph: Graph) -> None:
+        """Reject graph classes the scheme is not stated for."""
+        if not self.weighted_capable and not graph.is_unweighted():
+            raise SchemeParamError(
+                f"scheme {self.name!r} is stated for unweighted graphs; "
+                f"got a weighted {graph!r}"
+            )
+
+
+_REGISTRY: Dict[str, SchemeSpec] = {}
+
+
+def register(spec: SchemeSpec, *, replace: bool = False) -> SchemeSpec:
+    """Add a spec to the registry (``replace=True`` to overwrite)."""
+    if not replace and spec.name in _REGISTRY:
+        raise ValueError(f"scheme {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> SchemeSpec:
+    """Look up a spec by name; unknown names raise with the full list."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownSchemeError(name, scheme_names()) from None
+
+
+def scheme_names() -> List[str]:
+    """Registered names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def all_specs() -> List[SchemeSpec]:
+    """All registered specs in name order."""
+    return [_REGISTRY[name] for name in scheme_names()]
+
+
+#: the five rows of the paper's Table 1 the comparative flows build
+TABLE1_SCHEMES = ["thm10", "tz2", "tz3", "thm11", "thm16"]
+
+
+def _eps(default: float) -> ParamSpec:
+    return ParamSpec("eps", default, float, 1e-9, "target stretch slack")
+
+
+def _alpha() -> ParamSpec:
+    return ParamSpec(
+        "alpha", 1.0, float, 1e-9,
+        "ball-size constant in q̃ = alpha·q·log n",
+    )
+
+
+register(SchemeSpec(
+    name="thm10",
+    factory=Stretch2Plus1Scheme,
+    summary="Theorem 10: (2+eps,1) labeled routing, Õ(n^2/3 /eps) tables",
+    stretch="(2+eps, 1)",
+    params=(_eps(0.5), _alpha()),
+    weighted_capable=False,
+))
+register(SchemeSpec(
+    name="thm11",
+    factory=Stretch5PlusScheme,
+    summary="Theorem 11: (5+eps) labeled routing, Õ(n^1/3 logD /eps) tables",
+    stretch="(5+eps, 0)",
+    params=(_eps(0.6), _alpha()),
+    prefers_weighted=True,
+))
+register(SchemeSpec(
+    name="thm13",
+    factory=GeneralMinusScheme,
+    summary="Theorem 13: (3-2/l+eps,2) routing, Õ(l n^{l/(2l-1)} /eps)",
+    stretch="(3-2/l+eps, 2)",
+    params=(
+        ParamSpec("ell", 3, int, 2, "the paper's l >= 2"),
+        _eps(1.0),
+        ParamSpec("alpha", 0.5, float, 1e-9,
+                  "ball-size constant in q̃ = alpha·q·log n"),
+    ),
+    weighted_capable=False,
+))
+register(SchemeSpec(
+    name="thm15",
+    factory=GeneralPlusScheme,
+    summary="Theorem 15: (3+2/l+eps,2) routing, Õ(l n^{l/(2l+1)} /eps)",
+    stretch="(3+2/l+eps, 2)",
+    params=(
+        ParamSpec("ell", 2, int, 2, "the paper's l >= 2"),
+        _eps(1.0),
+        ParamSpec("alpha", 0.5, float, 1e-9,
+                  "ball-size constant in q̃ = alpha·q·log n"),
+    ),
+    weighted_capable=False,
+))
+register(SchemeSpec(
+    name="thm16",
+    factory=Stretch4kMinus7Scheme,
+    summary="Theorem 16: (4k-7+eps) routing, Õ(n^1/k logD /eps) tables",
+    stretch="(4k-7+eps, 0)",
+    params=(
+        ParamSpec("k", 4, int, 3, "hierarchy depth k >= 3"),
+        _eps(1.0),
+        _alpha(),
+    ),
+    prefers_weighted=True,
+))
+register(SchemeSpec(
+    name="warmup3",
+    factory=Warmup3Scheme,
+    summary="Section 4 warm-up: (3+eps) routing, Õ(sqrt(n)/eps) tables",
+    stretch="(3+eps, 0)",
+    params=(_eps(0.5), _alpha()),
+    prefers_weighted=True,
+))
+register(SchemeSpec(
+    name="name-indep",
+    factory=NameIndependent3Eps,
+    summary="Name-independent (3+eps) routing (hash coloring, Sec. 4)",
+    stretch="(3+eps, 0)",
+    params=(_eps(0.5), _alpha()),
+    prefers_weighted=True,
+))
+for _k, _stretch in ((2, 3), (3, 7), (4, 11)):
+    register(SchemeSpec(
+        name=f"tz{_k}",
+        factory=ThorupZwickScheme,
+        summary=(
+            f"Thorup–Zwick baseline, k={_k}: stretch {_stretch}, "
+            f"Õ(n^{{1/{_k}}}) tables"
+        ),
+        stretch=f"({_stretch}, 0)",
+        params=(ParamSpec("k", _k, int, 2, "hierarchy depth"),),
+        prefers_weighted=True,
+    ))

@@ -1,0 +1,290 @@
+"""Routing sessions: a built scheme with a stable serve/persist surface.
+
+A :class:`RoutingSession` wraps one built scheme on one graph and exposes
+what a deployment (or a benchmark harness) actually needs:
+
+* ``route(s, t)`` — trace one message through the fixed-port simulator,
+* ``measure(pairs)`` — stretch statistics against the exact metric,
+* ``stats()`` — per-vertex table/label word accounting,
+* ``validate()`` — the structural release checklist,
+* ``save(path)`` / :func:`load` — full round-trip persistence.
+
+Persistence layers on :mod:`repro.routing.persistence` (tables + labels,
+word-identical) and adds what that module leaves to the caller: the
+graph (adjacency lists in *insertion order*, so the deterministic port
+numbering survives), the explicit port order, the spec name and the
+scheme's step-time scalars (:meth:`SchemeBase.routing_params`).  A loaded
+session routes without re-running preprocessing — the scheme class is
+reconstructed around the persisted tables via ``SchemeBase.restore`` —
+and makes byte-identical step decisions, which the round-trip tests
+assert for every registered scheme.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..eval.harness import _normalize_bound
+from ..eval.validation import ValidationResult, validate_scheme
+from ..eval.workloads import sample_pairs
+from ..graph.core import Graph
+from ..graph.metric import MetricView
+from ..routing.persistence import export_scheme_state, import_scheme_state
+from ..routing.ports import PortAssignment
+from ..routing.simulator import (
+    RouteResult,
+    StretchReport,
+    measure_stretch,
+    route,
+)
+from ..routing.model import SchemeStats
+from .registry import get_spec
+
+__all__ = ["RoutingSession", "load"]
+
+FORMAT = "repro.api.session"
+FORMAT_VERSION = 1
+
+
+class RoutingSession:
+    """One built (or loaded) scheme, ready to serve.
+
+    Build through :func:`repro.api.build`; restore through :func:`load`.
+    """
+
+    def __init__(
+        self,
+        scheme: Any,
+        *,
+        spec_name: str,
+        params: Optional[Dict[str, Any]] = None,
+        seed: int = 0,
+        substrate: Optional[Any] = None,
+        metric: Optional[MetricView] = None,
+        build_seconds: float = 0.0,
+        substrate_seconds: float = 0.0,
+        loaded: bool = False,
+    ) -> None:
+        self.scheme = scheme
+        self.spec_name = spec_name
+        self.params = dict(params or {})
+        self.seed = seed
+        self.substrate = substrate
+        self._metric = metric
+        #: scheme-specific construction time (excludes shared substrates)
+        self.build_seconds = build_seconds
+        #: time spent materializing the shared metric + ports
+        self.substrate_seconds = substrate_seconds
+        #: True when restored from disk (no preprocessing ran)
+        self.loaded = loaded
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        return self.scheme.graph
+
+    @property
+    def name(self) -> str:
+        return self.scheme.name
+
+    @property
+    def metric(self) -> MetricView:
+        """The exact metric for measurement (built lazily on a loaded
+        session — routing itself never needs it)."""
+        if self._metric is None:
+            if self.substrate is not None:
+                self._metric = self.substrate.metric
+            elif getattr(self.scheme, "metric", None) is not None:
+                self._metric = self.scheme.metric
+            else:
+                self._metric = MetricView(self.graph, mode="auto")
+        return self._metric
+
+    def stretch_bound(self) -> Tuple[float, float]:
+        """The scheme's advertised ``(alpha, beta)`` guarantee."""
+        return _normalize_bound(self.scheme.stretch_bound())
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def route(self, source: int, target: int,
+              max_hops: Optional[int] = None) -> RouteResult:
+        """Route one message through the fixed-port simulator."""
+        return route(self.scheme, source, target, max_hops=max_hops)
+
+    def measure(
+        self,
+        pairs: Optional[Iterable[Tuple[int, int]]] = None,
+        *,
+        count: int = 200,
+        seed: Optional[int] = None,
+    ) -> StretchReport:
+        """Stretch statistics over ``pairs`` (or a seeded sample)."""
+        if pairs is None:
+            pairs = sample_pairs(
+                self.graph.n, count,
+                seed=self.seed + 1 if seed is None else seed,
+            )
+        alpha, _ = self.stretch_bound()
+        return measure_stretch(
+            self.scheme, self.metric, pairs, multiplicative_slack=alpha
+        )
+
+    def stats(self) -> SchemeStats:
+        """Table/label space accounting of the built scheme."""
+        return self.scheme.stats()
+
+    def validate(self, *, sample: int = 200,
+                 seed: Optional[int] = None) -> ValidationResult:
+        """Run the structural release checklist."""
+        return validate_scheme(
+            self.scheme, self.metric, sample=sample,
+            seed=self.seed if seed is None else seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON-able session payload (see module docstring)."""
+        return {
+            "format": FORMAT,
+            "version": FORMAT_VERSION,
+            "spec": self.spec_name,
+            "params": self.params,
+            "seed": self.seed,
+            "routing_params": self.scheme.routing_params(),
+            "graph": {
+                "n": self.graph.n,
+                "adjacency": [
+                    [[v, w] for v, w in items]
+                    for items in self.graph.to_adjacency()
+                ],
+            },
+            "ports": self.scheme.ports.to_order(),
+            "state": export_scheme_state(self.scheme),
+        }
+
+    def save(self, path: str) -> str:
+        """Write the session to ``path`` (JSON); returns the path."""
+        payload = self.to_payload()
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "RoutingSession":
+        """Rebuild a session from :meth:`to_payload` output."""
+        if payload.get("format") != FORMAT:
+            raise ValueError(
+                f"not a routing-session payload "
+                f"(format={payload.get('format')!r})"
+            )
+        if payload.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported session version {payload.get('version')!r}"
+            )
+        spec = get_spec(payload["spec"])
+        state = import_scheme_state(payload["state"])
+        factory = spec.factory
+        if state["scheme"] != factory.__name__:
+            raise ValueError(
+                f"payload was built by {state['scheme']}, spec "
+                f"{spec.name!r} maps to {factory.__name__}"
+            )
+        graph = Graph.from_adjacency([
+            [(int(v), float(w)) for v, w in items]
+            for items in payload["graph"]["adjacency"]
+        ])
+        if graph.n != int(payload["graph"]["n"]) or graph.n != state["n"]:
+            raise ValueError("graph size mismatch in session payload")
+        ports = PortAssignment.from_order(graph, payload["ports"])
+        scheme = factory.restore(
+            graph,
+            ports=ports,
+            tables=state["tables"],
+            labels=state["labels"],
+            params=payload.get("routing_params") or {},
+            name=state["name"],
+        )
+        return cls(
+            scheme,
+            spec_name=payload["spec"],
+            params=payload.get("params") or {},
+            seed=int(payload.get("seed", 0)),
+            loaded=True,
+        )
+
+    def describe(self) -> str:
+        """One human-readable summary line."""
+        origin = "loaded" if self.loaded else (
+            f"built in {self.build_seconds:.2f}s "
+            f"(+{self.substrate_seconds:.2f}s substrate)"
+        )
+        return (
+            f"{self.name} [{self.spec_name}] on {self.graph!r} — {origin}"
+        )
+
+
+def load(path: str) -> RoutingSession:
+    """Load a session :meth:`RoutingSession.save` wrote."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    return RoutingSession.from_payload(payload)
+
+
+def build_session(
+    name: str,
+    graph: Graph,
+    *,
+    seed: int = 0,
+    substrate: Optional[Any] = None,
+    cache: Optional[Any] = None,
+    ports: Optional[PortAssignment] = None,
+    metric: Optional[MetricView] = None,
+    **params: Any,
+) -> RoutingSession:
+    """Implementation behind :func:`repro.api.build` (see its docstring)."""
+    from .substrate import Substrate
+
+    spec = get_spec(name)
+    spec.check_graph(graph)
+    resolved = spec.resolve_params(params)
+    if substrate is None:
+        if cache is not None:
+            if metric is not None or ports is not None:
+                raise ValueError(
+                    "pass either cache= or explicit metric=/ports= — a "
+                    "cache hands out its own substrate artifacts, so the "
+                    "explicit ones would be silently ignored"
+                )
+            substrate = cache.substrate(graph)
+        else:
+            substrate = Substrate(graph, metric=metric, ports=ports)
+    elif metric is not None or ports is not None:
+        raise ValueError(
+            "pass either substrate= or explicit metric=/ports=, not both"
+        )
+    t0 = time.perf_counter()
+    substrate.ensure_core()
+    substrate_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    scheme = spec.factory(
+        graph, seed=seed, substrate=substrate, **resolved
+    )
+    build_seconds = time.perf_counter() - t0
+    return RoutingSession(
+        scheme,
+        spec_name=name,
+        params=resolved,
+        seed=seed,
+        substrate=substrate,
+        build_seconds=build_seconds,
+        substrate_seconds=substrate_seconds,
+    )

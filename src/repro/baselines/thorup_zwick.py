@@ -56,8 +56,11 @@ class ThorupZwickScheme(SchemeBase):
         ports: Optional[PortAssignment] = None,
         metric: Optional[MetricView] = None,
         hierarchy: Optional[SampledHierarchy] = None,
+        substrate: Optional[Any] = None,
     ) -> None:
-        super().__init__(graph, ports=ports, metric=metric)
+        super().__init__(
+            graph, ports=ports, metric=metric, substrate=substrate
+        )
         if k < 2:
             raise ValueError(f"Thorup-Zwick needs k >= 2, got {k}")
         self.k = k
@@ -65,7 +68,7 @@ class ThorupZwickScheme(SchemeBase):
         self.hierarchy = (
             hierarchy
             if hierarchy is not None
-            else SampledHierarchy(self.metric, k, seed=seed)
+            else self._sampled_hierarchy(k, seed)
         )
 
         # Trees T(w) over clusters; members keep records, labels go into
@@ -95,6 +98,14 @@ class ThorupZwickScheme(SchemeBase):
                 p = self.hierarchy.pivot(i, v)
                 entries.append((p, self._trees[p].label_of(v)))
             self._labels[v] = (v, tuple(entries))
+
+    # ------------------------------------------------------------------
+    def routing_params(self) -> dict:
+        return {"k": self.k}
+
+    def _restore_routing(self, params: dict) -> None:
+        self.k = params["k"]
+        self.name = f"TZ 4k-5 (k={self.k})"
 
     # ------------------------------------------------------------------
     def step(self, u: int, header: Any, dest_label: Any) -> RouteAction:

@@ -71,7 +71,22 @@ class Technique1:
     prefix:
         Category prefix inside the shared tables (several technique
         instances may coexist, e.g. in the generalized schemes).
+
+    The class-level defaults below back the step-only shells built by
+    :meth:`stepper`: ``start``/``step`` read none of the preprocessing
+    state, so restored instances simply inherit these placeholders and a
+    new ``__init__`` attribute needs no matching stepper edit.
     """
+
+    metric: Optional[MetricView] = None
+    family: Optional[BallFamily] = None
+    eps: Optional[float] = None
+    b: Optional[int] = None
+    hitting: Sequence[int] = ()
+    _hitting_set: frozenset = frozenset()
+    _trees: Optional[Dict[int, TreeRouting]] = None
+    _class_of: Optional[List[int]] = None
+    _sequences: Sequence[dict] = ()
 
     def __init__(
         self,
@@ -141,6 +156,23 @@ class Technique1:
                     self._sequences[u][v] = (seq.waypoints, tlabel)
 
     # ------------------------------------------------------------------
+    @classmethod
+    def stepper(cls, ports: PortAssignment, *, prefix: str = "t1:") -> "Technique1":
+        """A step-only instance for restored (deserialized) schemes.
+
+        ``start``/``step`` read nothing but the local table, the header and
+        ``ports`` — the distributed discipline — so a scheme rebuilt from
+        persisted tables only needs this shell, not the preprocessing state
+        (metric, hitting set, sequences) that produced the tables; those
+        attributes fall through to the class-level placeholders.
+        """
+        self = object.__new__(cls)
+        self.ports = ports
+        self.prefix = prefix
+        self.cat_seq = f"{prefix}seq"
+        self.cat_htree = f"{prefix}htree"
+        return self
+
     def class_of(self, v: int) -> int:
         """Partition-class index of ``v``."""
         return self._class_of[v]
@@ -160,9 +192,13 @@ class Technique1:
         """Build the initial technique header at source ``u`` for ``v``."""
         entry = table.get(self.cat_seq, v)
         if entry is None:
+            detail = (
+                ""
+                if self._class_of is None
+                else f" (classes {self._class_of[u]} vs {self._class_of[v]})"
+            )
             raise ValueError(
-                f"{u} stores no Lemma 7 sequence for {v} "
-                f"(classes {self._class_of[u]} vs {self._class_of[v]})"
+                f"{u} stores no Lemma 7 sequence for {v}{detail}"
             )
         waypoints, tlabel = entry
         return ("seq", 0, waypoints, tlabel)

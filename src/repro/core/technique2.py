@@ -57,7 +57,20 @@ class Technique2:
     validate_hitting:
         Verify that every class intersects every ball (the Lemma 6
         precondition).  Disable only when the caller already guarantees it.
+
+    The class-level defaults below back the step-only shells built by
+    :meth:`stepper` (see :class:`~repro.core.technique1.Technique1`).
     """
+
+    metric: Optional[MetricView] = None
+    family: Optional[BallFamily] = None
+    eps: Optional[float] = None
+    b: Optional[int] = None
+    lam: Optional[float] = None
+    _class_of: Optional[List[int]] = None
+    _target_class_of: Optional[Dict[int, int]] = None
+    _relay_cache: Optional[Dict[Tuple[int, int], Optional[int]]] = None
+    _sequences: Sequence[dict] = ()
 
     def __init__(
         self,
@@ -133,6 +146,22 @@ class Technique2:
                     self._sequences[u][w] = seq.waypoints
 
     # ------------------------------------------------------------------
+    @classmethod
+    def stepper(cls, ports: PortAssignment, *, prefix: str = "t2:") -> "Technique2":
+        """A step-only instance for restored (deserialized) schemes.
+
+        The ``start``/``step`` primitives consult only the local table and
+        ``ports``; the preprocessing state (metric, sequences, relays)
+        lives in the persisted tables, so this shell is all a rebuilt
+        scheme needs — everything else falls through to the class-level
+        placeholders.
+        """
+        self = object.__new__(cls)
+        self.ports = ports
+        self.prefix = prefix
+        self.cat_seq = f"{prefix}seq"
+        return self
+
     def _validate_ball_hitting(self, q: int) -> None:
         for x, ball in enumerate(self.family.balls()):
             present = {self._class_of[y] for y in ball}
@@ -178,9 +207,13 @@ class Technique2:
         """Initial technique header at a source ``u ∈ U_i`` for ``w ∈ W_i``."""
         waypoints = table.get(self.cat_seq, w)
         if waypoints is None:
+            detail = (
+                ""
+                if self._class_of is None
+                else f" (source class {self._class_of[u]})"
+            )
             raise ValueError(
-                f"{u} stores no Lemma 8 sequence for {w} "
-                f"(source class {self._class_of[u]})"
+                f"{u} stores no Lemma 8 sequence for {w}{detail}"
             )
         return (0, waypoints)
 

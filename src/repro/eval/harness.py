@@ -4,13 +4,20 @@ This is what the benchmarks call: one function turns a (graph, scheme
 factory, workload) triple into an :class:`Evaluation` record holding build
 time, stretch statistics, space statistics and bound checks — the columns
 of the paper's Table 1.
+
+Comparative runs pass a shared :class:`repro.api.Substrate` handle so the
+exact metric, port numbering and ball structures are built once per graph
+instead of once per scheme; ``Evaluation`` then separates the shared
+substrate-build time from the scheme's own construction time.  The
+``factory`` may be a callable or a registered scheme name
+(:mod:`repro.api.registry`).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Iterable, Optional, Sequence, Tuple, Union
 
 from ..graph.core import Graph
 from ..graph.metric import MetricView
@@ -27,11 +34,15 @@ class Evaluation:
     name: str
     n: int
     m: int
+    #: scheme construction time, excluding shared substrate builds
     build_seconds: float
     stretch: StretchReport
     stats: SchemeStats
     #: (alpha, beta) guarantee the scheme advertises
     bound: Tuple[float, float]
+    #: time spent materializing the shared metric + ports (0.0 when the
+    #: caller handed in a pre-built metric or warm substrate)
+    substrate_seconds: float = 0.0
 
     @property
     def within_bound(self) -> bool:
@@ -63,16 +74,77 @@ def _normalize_bound(
     return (float(bound), 0.0)
 
 
+def _accepts_substrate(factory: Callable[..., Any]) -> bool:
+    """Whether ``factory`` can take a ``substrate=`` keyword.
+
+    Plain callables (the ``lambda g, metric: scheme`` idiom the benches
+    use) must keep working when the caller also passes a substrate for
+    timing/metric purposes — substrate injection is an opt-in extension
+    of the factory contract, not part of it.
+    """
+    import inspect
+
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return False
+    for param in signature.parameters.values():
+        if param.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if param.name == "substrate" and param.kind in (
+            inspect.Parameter.KEYWORD_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            return True
+    return False
+
+
 def evaluate_scheme(
     graph: Graph,
-    factory: Callable[..., CompactRoutingScheme],
+    factory: Union[str, Callable[..., CompactRoutingScheme]],
     pairs: Iterable[Tuple[int, int]],
     *,
     metric: Optional[MetricView] = None,
+    substrate: Optional[Any] = None,
     **factory_kwargs,
 ) -> Evaluation:
-    """Build ``factory(graph, metric=..., **kwargs)``, route ``pairs``, report."""
-    metric = metric if metric is not None else MetricView(graph)
+    """Build the scheme, route ``pairs``, report.
+
+    ``factory`` is either a callable (invoked as
+    ``factory(graph, metric=..., **kwargs)``) or a registered scheme name
+    resolved through :mod:`repro.api.registry`.  A ``substrate`` handle is
+    injected into the build and its core (metric + ports) is timed
+    separately as ``substrate_seconds`` — on a warm handle that is ~0 and
+    ``build_seconds`` is the scheme's own marginal cost.
+    """
+    if isinstance(factory, str):
+        # Resolve and validate the spec BEFORE any substrate build: an
+        # incompatible graph must fail fast, not after an O(n^2) APSP.
+        from ..api.registry import get_spec
+
+        spec = get_spec(factory)
+        spec.check_graph(graph)
+        overrides = {
+            k: v for k, v in factory_kwargs.items() if k != "seed"
+        }
+        params = spec.resolve_params(overrides)
+        if "seed" in factory_kwargs:
+            params["seed"] = factory_kwargs["seed"]
+        factory_kwargs = params
+        factory = spec.factory
+    substrate_seconds = 0.0
+    if substrate is not None:
+        if metric is None:
+            start = time.perf_counter()
+            substrate.ensure_core()
+            substrate_seconds = time.perf_counter() - start
+            metric = substrate.metric
+        if _accepts_substrate(factory):
+            factory_kwargs["substrate"] = substrate
+    elif metric is None:
+        start = time.perf_counter()
+        metric = MetricView(graph)
+        substrate_seconds = time.perf_counter() - start
     start = time.perf_counter()
     scheme = factory(graph, metric=metric, **factory_kwargs)
     build_seconds = time.perf_counter() - start
@@ -88,6 +160,7 @@ def evaluate_scheme(
         stretch=report,
         stats=scheme.stats(),
         bound=bound,
+        substrate_seconds=substrate_seconds,
     )
 
 

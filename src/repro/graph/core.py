@@ -266,6 +266,50 @@ class Graph:
             nxg.add_edge(u, v, weight=w)
         return nxg
 
+    def to_adjacency(self) -> List[List[Tuple[int, float]]]:
+        """Per-vertex ``(neighbour, weight)`` lists in insertion order.
+
+        This is the *lossless* serialization of a graph: unlike an
+        ``edges()`` dump, rebuilding from it preserves each vertex's
+        neighbour insertion order exactly, and therefore the deterministic
+        default port numbering :mod:`repro.routing.ports` derives from it.
+        """
+        return [list(adj.items()) for adj in self._adj]
+
+    @classmethod
+    def from_adjacency(
+        cls, adjacency: List[List[Tuple[int, float]]]
+    ) -> "Graph":
+        """Inverse of :meth:`to_adjacency` (validates symmetry)."""
+        g = cls(len(adjacency))
+        m2 = 0
+        for u, items in enumerate(adjacency):
+            for v, w in items:
+                v = int(v)
+                g._check_vertex(v)
+                if u == v:
+                    raise GraphError(f"self loop at vertex {u} is not allowed")
+                if w <= 0:
+                    raise GraphError(
+                        f"edge ({u},{v}) must have positive weight, got {w}"
+                    )
+                if v in g._adj[u]:
+                    raise GraphError(
+                        f"duplicate adjacency entry ({u},{v})"
+                    )
+                g._adj[u][v] = float(w)
+                m2 += 1
+        for u, adj in enumerate(g._adj):
+            for v, w in adj.items():
+                if g._adj[v].get(u) != w:
+                    raise GraphError(
+                        f"asymmetric adjacency between {u} and {v}"
+                    )
+        if m2 % 2:
+            raise GraphError("adjacency lists encode an odd half-edge count")
+        g._m = m2 // 2
+        return g
+
     # ------------------------------------------------------------------
     # Dunder
     # ------------------------------------------------------------------

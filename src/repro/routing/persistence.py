@@ -44,6 +44,12 @@ def encode_value(value: Any) -> Any:
         return {"t": [encode_value(v) for v in value]}
     if isinstance(value, list):
         return {"l": [encode_value(v) for v in value]}
+    if isinstance(value, dict):
+        return {
+            "d": [
+                [_encode_key(k), encode_value(v)] for k, v in value.items()
+            ]
+        }
     raise TypeError(f"cannot serialize value of type {type(value)!r}")
 
 
@@ -54,6 +60,8 @@ def decode_value(value: Any) -> Any:
             return tuple(decode_value(v) for v in value["t"])
         if set(value) == {"l"}:
             return [decode_value(v) for v in value["l"]]
+        if set(value) == {"d"}:
+            return {_decode_key(k): decode_value(v) for k, v in value["d"]}
         raise ValueError(f"unknown wrapper {sorted(value)}")
     return value
 

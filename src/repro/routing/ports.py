@@ -29,18 +29,52 @@ __all__ = ["PortAssignment"]
 class PortAssignment:
     """Port numbering of every vertex's incident links."""
 
-    def __init__(self, g: Graph, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        g: Graph,
+        seed: int | None = None,
+        *,
+        order: List[List[int]] | None = None,
+    ) -> None:
         self.graph = g
         self._ports: List[List[int]] = []
-        rng = random.Random(seed) if seed is not None else None
-        for u in g.vertices():
-            neighbours = g.neighbors(u)
-            if rng is not None:
-                rng.shuffle(neighbours)
-            self._ports.append(neighbours)
+        if order is not None:
+            # Adopt an explicit numbering (persistence restore path),
+            # validating it is a permutation of each vertex's neighbours
+            # so a persisted numbering can never silently drift from the
+            # graph it is applied to.
+            if len(order) != g.n:
+                raise ValueError(
+                    f"port order covers {len(order)} vertices, "
+                    f"graph has {g.n}"
+                )
+            for u in g.vertices():
+                ports = [int(v) for v in order[u]]
+                if sorted(ports) != sorted(g.neighbors(u)):
+                    raise ValueError(
+                        f"port order of vertex {u} is not a permutation "
+                        f"of its neighbours"
+                    )
+                self._ports.append(ports)
+        else:
+            rng = random.Random(seed) if seed is not None else None
+            for u in g.vertices():
+                neighbours = g.neighbors(u)
+                if rng is not None:
+                    rng.shuffle(neighbours)
+                self._ports.append(neighbours)
         self._port_of: List[Dict[int, int]] = [
             {v: p for p, v in enumerate(ports)} for ports in self._ports
         ]
+
+    def to_order(self) -> List[List[int]]:
+        """Neighbour ids of every vertex in port order (lossless export)."""
+        return [list(ports) for ports in self._ports]
+
+    @classmethod
+    def from_order(cls, g: Graph, order: List[List[int]]) -> "PortAssignment":
+        """Rebuild an assignment from :meth:`to_order` output (validated)."""
+        return cls(g, order=order)
 
     def degree(self, u: int) -> int:
         """Number of ports at ``u``."""

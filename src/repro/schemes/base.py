@@ -12,11 +12,32 @@ Every scheme in this package follows the same life cycle:
 :class:`SchemeBase` implements the shared parts.  The ``alpha`` knob is the
 paper's "large enough constant" in ``q̃ = alpha * q * log n``; see
 DESIGN.md §4 for how it is calibrated at reproduction scale.
+
+Substrate injection
+-------------------
+Comparative runs (Table 1, the CLI, the benchmarks) build several schemes
+on the *same* graph.  Passing a :class:`repro.api.Substrate` handle makes
+every substrate request — metric, ports, ball families, ball-routing
+ports, Lemma 4 landmark samples, bunch structures, TZ hierarchies — go
+through the handle's memoized builders, so identical artifacts are
+computed once per graph instead of once per scheme.  Without a handle
+each helper falls back to a cold local build; results are bit-identical
+either way (every shared artifact is a deterministic function of the
+graph and the seed).
+
+Restore (persistence)
+---------------------
+A built scheme's routing state is tables + labels (see
+:mod:`repro.routing.persistence`); the decision function is code plus a
+few scalars.  :meth:`SchemeBase.restore` reconstructs a scheme around
+persisted tables without re-running preprocessing: subclasses report the
+scalars via :meth:`routing_params` and rebuild their step-time helpers
+(technique steppers) in :meth:`_restore_routing`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..graph.core import Graph
 from ..graph.metric import MetricView
@@ -37,9 +58,27 @@ class SchemeBase(CompactRoutingScheme):
         *,
         ports: Optional[PortAssignment] = None,
         metric: Optional[MetricView] = None,
+        substrate: Optional[Any] = None,
     ) -> None:
         if graph.n == 0:
             raise ValueError("routing schemes need a nonempty graph")
+        if substrate is not None and substrate.graph is not graph:
+            raise ValueError(
+                "substrate was built for a different graph object"
+            )
+        self._substrate = substrate
+        if substrate is not None:
+            # Prefer the already-built artifacts: the facade's
+            # ensure_core() does the hit/miss accounting, so adopting
+            # here must not count the same request twice.
+            if ports is None:
+                ports = substrate.built_ports
+                if ports is None:
+                    ports = substrate.ports
+            if metric is None:
+                metric = substrate.built_metric
+                if metric is None:
+                    metric = substrate.metric
         ports = ports if ports is not None else PortAssignment(graph)
         super().__init__(graph, ports)
         # mode="auto": the eager dense matrix up to the threshold size,
@@ -56,17 +95,64 @@ class SchemeBase(CompactRoutingScheme):
         self._labels: Dict[int, Any] = {}
 
     # ------------------------------------------------------------------
+    def _substrate_applies(self) -> bool:
+        """Substrate memoization is only sound against its own artifacts.
+
+        Peeks at the handle's built artifacts — a scheme constructed with
+        its *own* metric or ports must fall back to cold builds without
+        tricking the handle into materializing artifacts nobody uses.
+        """
+        return (
+            self._substrate is not None
+            and self.metric is self._substrate.built_metric
+            and self.ports is self._substrate.built_ports
+        )
+
     def _build_balls(self, q: float, alpha: float) -> BallFamily:
         """Build the ball family ``B(u, q̃)`` with ``q̃ = alpha*q*log n``."""
-        ell = ball_size_parameter(self.graph.n, q, alpha)
+        return self._ball_family_of_size(
+            ball_size_parameter(self.graph.n, q, alpha)
+        )
+
+    def _ball_family_of_size(self, ell: int) -> BallFamily:
+        """The family for an explicit ball size (memoized on a substrate)."""
+        if self._substrate_applies():
+            return self._substrate.ball_family(ell)
         return BallFamily(self.metric, ell)
 
     def _install_ball_ports(self, family: BallFamily) -> BallRoutingTables:
         """Install Lemma 2 first-edge ports (category ``"ball"``)."""
-        tables = BallRoutingTables(self.metric, family, self.ports)
+        if self._substrate_applies() and self._substrate.owns_family(family):
+            tables = self._substrate.ball_tables(family.ell)
+        else:
+            tables = BallRoutingTables(self.metric, family, self.ports)
         for table in self._tables:
             tables.install(table)
         return tables
+
+    def _sample_landmarks(self, s: float, seed: int) -> List[int]:
+        """Lemma 4 cluster-bounded landmark sample (memoized per graph)."""
+        if self._substrate_applies():
+            return self._substrate.landmark_sample(s, seed)
+        from ..structures.sampling import sample_cluster_bounded
+
+        return sample_cluster_bounded(self.metric, s, seed=seed)
+
+    def _bunch_structure(self, landmarks: Sequence[int]):
+        """Pivots/bunches/clusters for one landmark set (memoized)."""
+        if self._substrate_applies():
+            return self._substrate.bunch_structure(landmarks)
+        from ..structures.bunches import BunchStructure
+
+        return BunchStructure(self.metric, landmarks)
+
+    def _sampled_hierarchy(self, k: int, seed: int):
+        """TZ ``k``-level landmark hierarchy (memoized per graph)."""
+        if self._substrate_applies():
+            return self._substrate.hierarchy(k, seed)
+        from ..baselines.hierarchy import SampledHierarchy
+
+        return SampledHierarchy(self.metric, k, seed=seed)
 
     # ------------------------------------------------------------------
     def table_of(self, v: int) -> SizedTable:
@@ -74,3 +160,52 @@ class SchemeBase(CompactRoutingScheme):
 
     def label_of(self, v: int) -> Any:
         return self._labels[v]
+
+    # ------------------------------------------------------------------
+    # Persistence hooks
+    # ------------------------------------------------------------------
+    def routing_params(self) -> Dict[str, Any]:
+        """JSON-able scalars the ``step`` function needs besides tables.
+
+        Subclasses extend this with whatever :meth:`_restore_routing` reads
+        back (``eps``, ``k``, ``ell`` ...).  Everything else a deployment
+        needs already lives in the persisted tables and labels.
+        """
+        return {}
+
+    def _restore_routing(self, params: Dict[str, Any]) -> None:
+        """Rebuild step-time helpers from :meth:`routing_params` output."""
+
+    @classmethod
+    def restore(
+        cls,
+        graph: Graph,
+        *,
+        ports: PortAssignment,
+        tables: Sequence[SizedTable],
+        labels: Sequence[Any],
+        params: Optional[Dict[str, Any]] = None,
+        name: Optional[str] = None,
+    ) -> "SchemeBase":
+        """Reconstruct a scheme around persisted routing state.
+
+        No preprocessing runs: the returned scheme routes (``step``,
+        ``label_of``, ``stats``) but carries no metric — exact-distance
+        comparisons stay the caller's job, as they are for a deployed
+        scheme.
+        """
+        if len(tables) != graph.n or len(labels) != graph.n:
+            raise ValueError(
+                f"state covers {len(tables)} tables / {len(labels)} labels, "
+                f"graph has {graph.n} vertices"
+            )
+        scheme = object.__new__(cls)
+        CompactRoutingScheme.__init__(scheme, graph, ports)
+        scheme._substrate = None
+        scheme.metric = None
+        scheme._tables = list(tables)
+        scheme._labels = dict(enumerate(labels))
+        if name is not None:
+            scheme.name = name
+        scheme._restore_routing(dict(params or {}))
+        return scheme

@@ -30,7 +30,7 @@ and the landmark.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from ..core.technique2 import Technique2
 from ..graph.core import Graph
@@ -40,10 +40,11 @@ from ..routing.model import Deliver, Forward, RouteAction
 from ..routing.ports import PortAssignment
 from ..routing.tree_routing import TreeRouting, tree_step
 from ..structures.balls import BallFamily, ball_size_parameter
-from ..structures.bunches import BunchStructure
 from ..structures.coloring import color_classes, find_coloring
-from ..structures.sampling import sample_cluster_bounded
 from .base import SchemeBase
+
+if TYPE_CHECKING:
+    from ..structures.bunches import BunchStructure
 
 __all__ = ["GeneralMinusScheme", "GeneralPlusScheme"]
 
@@ -65,8 +66,11 @@ class _GeneralizedScheme(SchemeBase):
         seed: int = 0,
         ports: Optional[PortAssignment] = None,
         metric: Optional[MetricView] = None,
+        substrate: Optional[Any] = None,
     ) -> None:
-        super().__init__(graph, ports=ports, metric=metric)
+        super().__init__(
+            graph, ports=ports, metric=metric, substrate=substrate
+        )
         if not graph.is_unweighted():
             raise ValueError("Theorems 13/15 are stated for unweighted graphs")
         if ell < 2:
@@ -80,13 +84,7 @@ class _GeneralizedScheme(SchemeBase):
         self.q = q if q is not None else max(1.5, n ** (1.0 / denom))
 
         # Instance index sets (paper's i ranges) and target pairing.
-        if self.sign < 0:
-            self.instances = list(range(ell))       # i in {0..l-1}
-            self._pair = lambda i: ell - i - 1      # targets L_{l-i-1}
-        else:
-            self.instances = list(range(1, ell + 1))  # i in {1..l}
-            self._pair = lambda i: ell - i + 1        # targets L_{l-i+1}
-        self.target_levels = sorted({self._pair(i) for i in self.instances})
+        self._init_instances()
 
         # --- nested balls ---------------------------------------------
         self.families: List[BallFamily] = []
@@ -96,7 +94,7 @@ class _GeneralizedScheme(SchemeBase):
             if sizes:
                 size = max(size, sizes[-1])  # enforce nesting
             sizes.append(size)
-            self.families.append(BallFamily(self.metric, size))
+            self.families.append(self._ball_family_of_size(size))
         self.family = self.families[ell]
         self._install_ball_ports(self.family)
         for u in graph.vertices():
@@ -110,11 +108,11 @@ class _GeneralizedScheme(SchemeBase):
         self.bunches: List[BunchStructure] = []
         for i in range(ell + 1):
             s = max(1.0, n / (self.q ** i))
-            li = sample_cluster_bounded(self.metric, s, seed=seed + 31 * i)
+            li = self._sample_landmarks(s, seed + 31 * i)
             if not li:
                 li = [0]
             self.landmark_sets.append(li)
-            self.bunches.append(BunchStructure(self.metric, li))
+            self.bunches.append(self._bunch_structure(li))
 
         # Cluster trees per level.
         self._cluster_trees: List[Dict[int, TreeRouting]] = []
@@ -210,9 +208,34 @@ class _GeneralizedScheme(SchemeBase):
             self._labels[v] = (v, per_level)
 
     # ------------------------------------------------------------------
+    def _init_instances(self) -> None:
+        """Instance index sets (paper's ``i`` ranges) and target pairing."""
+        ell = self.ell
+        if self.sign < 0:
+            self.instances = list(range(ell))       # i in {0..l-1}
+            self._pair = lambda i: ell - i - 1      # targets L_{l-i-1}
+        else:
+            self.instances = list(range(1, ell + 1))  # i in {1..l}
+            self._pair = lambda i: ell - i + 1        # targets L_{l-i+1}
+        self.target_levels = sorted({self._pair(i) for i in self.instances})
+
+    # ------------------------------------------------------------------
     def stretch_bound(self) -> Tuple[float, float]:
         """``(alpha, beta)`` of the guaranteed ``alpha*d + beta`` bound."""
         return (3.0 + self.sign * 2.0 / self.ell + self.eps, 2.0)
+
+    # ------------------------------------------------------------------
+    def routing_params(self) -> dict:
+        return {"ell": self.ell, "eps": self.eps}
+
+    def _restore_routing(self, params: dict) -> None:
+        self.ell = params["ell"]
+        self.eps = params["eps"]
+        self._init_instances()
+        self.techniques = {
+            i: Technique2.stepper(self.ports, prefix=f"t2.{i}:")
+            for i in self.instances
+        }
 
     # ------------------------------------------------------------------
     def step(self, u: int, header: Any, dest_label: Any) -> RouteAction:

@@ -47,8 +47,11 @@ class NameIndependent3Eps(SchemeBase):
         seed: int = 0,
         ports: Optional[PortAssignment] = None,
         metric: Optional[MetricView] = None,
+        substrate: Optional[Any] = None,
     ) -> None:
-        super().__init__(graph, ports=ports, metric=metric)
+        super().__init__(
+            graph, ports=ports, metric=metric, substrate=substrate
+        )
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
         self.eps = eps
@@ -90,6 +93,17 @@ class NameIndependent3Eps(SchemeBase):
 
         for v in graph.vertices():
             self._labels[v] = v  # the name itself — nothing else
+
+    # ------------------------------------------------------------------
+    def routing_params(self) -> dict:
+        return {"eps": self.eps, "q": self.q}
+
+    def _restore_routing(self, params: dict) -> None:
+        self.eps = params["eps"]
+        self.q = params.get("q")
+        # The hash seed and color count travel inside the tables (category
+        # "const"), exactly as a deployed node would carry them.
+        self.technique = Technique1.stepper(self.ports)
 
     # ------------------------------------------------------------------
     def step(self, u: int, header: Any, dest_label: Any) -> RouteAction:

@@ -43,9 +43,7 @@ from ..graph.trees import RootedTree
 from ..routing.model import Deliver, Forward, RouteAction
 from ..routing.ports import PortAssignment
 from ..routing.tree_routing import TreeRouting, tree_step
-from ..structures.bunches import BunchStructure
 from ..structures.coloring import color_classes, find_coloring
-from ..structures.sampling import sample_cluster_bounded
 from .base import SchemeBase
 
 __all__ = ["Stretch2Plus1Scheme"]
@@ -70,8 +68,11 @@ class Stretch2Plus1Scheme(SchemeBase):
         seed: int = 0,
         ports: Optional[PortAssignment] = None,
         metric: Optional[MetricView] = None,
+        substrate: Optional[Any] = None,
     ) -> None:
-        super().__init__(graph, ports=ports, metric=metric)
+        super().__init__(
+            graph, ports=ports, metric=metric, substrate=substrate
+        )
         if not graph.is_unweighted():
             raise ValueError("Theorem 10 is stated for unweighted graphs")
         if eps <= 0:
@@ -84,12 +85,10 @@ class Stretch2Plus1Scheme(SchemeBase):
         self._install_ball_ports(self.family)
 
         # Lemma 4: |C_A(w)| <= 4 n / s with s = n/q  ->  clusters O(q^1·...)
-        self.landmarks = sample_cluster_bounded(
-            self.metric, n / self.q, seed=seed
-        )
+        self.landmarks = self._sample_landmarks(n / self.q, seed)
         if not self.landmarks:
             self.landmarks = [0]
-        self.bunches = BunchStructure(self.metric, self.landmarks)
+        self.bunches = self._bunch_structure(self.landmarks)
 
         # Cluster trees: records at members, member labels at the owner.
         for w in graph.vertices():
@@ -160,6 +159,15 @@ class Stretch2Plus1Scheme(SchemeBase):
                 int(round(self.bunches.distance_to_landmarks(v))),
                 self._landmark_trees[p].label_of(v),
             )
+
+    # ------------------------------------------------------------------
+    def routing_params(self) -> dict:
+        return {"eps": self.eps, "q": self.q}
+
+    def _restore_routing(self, params: dict) -> None:
+        self.eps = params["eps"]
+        self.q = params.get("q")
+        self.technique = Technique1.stepper(self.ports)
 
     # ------------------------------------------------------------------
     def step(self, u: int, header: Any, dest_label: Any) -> RouteAction:

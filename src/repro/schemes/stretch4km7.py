@@ -29,7 +29,6 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-from ..baselines.hierarchy import SampledHierarchy
 from ..core.technique2 import Technique2
 from ..graph.core import Graph
 from ..graph.metric import MetricView
@@ -60,8 +59,11 @@ class Stretch4kMinus7Scheme(SchemeBase):
         seed: int = 0,
         ports: Optional[PortAssignment] = None,
         metric: Optional[MetricView] = None,
+        substrate: Optional[Any] = None,
     ) -> None:
-        super().__init__(graph, ports=ports, metric=metric)
+        super().__init__(
+            graph, ports=ports, metric=metric, substrate=substrate
+        )
         if k < 3:
             raise ValueError(f"Theorem 16 needs k >= 3, got {k}")
         if eps <= 0:
@@ -72,7 +74,7 @@ class Stretch4kMinus7Scheme(SchemeBase):
         n = graph.n
         self.q = q if q is not None else max(1, round(n ** (1.0 / k)))
 
-        self.hierarchy = SampledHierarchy(self.metric, k, seed=seed)
+        self.hierarchy = self._sampled_hierarchy(k, seed)
 
         # --- TZ (4k-5) substrate -------------------------------------
         self._trees: Dict[int, TreeRouting] = {}
@@ -144,6 +146,17 @@ class Stretch4kMinus7Scheme(SchemeBase):
                 entries.append((p, self._trees[p].label_of(v)))
             pk2 = self.hierarchy.pivot(k - 2, v)
             self._labels[v] = (v, tuple(entries), self._target_class[pk2])
+
+    # ------------------------------------------------------------------
+    def routing_params(self) -> dict:
+        return {"k": self.k, "eps": self.eps, "q": self.q}
+
+    def _restore_routing(self, params: dict) -> None:
+        self.k = params["k"]
+        self.eps = params["eps"]
+        self.q = params.get("q")
+        self.name = f"Thm 16 4k-7+eps (k={self.k})"
+        self.technique = Technique2.stepper(self.ports)
 
     # ------------------------------------------------------------------
     def step(self, u: int, header: Any, dest_label: Any) -> RouteAction:

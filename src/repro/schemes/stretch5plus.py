@@ -44,9 +44,7 @@ from ..graph.metric import MetricView
 from ..routing.model import Deliver, Forward, RouteAction
 from ..routing.ports import PortAssignment
 from ..routing.tree_routing import TreeRouting, tree_step
-from ..structures.bunches import BunchStructure
 from ..structures.coloring import color_classes, find_coloring
-from ..structures.sampling import sample_cluster_bounded
 from .base import SchemeBase
 
 __all__ = ["Stretch5PlusScheme"]
@@ -70,8 +68,11 @@ class Stretch5PlusScheme(SchemeBase):
         seed: int = 0,
         ports: Optional[PortAssignment] = None,
         metric: Optional[MetricView] = None,
+        substrate: Optional[Any] = None,
     ) -> None:
-        super().__init__(graph, ports=ports, metric=metric)
+        super().__init__(
+            graph, ports=ports, metric=metric, substrate=substrate
+        )
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
         self.eps = eps
@@ -81,12 +82,10 @@ class Stretch5PlusScheme(SchemeBase):
         self.family = self._build_balls(self.q, alpha)
         self._install_ball_ports(self.family)
 
-        self.landmarks = sample_cluster_bounded(
-            self.metric, n / self.q, seed=seed
-        )
+        self.landmarks = self._sample_landmarks(n / self.q, seed)
         if not self.landmarks:
             self.landmarks = [0]
-        self.bunches = BunchStructure(self.metric, self.landmarks)
+        self.bunches = self._bunch_structure(self.landmarks)
 
         for w in graph.vertices():
             members = self.bunches.cluster(w)
@@ -139,6 +138,15 @@ class Stretch5PlusScheme(SchemeBase):
             p = self.bunches.pivot(v)
             z = None if p == v else self.metric.next_hop(p, v)
             self._labels[v] = (v, p, self._target_class[p], z)
+
+    # ------------------------------------------------------------------
+    def routing_params(self) -> dict:
+        return {"eps": self.eps, "q": self.q}
+
+    def _restore_routing(self, params: dict) -> None:
+        self.eps = params["eps"]
+        self.q = params.get("q")
+        self.technique = Technique2.stepper(self.ports)
 
     # ------------------------------------------------------------------
     def step(self, u: int, header: Any, dest_label: Any) -> RouteAction:

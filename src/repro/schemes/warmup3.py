@@ -51,8 +51,11 @@ class Warmup3Scheme(SchemeBase):
         seed: int = 0,
         ports: Optional[PortAssignment] = None,
         metric: Optional[MetricView] = None,
+        substrate: Optional[Any] = None,
     ) -> None:
-        super().__init__(graph, ports=ports, metric=metric)
+        super().__init__(
+            graph, ports=ports, metric=metric, substrate=substrate
+        )
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
         self.eps = eps
@@ -93,6 +96,15 @@ class Warmup3Scheme(SchemeBase):
 
         for v in graph.vertices():
             self._labels[v] = (v, self.colors[v])
+
+    # ------------------------------------------------------------------
+    def routing_params(self) -> dict:
+        return {"eps": self.eps, "q": self.q}
+
+    def _restore_routing(self, params: dict) -> None:
+        self.eps = params["eps"]
+        self.q = params.get("q")
+        self.technique = Technique1.stepper(self.ports)
 
     # ------------------------------------------------------------------
     def step(self, u: int, header: Any, dest_label: Any) -> RouteAction:

@@ -1,0 +1,93 @@
+"""The scheme registry: specs, parameter validation, error reporting."""
+
+import pytest
+
+from repro.api import (
+    ParamSpec,
+    SchemeParamError,
+    SchemeSpec,
+    TABLE1_SCHEMES,
+    UnknownSchemeError,
+    all_specs,
+    get_spec,
+    scheme_names,
+)
+
+
+class TestLookup:
+    def test_table1_names_registered(self):
+        for name in TABLE1_SCHEMES:
+            assert get_spec(name).name == name
+
+    def test_legacy_cli_names_registered(self):
+        # every name the pre-registry CLI accepted must keep resolving
+        for name in ["thm10", "thm11", "thm16", "warmup3", "name-indep",
+                     "tz2", "tz3"]:
+            assert get_spec(name).name == name
+
+    def test_unknown_name_lists_registered_specs(self):
+        with pytest.raises(UnknownSchemeError) as exc_info:
+            get_spec("nope")
+        message = str(exc_info.value)
+        assert "nope" in message
+        for name in scheme_names():
+            assert name in message
+
+    def test_all_specs_sorted_and_complete(self):
+        specs = all_specs()
+        assert [s.name for s in specs] == scheme_names()
+        assert len(specs) >= 10
+
+
+class TestParams:
+    def test_defaults_resolve(self):
+        spec = get_spec("thm11")
+        params = spec.resolve_params({})
+        assert params["eps"] == 0.6
+
+    def test_override_coerced(self):
+        spec = get_spec("thm16")
+        params = spec.resolve_params({"k": "5"})
+        assert params["k"] == 5
+        assert isinstance(params["k"], int)
+
+    def test_unknown_param_rejected_with_expected_names(self):
+        spec = get_spec("tz2")
+        with pytest.raises(SchemeParamError, match="no parameter"):
+            spec.resolve_params({"eps": 0.5})
+
+    def test_below_minimum_rejected(self):
+        spec = get_spec("thm13")
+        with pytest.raises(SchemeParamError, match="minimum"):
+            spec.resolve_params({"ell": 1})
+
+    def test_non_numeric_rejected(self):
+        spec = get_spec("thm11")
+        with pytest.raises(SchemeParamError, match="not a valid"):
+            spec.resolve_params({"eps": "fast"})
+
+
+class TestGraphChecks:
+    def test_unweighted_only_rejects_weighted(self, er_weighted):
+        with pytest.raises(SchemeParamError, match="unweighted"):
+            get_spec("thm10").check_graph(er_weighted)
+
+    def test_weighted_capable_accepts_both(self, er_unweighted, er_weighted):
+        spec = get_spec("thm11")
+        spec.check_graph(er_unweighted)
+        spec.check_graph(er_weighted)
+
+
+class TestRegisterGuard:
+    def test_duplicate_registration_rejected(self):
+        from repro.api import register
+
+        spec = SchemeSpec(
+            name="thm11",
+            factory=lambda g, **kw: None,
+            summary="dup",
+            stretch="(1, 0)",
+            params=(ParamSpec("eps", 0.5),),
+        )
+        with pytest.raises(ValueError, match="already registered"):
+            register(spec)

@@ -1,0 +1,142 @@
+"""RoutingSession lifecycle: build, measure, persist, restore.
+
+The core guarantee: for EVERY registered scheme, build → ``save`` →
+``load`` produces a scheme that makes identical ``step`` decisions (same
+paths, same header sizes) and reports identical word counts on a sampled
+workload — without re-running preprocessing.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    RoutingSession,
+    SubstrateCache,
+    build,
+    get_spec,
+    load,
+    scheme_names,
+)
+from repro.eval.workloads import sample_pairs
+from repro.graph.generators import erdos_renyi, with_random_weights
+
+N = 70
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    gu = erdos_renyi(N, 8.0 / (N - 1), seed=33)
+    gw = with_random_weights(gu, seed=34, low=1.0, high=8.0)
+    return {"unweighted": gu, "weighted": gw}
+
+
+@pytest.fixture(scope="module")
+def caches():
+    return {"unweighted": SubstrateCache(), "weighted": SubstrateCache()}
+
+
+def _session_for(name, graphs, caches):
+    spec = get_spec(name)
+    kind = "weighted" if spec.weighted_capable else "unweighted"
+    return build(name, graphs[kind], cache=caches[kind], seed=6)
+
+
+@pytest.mark.parametrize("name", scheme_names())
+def test_roundtrip_identical_decisions_and_words(
+    name, graphs, caches, tmp_path
+):
+    session = _session_for(name, graphs, caches)
+    path = session.save(str(tmp_path / f"{name}.json"))
+    restored = load(path)
+
+    assert restored.loaded
+    assert restored.spec_name == name
+    assert restored.name == session.name
+    assert restored.graph.n == session.graph.n
+
+    # identical step decisions on a sampled workload
+    for s, t in sample_pairs(session.graph.n, 40, seed=91):
+        original = session.route(s, t)
+        again = restored.route(s, t)
+        assert again.path == original.path, (name, s, t)
+        assert again.length == pytest.approx(original.length)
+        assert again.max_header_words == original.max_header_words
+
+    # identical word accounting
+    st1, st2 = session.stats(), restored.stats()
+    assert st2.total_table_words == st1.total_table_words
+    assert st2.max_table_words == st1.max_table_words
+    assert st2.max_label_words == st1.max_label_words
+    assert st2.table_breakdown_max == st1.table_breakdown_max
+
+
+@pytest.mark.parametrize("name", ["thm11", "tz3"])
+def test_loaded_session_measures_within_bound(name, graphs, caches, tmp_path):
+    session = _session_for(name, graphs, caches)
+    path = session.save(str(tmp_path / f"{name}.json"))
+    restored = load(path)
+    report = restored.measure(count=60, seed=5)
+    alpha, beta = restored.stretch_bound()
+    assert report.max_additive_over <= beta + 1e-9
+
+
+class TestSessionSurface:
+    def test_build_times_separated(self, graphs):
+        session = build("tz2", graphs["weighted"], seed=1)
+        assert session.build_seconds > 0.0
+        assert session.substrate_seconds > 0.0  # cold facade build
+        warm = build(
+            "tz3", graphs["weighted"],
+            substrate=session.substrate, seed=1,
+        )
+        assert warm.substrate_seconds < session.substrate_seconds
+
+    def test_validate_passes_for_built_scheme(self, graphs, caches):
+        session = _session_for("warmup3", graphs, caches)
+        result = session.validate(sample=50)
+        assert result.ok, result.problems
+
+    def test_graph_serialization_preserves_port_order(self, graphs, caches,
+                                                      tmp_path):
+        session = _session_for("tz2", graphs, caches)
+        payload = session.to_payload()
+        restored = RoutingSession.from_payload(
+            json.loads(json.dumps(payload))
+        )
+        g1, g2 = session.graph, restored.graph
+        assert g2.n == g1.n and g2.m == g1.m
+        for u in g1.vertices():
+            # insertion order — not just the neighbour sets — survives,
+            # so the deterministic port numbering is reproduced exactly
+            assert g2.neighbors(u) == g1.neighbors(u)
+            for port in range(session.scheme.ports.degree(u)):
+                assert restored.scheme.ports.neighbor(u, port) == \
+                    session.scheme.ports.neighbor(u, port)
+
+
+class TestPayloadValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            RoutingSession.from_payload({"format": "something-else"})
+
+    def test_spec_class_mismatch_rejected(self, graphs, caches, tmp_path):
+        session = _session_for("tz2", graphs, caches)
+        payload = session.to_payload()
+        payload["spec"] = "thm11"  # wrong family for the persisted class
+        with pytest.raises(ValueError, match="built by"):
+            RoutingSession.from_payload(payload)
+
+    def test_tampered_ports_rejected(self, graphs, caches):
+        session = _session_for("tz2", graphs, caches)
+        payload = session.to_payload()
+        payload["ports"][0] = payload["ports"][0][:-1]
+        with pytest.raises(ValueError, match="permutation"):
+            RoutingSession.from_payload(payload)
+
+    def test_unknown_spec_rejected(self, graphs, caches):
+        session = _session_for("tz2", graphs, caches)
+        payload = session.to_payload()
+        payload["spec"] = "never-registered"
+        with pytest.raises(KeyError, match="registered schemes"):
+            RoutingSession.from_payload(payload)

@@ -1,0 +1,163 @@
+"""Substrate sharing: one metric/ports/balls per graph across schemes."""
+
+import pytest
+
+from repro.api import Substrate, SubstrateCache, TABLE1_SCHEMES, build
+from repro.graph.generators import erdos_renyi, with_random_weights
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(90, 7.0 / 89, seed=17)
+
+
+class TestSubstrateHandle:
+    def test_metric_and_ports_built_once_and_stamped(self, graph):
+        sub = Substrate(graph)
+        m1, m2 = sub.metric, sub.metric
+        p1, p2 = sub.ports, sub.ports
+        assert m1 is m2
+        assert p1 is p2
+        assert m1.substrate_stamp == sub.generation
+        assert p1.substrate_stamp == sub.generation
+
+    def test_generations_are_unique_per_handle(self, graph):
+        assert Substrate(graph).generation != Substrate(graph).generation
+
+    def test_adopted_artifact_keeps_original_stamp(self, graph):
+        # Stamps prove which substrate BUILT an artifact: adopting a
+        # metric from another handle must not forge its provenance.
+        first = Substrate(graph)
+        metric = first.metric
+        second = Substrate(graph, metric=metric)
+        assert second.metric is metric
+        assert metric.substrate_stamp == first.generation
+
+    def test_ball_family_memoized_per_ell(self, graph):
+        sub = Substrate(graph)
+        f1 = sub.ball_family(12)
+        f2 = sub.ball_family(12)
+        f3 = sub.ball_family(13)
+        assert f1 is f2
+        assert f3 is not f1
+        assert sub.owns_family(f1)
+        assert sub.stats()["balls"]["hits"] == 1
+
+    def test_landmarks_memoized_on_s_and_seed(self, graph):
+        sub = Substrate(graph)
+        a = sub.landmark_sample(9.0, 3)
+        b = sub.landmark_sample(9.0, 3)
+        sub.landmark_sample(9.0, 4)
+        assert a == b
+        stats = sub.stats()["landmarks"]
+        # same (s, seed) -> cache hit; different seed -> its own entry
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+
+    def test_hierarchy_memoized_on_k_and_seed(self, graph):
+        sub = Substrate(graph)
+        h1 = sub.hierarchy(3, 5)
+        h2 = sub.hierarchy(3, 5)
+        h3 = sub.hierarchy(4, 5)
+        assert h1 is h2
+        assert h3 is not h1
+
+
+class TestSubstrateCache:
+    def test_one_handle_per_graph(self, graph):
+        cache = SubstrateCache()
+        assert cache.substrate(graph) is cache.substrate(graph)
+
+    def test_distinct_graphs_distinct_handles(self, graph):
+        other = erdos_renyi(40, 0.2, seed=3)
+        cache = SubstrateCache()
+        assert cache.substrate(graph) is not cache.substrate(other)
+
+    def test_mutated_graph_gets_fresh_handle(self):
+        g = erdos_renyi(30, 0.3, seed=9)
+        cache = SubstrateCache()
+        first = cache.substrate(g)
+        missing = next(
+            (u, v)
+            for u in g.vertices()
+            for v in g.vertices()
+            if u < v and not g.has_edge(u, v)
+        )
+        g.add_edge(*missing)
+        assert cache.substrate(g) is not first
+
+
+class TestFacadeSharing:
+    """The acceptance-criterion test: all five Table-1 schemes on one
+    n≈1000 graph through the facade reuse one metric + port assignment,
+    proven by the substrate generation stamps."""
+
+    @pytest.fixture(scope="class")
+    def sessions(self):
+        g = erdos_renyi(1000, 7.0 / 999, seed=23)
+        cache = SubstrateCache()
+        return [
+            build(name, g, cache=cache, seed=11) for name in TABLE1_SCHEMES
+        ], cache.substrate(g)
+
+    def test_one_generation_stamp_across_all_five(self, sessions):
+        built, substrate = sessions
+        assert len(built) == 5
+        stamps = {s.scheme.metric.substrate_stamp for s in built}
+        stamps |= {s.scheme.ports.substrate_stamp for s in built}
+        assert stamps == {substrate.generation}
+
+    def test_metric_and_ports_identical_objects(self, sessions):
+        built, substrate = sessions
+        for session in built:
+            assert session.scheme.metric is substrate.metric
+            assert session.scheme.ports is substrate.ports
+
+    def test_metric_built_once(self, sessions):
+        _, substrate = sessions
+        assert substrate.stats()["metric"]["misses"] == 1
+        assert substrate.stats()["ports"]["misses"] == 1
+
+    def test_ball_structures_reused_across_schemes(self, sessions):
+        _, substrate = sessions
+        # thm10 and thm11 request the same q = n^(1/3) ball family; the
+        # second request must be a cache hit, not a rebuild.
+        assert substrate.stats()["balls"]["hits"] >= 1
+        assert substrate.stats()["ball_ports"]["hits"] >= 1
+
+    def test_shared_equals_cold_build(self, sessions):
+        built, _ = sessions
+        # Sharing must be invisible in the result: a cold thm11 build on
+        # the same graph produces word-identical tables.
+        session_cold = build("thm11", built[0].graph, seed=11)
+        shared = next(s for s in built if s.spec_name == "thm11")
+        assert (
+            session_cold.stats().total_table_words
+            == shared.stats().total_table_words
+        )
+        for pair in [(0, 500), (3, 997), (123, 456)]:
+            assert (
+                session_cold.route(*pair).path == shared.route(*pair).path
+            )
+
+
+class TestInjectionSafety:
+    def test_foreign_substrate_rejected(self, graph):
+        other = erdos_renyi(40, 0.2, seed=3)
+        sub = Substrate(other)
+        with pytest.raises(ValueError, match="different graph"):
+            build("tz2", graph, substrate=sub)
+
+    def test_explicit_metric_disables_memoization(self, graph):
+        from repro.graph.metric import MetricView
+        from repro.schemes import Warmup3Scheme
+
+        sub = Substrate(graph)
+        own_metric = MetricView(graph)
+        scheme = Warmup3Scheme(
+            graph, metric=own_metric, substrate=sub, seed=2
+        )
+        # The scheme kept the caller's metric and must not have pulled
+        # ball families computed against the substrate's metric.
+        assert scheme.metric is own_metric
+        assert "balls" not in sub.stats()

@@ -38,9 +38,15 @@ class TestValueCodec:
         encoded = json.loads(json.dumps(encode_value(value)))
         assert decode_value(encoded) == value
 
+    def test_dict_values_round_trip(self):
+        # generalized-scheme labels carry per-level dicts
+        value = {1: (3, 0, 4, None), 2: (5, 1, 2, 9)}
+        encoded = json.loads(json.dumps(encode_value(value)))
+        assert decode_value(encoded) == value
+
     def test_rejects_unknown_types(self):
         with pytest.raises(TypeError):
-            encode_value({1: 2})
+            encode_value({1, 2})
 
 
 class TestTableRoundTrip:

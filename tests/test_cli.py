@@ -41,3 +41,77 @@ class TestTable1:
         out = capsys.readouterr().out
         assert "Table 1" in out
         assert "Thm 11" in out
+
+    def test_table1_reports_shared_substrate(self, capsys):
+        rc = main(["table1", "--n", "60", "--pairs", "40"])
+        assert rc == 0
+        assert "substrate" in capsys.readouterr().out
+
+
+class TestListSchemes:
+    def test_lists_every_registered_scheme(self, capsys):
+        from repro.api import scheme_names
+
+        rc = main(["list-schemes"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in scheme_names():
+            assert name in out
+        assert "stretch" in out
+
+    def test_shows_parameter_defaults(self, capsys):
+        rc = main(["list-schemes"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "eps=0.6" in out  # thm11 default
+        assert "k=4" in out      # thm16 / tz4 default
+
+
+class TestSaveLoad:
+    def test_save_then_route(self, capsys, tmp_path):
+        path = str(tmp_path / "session.json")
+        rc = main(
+            ["save", "--scheme", "tz2", "--n", "70", "--out", path]
+        )
+        assert rc == 0
+        assert "saved to" in capsys.readouterr().out
+
+        rc = main(["load", path, "--source", "2", "--target", "41"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "loaded TZ 4k-5 (k=2) [tz2]" in out
+        assert "route 2 -> 41" in out
+        assert "stretch" in out
+
+    def test_save_then_measure(self, capsys, tmp_path):
+        path = str(tmp_path / "session.json")
+        assert main(
+            ["save", "--scheme", "warmup3", "--n", "60", "--out", path]
+        ) == 0
+        capsys.readouterr()
+        rc = main(["load", path, "--measure", "40"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "measured 40 pairs" in out
+        assert "max stretch" in out
+
+    def test_load_identical_route_decision(self, capsys, tmp_path):
+        path = str(tmp_path / "session.json")
+        args = ["--scheme", "thm11", "--n", "70", "--seed", "4"]
+        assert main(["save", *args, "--out", path]) == 0
+        capsys.readouterr()
+        assert main(["route", *args, "--source", "5", "--target", "33"]) == 0
+        built = capsys.readouterr().out.splitlines()[1]
+        assert main(["load", path, "--source", "5", "--target", "33"]) == 0
+        loaded = capsys.readouterr().out.splitlines()[1]
+        assert built == loaded  # same path line, preprocessing skipped
+
+    def test_load_missing_file_rejected(self):
+        with pytest.raises(SystemExit, match="cannot load"):
+            main(["load", "/nonexistent/session.json"])
+
+    def test_load_garbage_rejected(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text('{"format": "wrong"}')
+        with pytest.raises(SystemExit, match="cannot load"):
+            main(["load", str(path)])

@@ -159,6 +159,85 @@ def _merge_result(out: dict) -> None:
     merge_bench_results(RESULT_PATH, {"substrate_sharing": out})
 
 
+def run_tree_memo(n: int) -> dict:
+    """TreeRouting memoization: thm10's marginal builds on a warm handle.
+
+    ROADMAP follow-up (a): ``TreeRouting`` instances were rebuilt per
+    scheme.  ``Substrate.tree_routing`` memoizes them by (root, member
+    set); three legs measure what that buys:
+
+    * *cold* — thm10 on a fresh substrate (its own metric, balls, trees),
+    * *after-thm11* — thm10 on a handle warmed by thm11, which shares
+      the landmark sample, bunches and every *cluster* tree (the ~n
+      small trees; thm10's 100-odd full-graph landmark trees and its
+      Lemma 7 state remain scheme-specific),
+    * *resweep* — a second thm10 build at a different ``eps`` on the
+      same handle, the parameter-sweep pattern: every tree (cluster
+      *and* global landmark) hits, only the eps-dependent Technique 1
+      sequences and intersection tables are rebuilt.
+
+    Identical tables between the cold and after-thm11 legs are asserted
+    — memoization must never change what gets built.
+    """
+    g = erdos_renyi(n, 7.0 / (n - 1), seed=953)
+    g.to_csr()
+
+    t0 = time.perf_counter()
+    cold = build("thm10", g, seed=95)
+    cold_s = time.perf_counter() - t0
+
+    cache = SubstrateCache()
+    build("thm11", g, cache=cache, seed=95)  # warms balls/bunches/trees
+    t0 = time.perf_counter()
+    warm = build("thm10", g, cache=cache, seed=95)
+    after_thm11_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    build("thm10", g, cache=cache, seed=95, eps=0.8)
+    resweep_s = time.perf_counter() - t0
+
+    cold_stats, warm_stats = cold.stats(), warm.stats()
+    assert (
+        cold_stats.total_table_words == warm_stats.total_table_words
+        and cold_stats.table_breakdown_max == warm_stats.table_breakdown_max
+    ), "tree memoization changed the built tables"
+    tree_stats = cache.substrate(g).stats().get("trees", {})
+    return {
+        "n": n,
+        "m": g.m,
+        "thm10_cold_s": round(cold_s, 4),
+        "thm10_after_thm11_s": round(after_thm11_s, 4),
+        "thm10_resweep_s": round(resweep_s, 4),
+        "resweep_speedup": (
+            round(cold_s / resweep_s, 2) if resweep_s > 0 else None
+        ),
+        "tree_hits": tree_stats.get("hits", 0),
+        "tree_misses": tree_stats.get("misses", 0),
+        "tree_build_seconds": tree_stats.get("build_seconds", 0.0),
+    }
+
+
+def test_tree_memoization(benchmark, report, bench_scale):
+    """Substrate-memoized TreeRouting: thm10 marginal build cost."""
+    n = bench_scale(1000, 150)
+    out = benchmark.pedantic(
+        lambda: run_tree_memo(n), rounds=1, iterations=1
+    )
+    report.section(SECTION)
+    report.line(
+        f"tree memoization n={out['n']}: thm10 cold "
+        f"{out['thm10_cold_s']:.2f} s -> after-thm11 "
+        f"{out['thm10_after_thm11_s']:.2f} s -> eps-resweep "
+        f"{out['thm10_resweep_s']:.2f} s ({out['resweep_speedup']}x; "
+        f"{out['tree_hits']} tree hits / {out['tree_misses']} builds)"
+    )
+    # identical-tables gate runs at every scale inside run_tree_memo;
+    # wall-clock only means something at full size
+    if not SMOKE:
+        assert out["thm10_resweep_s"] < out["thm10_cold_s"], out
+        merge_bench_results(RESULT_PATH, {"tree_memo": out})
+
+
 def test_substrate_sharing(benchmark, report, bench_scale):
     """repro.api facade: one substrate across the five Table-1 schemes."""
     n = bench_scale(1000, 150)
@@ -218,8 +297,17 @@ def main() -> None:
             f"  {name:<8} cold {out['cold_per_scheme_s'][name]:.2f}s -> "
             f"shared {out['shared_per_scheme_s'][name]:.2f}s"
         )
+    memo = run_tree_memo(n)
+    print(
+        f"tree memoization n={memo['n']}: thm10 cold "
+        f"{memo['thm10_cold_s']:.2f}s -> after-thm11 "
+        f"{memo['thm10_after_thm11_s']:.2f}s -> eps-resweep "
+        f"{memo['thm10_resweep_s']:.2f}s => {memo['resweep_speedup']}x "
+        f"({memo['tree_hits']} tree hits / {memo['tree_misses']} builds)"
+    )
     if not SMOKE:
         _merge_result(out)
+        merge_bench_results(RESULT_PATH, {"tree_memo": memo})
         print(f"merged into {os.path.normpath(RESULT_PATH)}")
 
 

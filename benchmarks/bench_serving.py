@@ -1,0 +1,164 @@
+"""Serving-path benchmark: cold shard loads vs the JSON session blob.
+
+The sharded deployment layout exists for exactly two numbers, measured
+here on Theorem 11 at the canonical n=1000 workload:
+
+1. **Cold start** — latency to serve the *first* request at one vertex:
+   open the shard store (manifest) and load that vertex's binary shard,
+   versus parsing the whole legacy JSON session blob.  Gate: >= 10x
+   lower.  This is the number that decides whether a fleet of small
+   nodes can cold-start lazily or must each swallow the full scheme.
+2. **Routed throughput** — hops/second through the fixed-port simulator
+   on the warm shard engine versus the monolithic in-memory scheme
+   (both make identical step decisions; the serving tests assert it).
+   The shard engine pays one dict hop per table access — this records
+   how much.
+
+Results land in ``BENCH_kernel.json`` under ``serving`` (full runs
+only); ``REPRO_BENCH_SMOKE=1`` shrinks n and skips the write.  Runs
+under pytest or standalone (``python benchmarks/bench_serving.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import statistics
+import tempfile
+import time
+
+from repro.api import build, load
+from repro.eval.workloads import sample_pairs
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.routing.serving import LocalRouter, ShardStore
+from repro.routing.simulator import route
+
+from conftest import SMOKE, merge_bench_results, smoke_scale
+
+SECTION = "Serving: cold shard loads vs JSON blob, routed throughput"
+
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_kernel.json"
+)
+
+SCHEME = "thm11"
+
+
+def _median_seconds(fn, reps: int) -> float:
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def run_serving(n: int, *, pairs: int = 200, reps: int = 15) -> dict:
+    g = with_random_weights(
+        erdos_renyi(n, 7.0 / (n - 1), seed=71), seed=72
+    )
+    session = build(SCHEME, g, seed=7)
+    workdir = tempfile.mkdtemp(prefix="repro-serving-")
+    try:
+        blob_path = os.path.join(workdir, "session.json")
+        shard_path = os.path.join(workdir, "session.shards")
+        session.save(blob_path)
+        session.save(shard_path, shards=True)
+        blob_bytes = os.path.getsize(blob_path)
+        manifest = ShardStore(shard_path).manifest
+
+        # --- cold start: one vertex served, nothing else parsed -------
+        probe = [v % n for v in (0, n // 3, n // 2, 2 * n // 3, n - 1)]
+
+        def cold_shard():
+            store = ShardStore(shard_path)
+            for v in probe:
+                store.node(v)
+
+        def cold_blob():
+            load(blob_path)
+
+        shard_s = _median_seconds(cold_shard, reps) / len(probe)
+        blob_s = _median_seconds(cold_blob, max(3, reps // 3))
+
+        # --- routed throughput: warm engines, identical decisions -----
+        sample = sample_pairs(n, pairs, seed=73)
+        router = LocalRouter(ShardStore(shard_path))
+
+        def hops_per_sec(engine):
+            for s, t in sample:  # warm pass: shard loads + caches
+                route(engine, s, t)
+            t0 = time.perf_counter()
+            hops = 0
+            for s, t in sample:
+                hops += route(engine, s, t).hops
+            return hops / (time.perf_counter() - t0)
+
+        memory_hps = hops_per_sec(session.scheme)
+        shard_hps = hops_per_sec(router)
+        served = router.store.stats()
+
+        return {
+            "n": n,
+            "scheme": SCHEME,
+            "pairs": pairs,
+            "blob_bytes": blob_bytes,
+            "shard_bytes_total": manifest["bytes"]["total"],
+            "shard_bytes_max": manifest["bytes"]["max_shard"],
+            "cold_blob_load_ms": round(blob_s * 1e3, 3),
+            "cold_shard_load_ms": round(shard_s * 1e3, 3),
+            "cold_speedup": round(blob_s / shard_s, 1),
+            "memory_hops_per_sec": round(memory_hps, 0),
+            "shard_hops_per_sec": round(shard_hps, 0),
+            "shard_loads_for_workload": served["loads"],
+            "shard_bytes_for_workload": served["bytes_read"],
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _report_lines(out: dict) -> list:
+    return [
+        f"cold start n={out['n']} ({out['scheme']}): one shard "
+        f"{out['cold_shard_load_ms']:.2f} ms vs JSON blob "
+        f"{out['cold_blob_load_ms']:.1f} ms => {out['cold_speedup']}x "
+        f"({out['shard_bytes_max']}B max shard vs "
+        f"{out['blob_bytes']}B blob)",
+        f"throughput: in-memory {out['memory_hops_per_sec']:.0f} hops/s, "
+        f"shards {out['shard_hops_per_sec']:.0f} hops/s "
+        f"({out['shard_loads_for_workload']} shards / "
+        f"{out['shard_bytes_for_workload']}B touched by "
+        f"{out['pairs']} routes)",
+    ]
+
+
+def test_serving(benchmark, report, bench_scale):
+    n = bench_scale(1000, 150)
+    out = benchmark.pedantic(
+        lambda: run_serving(n, pairs=smoke_scale(200, 60)),
+        rounds=1, iterations=1,
+    )
+    report.section(SECTION)
+    for line in _report_lines(out):
+        report.line(line)
+    # The 10x cold-start gate is the acceptance bar of the sharded
+    # layout; only meaningful at full size (at smoke scale the blob is
+    # tiny and OS noise dominates).
+    if not SMOKE:
+        assert out["cold_speedup"] >= 10.0, out
+        merge_bench_results(RESULT_PATH, {"serving": out})
+
+
+def main() -> None:
+    n = smoke_scale(1000, 150)
+    out = run_serving(n, pairs=smoke_scale(200, 60))
+    for line in _report_lines(out):
+        print(line)
+    if not SMOKE:
+        assert out["cold_speedup"] >= 10.0, out
+        merge_bench_results(RESULT_PATH, {"serving": out})
+        print(f"merged into {os.path.normpath(RESULT_PATH)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,10 +6,19 @@ Subcommands (all scheme names resolve through the ``repro.api`` registry):
   defaults, stretch bound, accepted graph classes),
 * ``table1`` — regenerate the paper's Table 1 on a chosen topology,
   sharing one substrate (metric, ports, balls) across all five schemes,
-* ``route`` — build one scheme and trace one message,
+* ``route`` — build one scheme and trace one message (or serve one from
+  a shard directory with ``--shards``, loading only the visited shards),
 * ``validate`` — run the structural validation checklist on a scheme,
 * ``save`` — build a scheme and persist its routing state to disk,
-* ``load`` — restore a saved scheme (no preprocessing) and serve it.
+* ``shard`` — build a scheme and compile it into per-vertex binary
+  shards (the deployment layout: each node gets only its own table),
+* ``load`` — restore a saved scheme (no preprocessing) and serve it;
+  accepts both the JSON blob and a shard directory.
+
+Build-style subcommands accept ``--preset`` to apply the scheme's
+workload-aware parameter preset for a graph family (see
+``SchemeSpec.presets``); by default the preset matching ``--family`` is
+applied automatically when the scheme defines one.
 """
 
 from __future__ import annotations
@@ -57,16 +66,43 @@ def _build_graph(family: str, n: int, seed: int, weighted: bool):
     return g
 
 
-def _build_session(name: str, n: int, family: str, seed: int):
+def _resolve_preset(spec, family: str, preset_arg: str):
+    """The preset a build-style subcommand should apply.
+
+    ``auto`` (the default) picks the preset named after the graph family
+    when the scheme defines one — the workload-aware default; ``none``
+    disables presets; anything else is passed through verbatim (unknown
+    names fail with the spec's preset list).
+    """
+    if preset_arg == "none":
+        return None
+    if preset_arg == "auto":
+        return family if family in spec.presets else None
+    return preset_arg
+
+
+def _build_session(
+    name: str, n: int, family: str, seed: int, preset_arg: str = "auto"
+):
     """Build one scheme on its preferred variant of the topology."""
     spec = get_spec(name)
     weighted = spec.prefers_weighted and family != "geo"
     g = _build_graph(family, n, seed, weighted)
+    preset = _resolve_preset(spec, family, preset_arg)
     try:
         spec.check_graph(g)
+        session = build(name, g, seed=seed, preset=preset)
     except SchemeParamError as exc:
         raise SystemExit(str(exc)) from None
-    return build(name, g, seed=seed)
+    if preset is not None and spec.preset_params(preset):
+        print(
+            f"[preset {preset}: "
+            + ", ".join(
+                f"{k}={v}" for k, v in spec.preset_params(preset).items()
+            )
+            + "]"
+        )
+    return session
 
 
 def cmd_list_schemes(args) -> int:
@@ -85,12 +121,22 @@ def cmd_list_schemes(args) -> int:
     return 0
 
 
+def _wrap_pair(source: int, target: int, n: int) -> tuple:
+    return source % n, target % n
+
+
+def _hop_line(s: int, t: int, result) -> str:
+    """The canonical `route s -> t: ...` line (built and shard-served
+    routes must print it byte-identically — the CLI parity tests diff
+    them)."""
+    return f"route {s} -> {t}: {' -> '.join(map(str, result.path))}"
+
+
 def _print_route(session, source: int, target: int) -> None:
     """Trace one message and print the path + measured stretch lines."""
-    s = source % session.graph.n
-    t = target % session.graph.n
+    s, t = _wrap_pair(source, target, session.graph.n)
     result = session.route(s, t)
-    print(f"route {s} -> {t}: {' -> '.join(map(str, result.path))}")
+    print(_hop_line(s, t, result))
     d = session.metric.d(s, t)
     if d > 0:
         print(
@@ -100,14 +146,45 @@ def _print_route(session, source: int, target: int) -> None:
 
 
 def cmd_route(args) -> int:
-    session = _build_session(args.scheme, args.n, args.family, args.seed)
+    if args.shards:
+        _reject_build_flags_with_shards(args)
+        try:
+            session = load_session(args.shards)
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(
+                f"cannot serve from {args.shards!r}: {exc}"
+            ) from None
+        if session.serve_stats() is None:
+            raise SystemExit(
+                f"{args.shards!r} is not a shard directory; "
+                f"use `load` for JSON session blobs"
+            )
+        print(session.describe())
+        s, t = _wrap_pair(args.source, args.target, session.scheme.n)
+        result = session.route(s, t)
+        # Snapshot the counters before anything global (e.g. the exact
+        # metric) could touch more shards: the whole point is that one
+        # route reads only the visited vertices' tables.
+        stats = session.serve_stats()
+        print(_hop_line(s, t, result))
+        print(f"length {result.length:.4f} in {result.hops} hops")
+        print(
+            f"served from {stats['loads']} shard loads "
+            f"({stats['bytes_read']} bytes; {stats['n']} shards on disk)"
+        )
+        return 0
+    session = _build_session(
+        args.scheme, args.n, args.family, args.seed, args.preset
+    )
     print(f"{session.name} on {session.graph}")
     _print_route(session, args.source, args.target)
     return 0
 
 
 def cmd_validate(args) -> int:
-    session = _build_session(args.scheme, args.n, args.family, args.seed)
+    session = _build_session(
+        args.scheme, args.n, args.family, args.seed, args.preset
+    )
     result = session.validate(sample=args.pairs, seed=args.seed)
     print(f"{session.name} on {session.graph}")
     print(
@@ -130,6 +207,18 @@ def cmd_table1(args) -> int:
     graphs = {}  # one graph per (weighted?) variant, substrates shared
     substrate_seconds = 0.0
     scheme_seconds = 0.0
+    presets_applied = set()  # presets that changed at least one param
+    if args.preset not in ("auto", "none"):
+        # Fail on a typo'd preset before any scheme is built, not after
+        # the whole table has been computed at defaults.
+        known = sorted(
+            {p for s in map(get_spec, TABLE1_SCHEMES) for p in s.presets}
+        )
+        if args.preset not in known:
+            raise SystemExit(
+                f"unknown preset {args.preset!r}: no Table-1 scheme "
+                f"defines it (known presets: {', '.join(known)})"
+            )
     for name in TABLE1_SCHEMES:
         spec = get_spec(name)
         weighted = spec.prefers_weighted and args.family != "geo"
@@ -144,7 +233,12 @@ def cmd_table1(args) -> int:
         g = graphs[weighted]
         if not spec.weighted_capable and not g.is_unweighted():
             continue
-        session = build(name, g, cache=cache, seed=args.seed)
+        preset = _resolve_preset(spec, args.family, args.preset)
+        if preset is not None and preset not in spec.presets:
+            preset = None  # baselines without presets build at defaults
+        if preset is not None and spec.preset_params(preset):
+            presets_applied.add(preset)
+        session = build(name, g, cache=cache, seed=args.seed, preset=preset)
         substrate_seconds += session.substrate_seconds
         scheme_seconds += session.build_seconds
         pairs = sample_pairs(g.n, args.pairs, seed=args.seed + 5)
@@ -154,7 +248,11 @@ def cmd_table1(args) -> int:
             f"{session.name:<26} max={rep.max_stretch:<7.3f} "
             f"avg={rep.avg_stretch:<7.3f} tbl-avg={stats.avg_table_words:<9.1f}"
         )
-    print(f"Table 1 on family={args.family}, n={args.n}:")
+    note = (
+        f" [preset {', '.join(sorted(presets_applied))}]"
+        if presets_applied else ""
+    )
+    print(f"Table 1 on family={args.family}, n={args.n}:{note}")
     for row in rows:
         print("  " + row)
     print(
@@ -165,13 +263,42 @@ def cmd_table1(args) -> int:
 
 
 def cmd_save(args) -> int:
-    session = _build_session(args.scheme, args.n, args.family, args.seed)
+    session = _build_session(
+        args.scheme, args.n, args.family, args.seed, args.preset
+    )
     path = session.save(args.out)
     stats = session.stats()
     print(f"{session.name} on {session.graph}")
     print(
         f"saved to {path} ({stats.total_table_words} table words, "
         f"built in {session.build_seconds:.2f}s)"
+    )
+    return 0
+
+
+def cmd_shard(args) -> int:
+    from .routing.serving import write_shards
+
+    session = _build_session(
+        args.scheme, args.n, args.family, args.seed, args.preset
+    )
+    manifest = write_shards(
+        session.scheme,
+        args.out,
+        spec_name=session.spec_name,
+        params=session.params,
+        seed=session.seed,
+    )
+    print(f"{session.name} on {session.graph}")
+    print(
+        f"sharded to {args.out}: {manifest['n']} shards, "
+        f"{manifest['bytes']['total']} bytes total "
+        f"(max {manifest['bytes']['max_shard']}, "
+        f"avg {manifest['bytes']['avg_shard']}), codec v{manifest['codec']}"
+    )
+    print(
+        f"word accounting: {manifest['words']['total_table_words']} table "
+        f"words (reconciled with the in-memory scheme)"
     )
     return 0
 
@@ -193,13 +320,51 @@ def cmd_load(args) -> int:
     return 0
 
 
-def _add_build_args(parser, *, default_scheme: str = "thm11") -> None:
+#: build-style flag defaults — single source for _add_build_args and the
+#: `route --shards` conflict check
+_BUILD_DEFAULTS = {
+    "scheme": "thm11",
+    "family": "er",
+    "n": 200,
+    "seed": 0,
+    "preset": "auto",
+}
+
+
+def _add_build_args(parser) -> None:
     parser.add_argument(
-        "--scheme", default=default_scheme, choices=scheme_names()
+        "--scheme", default=_BUILD_DEFAULTS["scheme"],
+        choices=scheme_names(),
     )
-    parser.add_argument("--family", default="er", choices=FAMILIES)
-    parser.add_argument("--n", type=int, default=200)
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--family", default=_BUILD_DEFAULTS["family"], choices=FAMILIES
+    )
+    parser.add_argument("--n", type=int, default=_BUILD_DEFAULTS["n"])
+    parser.add_argument("--seed", type=int, default=_BUILD_DEFAULTS["seed"])
+    parser.add_argument(
+        "--preset", default=_BUILD_DEFAULTS["preset"], metavar="NAME",
+        help="workload-aware parameter preset: 'auto' (match --family, "
+             "the default), 'none', or an explicit preset name",
+    )
+
+
+def _reject_build_flags_with_shards(args) -> None:
+    """`--shards` serves what the manifest says — build flags conflict.
+
+    Silently ignoring `--scheme thm10` while serving whatever the shard
+    directory holds would let a user measure the wrong scheme without
+    noticing; refuse instead.
+    """
+    overridden = [
+        f"--{name}" for name, default in _BUILD_DEFAULTS.items()
+        if getattr(args, name) != default
+    ]
+    if overridden:
+        raise SystemExit(
+            f"--shards serves the scheme/parameters recorded in the "
+            f"shard manifest; {', '.join(overridden)} cannot apply — "
+            f"drop the flag(s) or re-run `shard` with them"
+        )
 
 
 def main(argv=None) -> int:
@@ -215,6 +380,11 @@ def main(argv=None) -> int:
     _add_build_args(p_route)
     p_route.add_argument("--source", type=int, default=0)
     p_route.add_argument("--target", type=int, default=42)
+    p_route.add_argument(
+        "--shards", default=None, metavar="DIR",
+        help="serve from a shard directory written by `shard` instead "
+             "of building (loads only the shards the route visits)",
+    )
     p_route.set_defaults(func=cmd_route)
 
     p_val = sub.add_parser("validate", help="structural validation")
@@ -227,6 +397,11 @@ def main(argv=None) -> int:
     p_t1.add_argument("--n", type=int, default=250)
     p_t1.add_argument("--seed", type=int, default=0)
     p_t1.add_argument("--pairs", type=int, default=500)
+    p_t1.add_argument(
+        "--preset", default="auto", metavar="NAME",
+        help="workload-aware parameter preset per scheme: 'auto' "
+             "(match --family, the default), 'none', or a preset name",
+    )
     p_t1.set_defaults(func=cmd_table1)
 
     p_save = sub.add_parser(
@@ -235,6 +410,16 @@ def main(argv=None) -> int:
     _add_build_args(p_save)
     p_save.add_argument("--out", required=True, help="output JSON path")
     p_save.set_defaults(func=cmd_save)
+
+    p_shard = sub.add_parser(
+        "shard",
+        help="build a scheme and compile per-vertex binary shards",
+    )
+    _add_build_args(p_shard)
+    p_shard.add_argument(
+        "--out", required=True, help="output shard directory"
+    )
+    p_shard.set_defaults(func=cmd_shard)
 
     p_load = sub.add_parser(
         "load", help="restore a saved scheme and serve it"

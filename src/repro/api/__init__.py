@@ -27,6 +27,7 @@ from .registry import (
     SchemeParamError,
     SchemeSpec,
     TABLE1_SCHEMES,
+    UnknownPresetError,
     UnknownSchemeError,
     all_specs,
     get_spec,
@@ -41,6 +42,7 @@ __all__ = [
     "SchemeParamError",
     "SchemeSpec",
     "TABLE1_SCHEMES",
+    "UnknownPresetError",
     "UnknownSchemeError",
     "all_specs",
     "get_spec",

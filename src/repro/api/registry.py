@@ -35,6 +35,7 @@ __all__ = [
     "ParamSpec",
     "SchemeSpec",
     "UnknownSchemeError",
+    "UnknownPresetError",
     "SchemeParamError",
     "register",
     "get_spec",
@@ -61,6 +62,22 @@ class UnknownSchemeError(KeyError):
 
 class SchemeParamError(ValueError):
     """Raised when parameters do not fit a spec's schema."""
+
+
+class UnknownPresetError(SchemeParamError):
+    """Raised for a preset name the spec does not define; lists them."""
+
+    def __init__(self, scheme: str, preset: str, known: List[str]) -> None:
+        self.scheme = scheme
+        self.preset = preset
+        self.known = known
+        if known:
+            hint = "known presets: " + ", ".join(known)
+        else:
+            hint = "this scheme defines no presets"
+        super().__init__(
+            f"unknown preset {preset!r} for scheme {scheme!r}; {hint}"
+        )
 
 
 @dataclass(frozen=True)
@@ -107,6 +124,9 @@ class SchemeSpec:
     weighted_capable: bool = True
     #: Table-1 convention: build on the weighted variant of a topology
     prefers_weighted: bool = False
+    #: workload-aware parameter overrides by preset name (graph family):
+    #: resolved between the defaults and the caller's explicit overrides
+    presets: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def param(self, name: str) -> ParamSpec:
         for p in self.params:
@@ -120,9 +140,35 @@ class SchemeSpec:
     def defaults(self) -> Dict[str, Any]:
         return {p.name: p.default for p in self.params}
 
-    def resolve_params(self, overrides: Dict[str, Any]) -> Dict[str, Any]:
-        """Defaults + validated/coerced overrides (unknown names raise)."""
+    def preset_names(self) -> List[str]:
+        """Preset names this spec defines, sorted."""
+        return sorted(self.presets)
+
+    def preset_params(self, preset: str) -> Dict[str, Any]:
+        """The overrides of one preset; unknown names raise with the list."""
+        try:
+            return dict(self.presets[preset])
+        except KeyError:
+            raise UnknownPresetError(
+                self.name, preset, self.preset_names()
+            ) from None
+
+    def resolve_params(
+        self,
+        overrides: Dict[str, Any],
+        *,
+        preset: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Defaults, then preset overrides, then validated explicit ones.
+
+        Precedence (lowest to highest): parameter defaults < the named
+        preset's workload-aware overrides < the caller's explicit
+        ``overrides``.  Unknown parameter or preset names raise.
+        """
         resolved = self.defaults()
+        if preset is not None:
+            for name, value in self.preset_params(preset).items():
+                resolved[name] = self.param(name).coerce(value)
         for name, value in overrides.items():
             resolved[name] = self.param(name).coerce(value)
         return resolved
@@ -180,6 +226,29 @@ def _alpha() -> ParamSpec:
     )
 
 
+def _family_presets(base_alpha: float) -> Dict[str, Dict[str, Any]]:
+    """Workload-aware ``alpha`` overrides per graph family.
+
+    The ball-size constant is the knob the topology actually moves
+    (``q̃ = alpha·q·log n``; the ``q`` exponent itself is fixed by each
+    theorem).  Calibrated against the CLI families at reproduction
+    scale:
+
+    * ``er`` — the calibration baseline; the registered default stands,
+    * ``grid`` — large diameter, degree <= 4: balls meet few vertices
+      per radius step, so Lemma 6 colorings need fatter balls (1.5x),
+    * ``ba`` — preferential-attachment hubs put most vertices in every
+      ball; 0.75x keeps tables lean with coverage to spare,
+    * ``geo`` — locally dense but globally stringy (1.25x).
+    """
+    return {
+        "er": {},
+        "grid": {"alpha": round(base_alpha * 1.5, 6)},
+        "ba": {"alpha": round(base_alpha * 0.75, 6)},
+        "geo": {"alpha": round(base_alpha * 1.25, 6)},
+    }
+
+
 register(SchemeSpec(
     name="thm10",
     factory=Stretch2Plus1Scheme,
@@ -187,6 +256,7 @@ register(SchemeSpec(
     stretch="(2+eps, 1)",
     params=(_eps(0.5), _alpha()),
     weighted_capable=False,
+    presets=_family_presets(1.0),
 ))
 register(SchemeSpec(
     name="thm11",
@@ -195,6 +265,7 @@ register(SchemeSpec(
     stretch="(5+eps, 0)",
     params=(_eps(0.6), _alpha()),
     prefers_weighted=True,
+    presets=_family_presets(1.0),
 ))
 register(SchemeSpec(
     name="thm13",
@@ -208,6 +279,7 @@ register(SchemeSpec(
                   "ball-size constant in q̃ = alpha·q·log n"),
     ),
     weighted_capable=False,
+    presets=_family_presets(0.5),
 ))
 register(SchemeSpec(
     name="thm15",
@@ -221,6 +293,7 @@ register(SchemeSpec(
                   "ball-size constant in q̃ = alpha·q·log n"),
     ),
     weighted_capable=False,
+    presets=_family_presets(0.5),
 ))
 register(SchemeSpec(
     name="thm16",
@@ -233,6 +306,7 @@ register(SchemeSpec(
         _alpha(),
     ),
     prefers_weighted=True,
+    presets=_family_presets(1.0),
 ))
 register(SchemeSpec(
     name="warmup3",
@@ -241,6 +315,7 @@ register(SchemeSpec(
     stretch="(3+eps, 0)",
     params=(_eps(0.5), _alpha()),
     prefers_weighted=True,
+    presets=_family_presets(1.0),
 ))
 register(SchemeSpec(
     name="name-indep",
@@ -249,6 +324,7 @@ register(SchemeSpec(
     stretch="(3+eps, 0)",
     params=(_eps(0.5), _alpha()),
     prefers_weighted=True,
+    presets=_family_presets(1.0),
 ))
 for _k, _stretch in ((2, 3), (3, 7), (4, 11)):
     register(SchemeSpec(

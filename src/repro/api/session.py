@@ -18,6 +18,16 @@ session routes without re-running preprocessing — the scheme class is
 reconstructed around the persisted tables via ``SchemeBase.restore`` —
 and makes byte-identical step decisions, which the round-trip tests
 assert for every registered scheme.
+
+Two persisted shapes exist:
+
+* ``save(path)`` — the legacy single JSON blob (graph + ports + all
+  tables); ``load`` parses everything up front,
+* ``save(path, shards=True)`` — the deployment shape: one binary shard
+  per vertex plus a small manifest (:mod:`repro.routing.serving`);
+  ``load`` on the directory returns a session backed by a
+  :class:`~repro.routing.serving.LocalRouter` that lazily loads only the
+  shards a route visits (``serve_stats()`` reports loads/bytes).
 """
 
 from __future__ import annotations
@@ -168,8 +178,25 @@ class RoutingSession:
             "state": export_scheme_state(self.scheme),
         }
 
-    def save(self, path: str) -> str:
-        """Write the session to ``path`` (JSON); returns the path."""
+    def save(self, path: str, *, shards: bool = False) -> str:
+        """Persist the session; returns ``path``.
+
+        ``shards=False`` writes the single JSON blob.  ``shards=True``
+        writes the sharded deployment layout (``path`` becomes a
+        directory: one binary shard per vertex + ``manifest.json``), the
+        shape where each node can be handed only its own table.
+        """
+        if shards:
+            from ..routing.serving import write_shards
+
+            write_shards(
+                self.scheme,
+                path,
+                spec_name=self.spec_name,
+                params=self.params,
+                seed=self.seed,
+            )
+            return path
         payload = self.to_payload()
         tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "w") as fh:
@@ -221,8 +248,47 @@ class RoutingSession:
             loaded=True,
         )
 
+    @classmethod
+    def from_shards(
+        cls, path: str, *, max_resident: Optional[int] = None
+    ) -> "RoutingSession":
+        """Open a sharded layout (``save(shards=True)``) for serving.
+
+        Nothing but the manifest is read up front; each shard loads on
+        the first route that visits its vertex.  ``max_resident`` bounds
+        the decoded-shard LRU (the serving node's memory budget).
+        """
+        from ..routing.serving import LocalRouter, ShardStore
+
+        store = ShardStore(path, max_resident=max_resident)
+        router = LocalRouter(store)
+        return cls(
+            router,
+            spec_name=router.spec_name,
+            params=store.manifest.get("params") or {},
+            seed=int(store.manifest.get("seed", 0)),
+            loaded=True,
+        )
+
+    def serve_stats(self) -> Optional[Dict[str, Any]]:
+        """Shard-serving counters (loads, hits, bytes read) or ``None``.
+
+        ``None`` means the session is whole-object in-memory — there is
+        no lazy loading to account for.
+        """
+        store = getattr(self.scheme, "store", None)
+        if store is None:
+            return None
+        return store.stats()
+
     def describe(self) -> str:
         """One human-readable summary line."""
+        if self.serve_stats() is not None:
+            return (
+                f"{self.name} [{self.spec_name}] — serving "
+                f"{self.scheme.n} vertices from shards at "
+                f"{self.scheme.store.path}"
+            )
         origin = "loaded" if self.loaded else (
             f"built in {self.build_seconds:.2f}s "
             f"(+{self.substrate_seconds:.2f}s substrate)"
@@ -233,7 +299,21 @@ class RoutingSession:
 
 
 def load(path: str) -> RoutingSession:
-    """Load a session :meth:`RoutingSession.save` wrote."""
+    """Load what :meth:`RoutingSession.save` wrote — blob or shard dir.
+
+    A directory with a shard manifest opens lazily
+    (:meth:`RoutingSession.from_shards`); anything else parses as the
+    JSON session blob.
+    """
+    from ..routing.serving import is_shard_dir
+
+    if is_shard_dir(path):
+        return RoutingSession.from_shards(path)
+    if os.path.isdir(path):
+        raise ValueError(
+            f"{path!r} is a directory without a shard manifest — "
+            f"not a saved session"
+        )
     with open(path) as fh:
         payload = json.load(fh)
     return RoutingSession.from_payload(payload)
@@ -248,14 +328,19 @@ def build_session(
     cache: Optional[Any] = None,
     ports: Optional[PortAssignment] = None,
     metric: Optional[MetricView] = None,
+    preset: Optional[str] = None,
     **params: Any,
 ) -> RoutingSession:
-    """Implementation behind :func:`repro.api.build` (see its docstring)."""
+    """Implementation behind :func:`repro.api.build` (see its docstring).
+
+    ``preset`` names a workload-aware parameter preset of the spec (e.g.
+    a graph family like ``"grid"``); explicit ``params`` still win.
+    """
     from .substrate import Substrate
 
     spec = get_spec(name)
     spec.check_graph(graph)
-    resolved = spec.resolve_params(params)
+    resolved = spec.resolve_params(params, preset=preset)
     if substrate is None:
         if cache is not None:
             if metric is not None or ports is not None:

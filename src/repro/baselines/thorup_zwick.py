@@ -77,8 +77,12 @@ class ThorupZwickScheme(SchemeBase):
         # CSR kernel (work proportional to the cluster, not the graph).
         self._trees: Dict[int, TreeRouting] = {}
         for w, members in self.hierarchy.clusters():
-            parents = self.metric.restricted_spt_parents(w, members)
-            tree = TreeRouting(RootedTree(parents), self.ports)
+            tree = self._tree_routing(
+                w, members,
+                lambda w=w, members=members: RootedTree(
+                    self.metric.restricted_spt_parents(w, members)
+                ),
+            )
             self._trees[w] = tree
             for v in members:
                 self._tables[v].put("tztree", w, tree.record_of(v))
@@ -100,6 +104,10 @@ class ThorupZwickScheme(SchemeBase):
             self._labels[v] = (v, tuple(entries))
 
     # ------------------------------------------------------------------
+    def shard_categories(self) -> frozenset:
+        """Pivot-tree records plus own-cluster member labels."""
+        return frozenset({"tztree", "c0label"})
+
     def routing_params(self) -> dict:
         return {"k": self.k}
 

@@ -17,7 +17,17 @@ from .model import (
 from .persistence import dumps as dump_scheme_state
 from .persistence import loads as load_scheme_state
 from .ports import PortAssignment
-from .simulator import RouteResult, StretchReport, measure_stretch, route
+from .serving import LocalRouter, ShardStore, write_shards
+from .shard_codec import decode_node_table, encode_node_table
+from .simulator import (
+    RouteResult,
+    SchemeEngine,
+    StretchReport,
+    as_engine,
+    measure_stretch,
+    route,
+)
+from .tables import NodeTable, compile_tables
 from .tree_routing import TreeRouting, tree_step
 
 __all__ = [
@@ -37,8 +47,17 @@ __all__ = [
     "SizedTable",
     "words_of",
     "PortAssignment",
+    "LocalRouter",
+    "ShardStore",
+    "write_shards",
+    "decode_node_table",
+    "encode_node_table",
+    "NodeTable",
+    "compile_tables",
     "RouteResult",
+    "SchemeEngine",
     "StretchReport",
+    "as_engine",
     "measure_stretch",
     "route",
     "TreeRouting",

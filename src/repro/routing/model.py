@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, Iterable, List
 
 from ..graph.core import Graph
 from .ports import PortAssignment
@@ -42,6 +42,7 @@ __all__ = [
     "RouteAction",
     "CompactRoutingScheme",
     "SchemeStats",
+    "aggregate_scheme_stats",
 ]
 
 
@@ -175,22 +176,43 @@ class CompactRoutingScheme(ABC):
     # -- statistics -----------------------------------------------------
     def stats(self) -> SchemeStats:
         """Aggregate table/label sizes over all vertices."""
-        table_words = []
-        breakdown_max: Dict[str, int] = {}
-        for v in self.graph.vertices():
-            table = self.table_of(v)
-            table_words.append(table.total_words())
-            for cat, w in table.words_by_category().items():
-                breakdown_max[cat] = max(breakdown_max.get(cat, 0), w)
-        label_words = [words_of(self.label_of(v)) for v in self.graph.vertices()]
-        n = max(self.graph.n, 1)
-        return SchemeStats(
-            name=self.name,
-            n=self.graph.n,
-            max_table_words=max(table_words, default=0),
-            avg_table_words=sum(table_words) / n,
-            total_table_words=sum(table_words),
-            max_label_words=max(label_words, default=0),
-            avg_label_words=sum(label_words) / n,
-            table_breakdown_max=breakdown_max,
+        return aggregate_scheme_stats(
+            self.name,
+            self.graph.n,
+            (self.table_of(v) for v in self.graph.vertices()),
+            (self.label_of(v) for v in self.graph.vertices()),
         )
+
+
+def aggregate_scheme_stats(
+    name: str,
+    n: int,
+    tables: Iterable[SizedTable],
+    labels: Iterable[Any],
+) -> SchemeStats:
+    """One word-accounting aggregation for every table source.
+
+    Both the in-memory schemes and the shard-serving engine report
+    through this function, so the accounting formula (word counts,
+    per-category maxima, averages) has a single definition — two
+    implementations here would be exactly the drift the shard
+    reconciliation checks exist to catch.
+    """
+    table_words = []
+    breakdown_max: Dict[str, int] = {}
+    for table in tables:
+        table_words.append(table.total_words())
+        for cat, w in table.words_by_category().items():
+            breakdown_max[cat] = max(breakdown_max.get(cat, 0), w)
+    label_words = [words_of(label) for label in labels]
+    denom = max(n, 1)
+    return SchemeStats(
+        name=name,
+        n=n,
+        max_table_words=max(table_words, default=0),
+        avg_table_words=sum(table_words) / denom,
+        total_table_words=sum(table_words),
+        max_label_words=max(label_words, default=0),
+        avg_label_words=sum(label_words) / denom,
+        table_breakdown_max=breakdown_max,
+    )

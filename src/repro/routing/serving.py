@@ -1,0 +1,422 @@
+"""Local-knowledge serving: route on per-vertex shards loaded from disk.
+
+The deployment story of a compact routing scheme (ROADMAP follow-up (b)):
+each node holds *its own* ``o(n)``-word table and forwards using that
+table plus the packet header — nothing global.  This module makes that
+executable:
+
+* :func:`write_shards` — lay a compiled scheme out on disk as one binary
+  shard per vertex (:mod:`repro.routing.shard_codec`) under a fan-out
+  directory tree, plus one small ``manifest.json`` with the scheme
+  identity, codec version and byte/word accounting,
+* :class:`ShardStore` — lazy shard loader with an optional LRU residency
+  bound and serve statistics (loads, cache hits, bytes read),
+* :class:`LocalRouter` — the serving engine: a step-only scheme instance
+  (``SchemeBase.restore_serving``) whose table, label and port accesses
+  all resolve from the *current vertex's* shard.  It implements the
+  simulator's engine protocol (``step``/``label_of``/``local_edge``), so
+  :func:`repro.routing.simulator.route` drives it exactly like an
+  in-memory scheme — and the local-knowledge tests prove the step
+  decisions are identical even when every shard but the visited ones is
+  deleted from disk.
+
+Layout on disk::
+
+    <dir>/manifest.json             # identity + accounting, JSON
+    <dir>/shards/<g>/<v>.shard      # g = v // fanout, zero-padded hex
+
+Cold-start cost is the point: serving vertex ``v`` reads the manifest
+and ``v``'s shard — a few hundred bytes — instead of parsing the whole
+JSON session blob (``benchmarks/bench_serving.py`` gates the 10x).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from collections import OrderedDict
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..graph.core import Graph
+from .model import RouteAction, SchemeStats, aggregate_scheme_stats
+from .shard_codec import (
+    CODEC_VERSION,
+    decode_node_table,
+    encode_node_table,
+)
+from .tables import NodeTable
+
+__all__ = [
+    "ShardStore",
+    "LocalRouter",
+    "write_shards",
+    "shard_path",
+    "is_shard_dir",
+]
+
+MANIFEST_NAME = "manifest.json"
+FORMAT = "repro.routing.shards"
+FORMAT_VERSION = 1
+#: shards per leaf directory (keeps directories small at n ~ 10^6)
+DEFAULT_FANOUT = 256
+
+
+def shard_path(root: str, v: int, fanout: int) -> str:
+    """On-disk path of vertex ``v``'s shard under ``root``."""
+    return os.path.join(
+        root, "shards", f"{v // fanout:04x}", f"{v}.shard"
+    )
+
+
+def write_shards(
+    scheme: Any,
+    path: str,
+    *,
+    spec_name: str,
+    params: Optional[Dict[str, Any]] = None,
+    seed: int = 0,
+    fanout: int = DEFAULT_FANOUT,
+) -> Dict[str, Any]:
+    """Compile ``scheme`` and write the sharded layout under ``path``.
+
+    Returns the manifest dict (also written to ``manifest.json``).  The
+    manifest's word totals are asserted against the scheme's own
+    :class:`SchemeStats` — byte accounting that silently drifted from
+    the word accounting would invalidate every size table we report.
+    """
+    records = scheme.compile_tables()
+    stats = scheme.stats()
+    total_words = sum(r.table_words() for r in records)
+    if total_words != stats.total_table_words:
+        raise RuntimeError(
+            f"compiled shards hold {total_words} table words, scheme "
+            f"reports {stats.total_table_words} — accounting drift"
+        )
+    os.makedirs(path, exist_ok=True)
+    # A previous, larger layout would leave orphan shards the new
+    # manifest cannot reach — and the directory's on-disk size would no
+    # longer match the manifest's byte accounting.  Start clean.
+    stale = os.path.join(path, "shards")
+    if os.path.isdir(stale):
+        shutil.rmtree(stale)
+    total_bytes = 0
+    max_bytes = 0
+    made_dirs = set()
+    for record in records:
+        blob = encode_node_table(record)
+        total_bytes += len(blob)
+        max_bytes = max(max_bytes, len(blob))
+        target = shard_path(path, record.owner, fanout)
+        leaf = os.path.dirname(target)
+        if leaf not in made_dirs:
+            os.makedirs(leaf, exist_ok=True)
+            made_dirs.add(leaf)
+        tmp = f"{target}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, target)
+    manifest = {
+        "format": FORMAT,
+        "version": FORMAT_VERSION,
+        "codec": CODEC_VERSION,
+        "fanout": fanout,
+        "spec": spec_name,
+        # LocalRouter re-exports carry the original scheme class through
+        # scheme_class_name; built schemes are their own class.
+        "scheme": getattr(
+            scheme, "scheme_class_name", type(scheme).__name__
+        ),
+        "name": scheme.name,
+        "n": len(records),
+        "seed": seed,
+        "params": dict(params or {}),
+        "routing_params": scheme.routing_params(),
+        "bytes": {
+            "total": total_bytes,
+            "max_shard": max_bytes,
+            "avg_shard": round(total_bytes / max(len(records), 1), 1),
+        },
+        "words": {
+            "total_table_words": total_words,
+            "max_table_words": stats.max_table_words,
+        },
+    }
+    tmp = os.path.join(path, f"{MANIFEST_NAME}.tmp.{os.getpid()}")
+    with open(tmp, "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, os.path.join(path, MANIFEST_NAME))
+    return manifest
+
+
+def is_shard_dir(path: str) -> bool:
+    """Whether ``path`` looks like a :func:`write_shards` layout."""
+    return os.path.isdir(path) and os.path.isfile(
+        os.path.join(path, MANIFEST_NAME)
+    )
+
+
+class ShardStore:
+    """Lazy per-vertex shard loader with serve statistics.
+
+    Parameters
+    ----------
+    path:
+        Directory :func:`write_shards` produced.
+    max_resident:
+        Optional LRU bound on decoded shards kept in memory — the
+        serving-node memory budget.  ``None`` keeps everything touched.
+    """
+
+    def __init__(self, path: str, *, max_resident: Optional[int] = None):
+        self.path = path
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        try:
+            with open(manifest_path) as fh:
+                self.manifest = json.load(fh)
+        except FileNotFoundError:
+            raise FileNotFoundError(
+                f"{path!r} is not a shard directory (no {MANIFEST_NAME})"
+            ) from None
+        if self.manifest.get("format") != FORMAT:
+            raise ValueError(
+                f"not a shard manifest "
+                f"(format={self.manifest.get('format')!r})"
+            )
+        if self.manifest.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported shard layout version "
+                f"{self.manifest.get('version')!r}"
+            )
+        self.n = int(self.manifest["n"])
+        self.fanout = int(self.manifest.get("fanout", DEFAULT_FANOUT))
+        self.max_resident = max_resident
+        self._resident: "OrderedDict[int, NodeTable]" = OrderedDict()
+        #: serve statistics
+        self.loads = 0
+        self.hits = 0
+        self.bytes_read = 0
+
+    # ------------------------------------------------------------------
+    def shard_path(self, v: int) -> str:
+        return shard_path(self.path, v, self.fanout)
+
+    def node(self, v: int) -> NodeTable:
+        """Vertex ``v``'s record, loaded from its shard on first touch."""
+        record = self._resident.get(v)
+        if record is not None:
+            self._resident.move_to_end(v)
+            self.hits += 1
+            return record
+        if not 0 <= v < self.n:
+            raise ValueError(f"vertex {v} outside 0..{self.n - 1}")
+        target = self.shard_path(v)
+        try:
+            with open(target, "rb") as fh:
+                blob = fh.read()
+        except FileNotFoundError:
+            raise FileNotFoundError(
+                f"shard of vertex {v} is missing ({target}); a "
+                f"local-knowledge route only touches visited vertices — "
+                f"this one was needed"
+            ) from None
+        record = decode_node_table(blob)
+        if record.owner != v:
+            raise ValueError(
+                f"shard {target} holds vertex {record.owner}, not {v}"
+            )
+        self.loads += 1
+        self.bytes_read += len(blob)
+        self._resident[v] = record
+        if (
+            self.max_resident is not None
+            and len(self._resident) > self.max_resident
+        ):
+            self._resident.popitem(last=False)
+        return record
+
+    def iter_nodes(self) -> Iterator[NodeTable]:
+        """Every record in vertex order (a full scan — stats/export only)."""
+        for v in range(self.n):
+            yield self.node(v)
+
+    def stats(self) -> Dict[str, Any]:
+        """Serve counters: shard loads, cache hits, bytes read, residency."""
+        return {
+            "n": self.n,
+            "loads": self.loads,
+            "hits": self.hits,
+            "bytes_read": self.bytes_read,
+            "resident": len(self._resident),
+            "max_resident": self.max_resident,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardStore({self.path!r}, n={self.n}, "
+            f"loads={self.loads}, hits={self.hits})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Shard-backed views handed to SchemeBase.restore_serving
+# ----------------------------------------------------------------------
+class _ShardPorts:
+    """Footnote-2 port translation answered from the local shard only."""
+
+    def __init__(self, store: ShardStore) -> None:
+        self._store = store
+
+    def port_to(self, u: int, v: int) -> int:
+        return self._store.node(u).port_to(v)
+
+    def neighbor(self, u: int, port: int) -> int:
+        return self._store.node(u).neighbor(port)
+
+    def degree(self, u: int) -> int:
+        return self._store.node(u).degree()
+
+
+class _ShardTables:
+    """``tables[v]`` view resolving to the shard's :class:`SizedTable`."""
+
+    def __init__(self, store: ShardStore) -> None:
+        self._store = store
+        self._sized: Dict[int, Any] = {}
+
+    def __getitem__(self, v: int):
+        table = self._sized.get(v)
+        if table is None:
+            table = self._store.node(v).sized_table()
+            self._sized[v] = table
+            if (
+                self._store.max_resident is not None
+                and len(self._sized) > self._store.max_resident
+            ):
+                self._sized.clear()  # cheap reset; rebuilt from residents
+        return table
+
+
+class _ShardLabels:
+    """``labels[v]`` view resolving to the shard's label."""
+
+    def __init__(self, store: ShardStore) -> None:
+        self._store = store
+
+    def __getitem__(self, v: int):
+        return self._store.node(v).label
+
+
+class LocalRouter:
+    """The serving engine: step decisions from the current shard alone.
+
+    Implements the simulator's engine protocol — ``step``, ``label_of``,
+    ``local_edge`` and ``n`` — so :func:`repro.routing.simulator.route`
+    executes a message with *zero* global knowledge: each decision reads
+    vertex ``u``'s shard, and the move across the returned port reads the
+    same shard's neighbour list.  The inner stepper is the real scheme
+    class (resolved from the registry via the manifest), rebuilt step-only
+    via ``SchemeBase.restore_serving`` — so decisions are byte-identical
+    to the monolithic in-memory scheme, which the serving tests assert
+    hop by hop for every registered scheme.
+    """
+
+    def __init__(self, store: ShardStore) -> None:
+        # Resolved lazily to keep repro.routing import-independent from
+        # repro.api (which imports the schemes, which import routing).
+        from ..api.registry import get_spec
+
+        self.store = store
+        manifest = store.manifest
+        spec = get_spec(manifest["spec"])
+        if spec.factory.__name__ != manifest["scheme"]:
+            raise ValueError(
+                f"shards were compiled by {manifest['scheme']}, spec "
+                f"{manifest['spec']!r} maps to {spec.factory.__name__}"
+            )
+        self.spec_name = manifest["spec"]
+        self.scheme_class_name = manifest["scheme"]
+        self.n = store.n
+        self._stepper = spec.factory.restore_serving(
+            ports=_ShardPorts(store),
+            tables=_ShardTables(store),
+            labels=_ShardLabels(store),
+            params=manifest.get("routing_params") or {},
+            name=manifest.get("name"),
+        )
+        self.name = self._stepper.name
+        self._graph: Optional[Graph] = None
+        self._ports: Optional[Any] = None
+
+    # -- engine protocol -----------------------------------------------
+    def step(self, u: int, header: Any, dest_label: Any) -> RouteAction:
+        return self._stepper.step(u, header, dest_label)
+
+    def label_of(self, v: int) -> Any:
+        return self.store.node(v).label
+
+    def local_edge(self, u: int, port: int) -> Tuple[int, float]:
+        """``(neighbour, weight)`` of ``u``'s link ``port`` — shard-local."""
+        return self.store.node(u).edge(port)
+
+    # -- scheme-compatible surface (measurement/accounting) ------------
+    def table_of(self, v: int):
+        return self._stepper.table_of(v)
+
+    def stretch_bound(self):
+        return self._stepper.stretch_bound()
+
+    def routing_params(self) -> Dict[str, Any]:
+        return self._stepper.routing_params()
+
+    @property
+    def graph(self) -> Graph:
+        """The graph reassembled from every shard's neighbour list.
+
+        Serving never needs this — it exists so a shard-backed session
+        can still ``measure``/``validate`` against the exact metric.
+        Loads all shards on first use (and says so in the docstring
+        rather than pretending to be cheap).
+        """
+        if self._graph is None:
+            adjacency: List[List[Tuple[int, float]]] = [
+                [(nb, w) for nb, w in self.store.node(v).neighbors]
+                for v in range(self.n)
+            ]
+            self._graph = Graph.from_adjacency(adjacency)
+        return self._graph
+
+    @property
+    def ports(self):
+        """The global port numbering reassembled from the shards.
+
+        Like :attr:`graph`, a full-scan convenience for re-export and
+        offline inspection — serving resolves ports shard-locally.
+        """
+        if self._ports is None:
+            from .ports import PortAssignment
+
+            order = [
+                [nb for nb, _ in self.store.node(v).neighbors]
+                for v in range(self.n)
+            ]
+            self._ports = PortAssignment.from_order(self.graph, order)
+        return self._ports
+
+    def compile_tables(self) -> List[NodeTable]:
+        """The resident shape itself: every shard's record (full scan)."""
+        return list(self.store.iter_nodes())
+
+    def stats(self) -> SchemeStats:
+        """Aggregate table/label sizes over all shards (full scan)."""
+        records = list(self.store.iter_nodes())
+        return aggregate_scheme_stats(
+            self.name,
+            self.n,
+            (r.sized_table() for r in records),
+            (r.label for r in records),
+        )
+
+    def __repr__(self) -> str:
+        return f"LocalRouter({self.name!r}, n={self.n}, {self.store!r})"

@@ -1,0 +1,287 @@
+"""Versioned binary codec for per-vertex :class:`NodeTable` shards.
+
+The JSON persistence of :mod:`repro.routing.persistence` is fine for one
+whole-scheme blob but wrong for serving: a node that only needs *its own*
+table should not parse (or even read) megabytes of everyone else's.  This
+codec packs one :class:`~repro.routing.tables.NodeTable` into one compact
+byte string:
+
+* 4-byte header: magic ``RT`` + format version + flags,
+* varint-packed structure (zigzag for signed ints, ``struct``-packed
+  IEEE doubles for floats, UTF-8 for strings),
+* a tag byte per value; tuples/lists/dicts nest arbitrarily — the same
+  value domain :func:`repro.routing.model.words_of` accepts, so anything
+  a scheme can put into a :class:`SizedTable` round-trips,
+* unit-weight neighbour lists (unweighted graphs) skip the 8-byte
+  weights entirely (flag bit 0).
+
+Decoding validates the magic and version and fails loudly on anything
+else — a shard written by a future codec is rejected, never misread.
+
+Size accounting
+---------------
+``encoded_size`` reports the exact byte cost of a record.  The shard
+tests reconcile this against the word accounting of
+:class:`~repro.routing.model.SizedTable`/``SchemeStats``: decoded shards
+must reproduce the exact per-vertex word counts, and the bytes-per-word
+ratio is recorded in the shard manifest so the benchmark tables can show
+real on-disk cost next to the paper's word bounds.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Tuple
+
+from .tables import NodeTable
+
+__all__ = [
+    "CODEC_VERSION",
+    "ShardCodecError",
+    "encode_node_table",
+    "decode_node_table",
+    "encoded_size",
+]
+
+MAGIC = b"RT"
+CODEC_VERSION = 1
+
+#: flag bit 0: every incident edge weight is exactly 1.0 (skip weights)
+_FLAG_UNIT_WEIGHTS = 0x01
+
+# value tag bytes
+_T_NONE = 0x00
+_T_FALSE = 0x01
+_T_TRUE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_TUPLE = 0x06
+_T_LIST = 0x07
+_T_DICT = 0x08
+
+_DOUBLE = struct.Struct("<d")
+
+
+class ShardCodecError(ValueError):
+    """Raised on malformed, foreign or future-versioned shard bytes."""
+
+
+# ----------------------------------------------------------------------
+# varints
+# ----------------------------------------------------------------------
+#: decode stops at shift 70, i.e. 11 varint bytes = 77 payload bits;
+#: encoding enforces the same bound so everything written decodes back
+_UVARINT_LIMIT = 1 << 77
+
+
+def _write_uvarint(out: List[bytes], value: int) -> None:
+    if value < 0:
+        raise ShardCodecError(f"uvarint cannot encode {value}")
+    if value >= _UVARINT_LIMIT:
+        raise ShardCodecError(
+            f"int {value} exceeds the codec's 77-bit varint range"
+        )
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(bytes((byte | 0x80,)))
+        else:
+            out.append(bytes((byte,)))
+            return
+
+
+def _read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise ShardCodecError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise ShardCodecError("varint too long")
+
+
+def _write_svarint(out: List[bytes], value: int) -> None:
+    # zigzag: non-negative -> even, negative -> odd
+    _write_uvarint(out, value << 1 if value >= 0 else ((-value) << 1) - 1)
+
+
+def _read_svarint(data: bytes, pos: int) -> Tuple[int, int]:
+    raw, pos = _read_uvarint(data, pos)
+    return (raw >> 1) if not raw & 1 else -((raw + 1) >> 1), pos
+
+
+# ----------------------------------------------------------------------
+# values
+# ----------------------------------------------------------------------
+def _write_value(out: List[bytes], value: Any) -> None:
+    if value is None:
+        out.append(bytes((_T_NONE,)))
+    elif value is True:
+        out.append(bytes((_T_TRUE,)))
+    elif value is False:
+        out.append(bytes((_T_FALSE,)))
+    elif isinstance(value, int):
+        out.append(bytes((_T_INT,)))
+        _write_svarint(out, value)
+    elif isinstance(value, float):
+        out.append(bytes((_T_FLOAT,)))
+        out.append(_DOUBLE.pack(value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(bytes((_T_STR,)))
+        _write_uvarint(out, len(raw))
+        out.append(raw)
+    elif isinstance(value, tuple):
+        out.append(bytes((_T_TUPLE,)))
+        _write_uvarint(out, len(value))
+        for item in value:
+            _write_value(out, item)
+    elif isinstance(value, list):
+        out.append(bytes((_T_LIST,)))
+        _write_uvarint(out, len(value))
+        for item in value:
+            _write_value(out, item)
+    elif isinstance(value, dict):
+        out.append(bytes((_T_DICT,)))
+        _write_uvarint(out, len(value))
+        for k, v in value.items():
+            _write_value(out, k)
+            _write_value(out, v)
+    else:
+        raise ShardCodecError(
+            f"cannot encode value of type {type(value)!r}"
+        )
+
+
+def _read_value(data: bytes, pos: int) -> Tuple[Any, int]:
+    if pos >= len(data):
+        raise ShardCodecError("truncated value")
+    tag = data[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        return _read_svarint(data, pos)
+    if tag == _T_FLOAT:
+        end = pos + 8
+        if end > len(data):
+            raise ShardCodecError("truncated float")
+        return _DOUBLE.unpack_from(data, pos)[0], end
+    if tag == _T_STR:
+        length, pos = _read_uvarint(data, pos)
+        end = pos + length
+        if end > len(data):
+            raise ShardCodecError("truncated string")
+        return data[pos:end].decode("utf-8"), end
+    if tag in (_T_TUPLE, _T_LIST):
+        count, pos = _read_uvarint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _read_value(data, pos)
+            items.append(item)
+        return (tuple(items) if tag == _T_TUPLE else items), pos
+    if tag == _T_DICT:
+        count, pos = _read_uvarint(data, pos)
+        result = {}
+        for _ in range(count):
+            k, pos = _read_value(data, pos)
+            v, pos = _read_value(data, pos)
+            result[k] = v
+        return result, pos
+    raise ShardCodecError(f"unknown value tag 0x{tag:02x}")
+
+
+# ----------------------------------------------------------------------
+# node tables
+# ----------------------------------------------------------------------
+def encode_node_table(record: NodeTable) -> bytes:
+    """Pack one :class:`NodeTable` into versioned shard bytes."""
+    unit = all(w == 1.0 for _, w in record.neighbors)
+    flags = _FLAG_UNIT_WEIGHTS if unit else 0
+    out: List[bytes] = [MAGIC, bytes((CODEC_VERSION, flags))]
+    _write_uvarint(out, record.owner)
+    _write_uvarint(out, len(record.neighbors))
+    for nb, _ in record.neighbors:
+        _write_uvarint(out, nb)
+    if not unit:
+        for _, w in record.neighbors:
+            out.append(_DOUBLE.pack(w))
+    _write_value(out, record.label)
+    _write_uvarint(out, len(record.categories))
+    for cat, entries in record.categories.items():
+        _write_value(out, cat)
+        _write_uvarint(out, len(entries))
+        for k, v in entries.items():
+            _write_value(out, k)
+            _write_value(out, v)
+    return b"".join(out)
+
+
+def decode_node_table(data: bytes) -> NodeTable:
+    """Inverse of :func:`encode_node_table` (validates magic + version)."""
+    if len(data) < 4 or data[:2] != MAGIC:
+        raise ShardCodecError("not a routing-table shard (bad magic)")
+    version, flags = data[2], data[3]
+    if version != CODEC_VERSION:
+        raise ShardCodecError(
+            f"unsupported shard codec version {version} "
+            f"(this build reads version {CODEC_VERSION})"
+        )
+    pos = 4
+    owner, pos = _read_uvarint(data, pos)
+    degree, pos = _read_uvarint(data, pos)
+    ids = []
+    for _ in range(degree):
+        nb, pos = _read_uvarint(data, pos)
+        ids.append(nb)
+    if flags & _FLAG_UNIT_WEIGHTS:
+        weights = [1.0] * degree
+    else:
+        end = pos + 8 * degree
+        if end > len(data):
+            raise ShardCodecError("truncated weights")
+        weights = [
+            _DOUBLE.unpack_from(data, pos + 8 * i)[0] for i in range(degree)
+        ]
+        pos = end
+    label, pos = _read_value(data, pos)
+    cat_count, pos = _read_uvarint(data, pos)
+    categories = {}
+    for _ in range(cat_count):
+        cat, pos = _read_value(data, pos)
+        if not isinstance(cat, str):
+            raise ShardCodecError(f"category name {cat!r} is not a string")
+        entry_count, pos = _read_uvarint(data, pos)
+        entries = {}
+        for _ in range(entry_count):
+            k, pos = _read_value(data, pos)
+            v, pos = _read_value(data, pos)
+            entries[k] = v
+        categories[cat] = entries
+    if pos != len(data):
+        raise ShardCodecError(
+            f"{len(data) - pos} trailing bytes after shard payload"
+        )
+    return NodeTable(
+        owner=owner,
+        neighbors=tuple(zip(ids, weights)),
+        label=label,
+        categories=categories,
+    )
+
+
+def encoded_size(record: NodeTable) -> int:
+    """Exact on-disk byte cost of ``record``."""
+    return len(encode_node_table(record))

@@ -6,6 +6,24 @@ the returned port, and records the traversed path.  It enforces global
 sanity (delivery at the right vertex, hop budgets against routing loops) and
 measures everything the evaluation needs: path length, hop count and the
 largest header ever attached to the message.
+
+Engine protocol
+---------------
+The routing loop runs against a *local-knowledge engine*, not a scheme:
+
+* ``step(u, header, dest_label)`` — the local decision,
+* ``label_of(v)`` — the destination label a sender holds,
+* ``local_edge(u, port) -> (neighbour, weight)`` — the link the message
+  crosses, answered from ``u``'s local state,
+* ``n`` — vertex count (hop-budget default only).
+
+A monolithic in-memory scheme is adapted on the fly (:class:`SchemeEngine`
+reads the graph and port assignment it already holds); the sharded
+serving engine (:class:`repro.routing.serving.LocalRouter`) implements
+the protocol natively, answering every call from the current vertex's
+shard.  Either way the loop below is the only "network" — it never peeks
+past the engine surface, which is what makes the local-knowledge tests
+meaningful.
 """
 
 from __future__ import annotations
@@ -16,7 +34,14 @@ from typing import Any, Iterable, List, Optional, Tuple
 from ..graph.metric import MetricView
 from .model import CompactRoutingScheme, Deliver, Forward, words_of
 
-__all__ = ["RouteResult", "route", "StretchReport", "measure_stretch"]
+__all__ = [
+    "RouteResult",
+    "route",
+    "SchemeEngine",
+    "as_engine",
+    "StretchReport",
+    "measure_stretch",
+]
 
 
 class RoutingLoopError(RuntimeError):
@@ -41,22 +66,55 @@ class RouteResult:
         return self.path[-1] == self.target
 
 
+class SchemeEngine:
+    """Adapter: a monolithic in-memory scheme as a local-knowledge engine.
+
+    Wraps the scheme's graph + port assignment behind the engine
+    protocol so the routing loop is written once.  ``local_edge`` is the
+    only lookup a real node performs when forwarding: the neighbour id
+    and weight of one of its own links.
+    """
+
+    def __init__(self, scheme: CompactRoutingScheme) -> None:
+        self.scheme = scheme
+        self.n = scheme.graph.n
+
+    def step(self, u: int, header: Any, dest_label: Any):
+        return self.scheme.step(u, header, dest_label)
+
+    def label_of(self, v: int) -> Any:
+        return self.scheme.label_of(v)
+
+    def local_edge(self, u: int, port: int) -> Tuple[int, float]:
+        nxt = self.scheme.ports.neighbor(u, port)
+        return nxt, self.scheme.graph.weight(u, nxt)
+
+
+def as_engine(scheme: Any) -> Any:
+    """``scheme`` itself when it speaks the engine protocol, else adapted."""
+    if hasattr(scheme, "local_edge"):
+        return scheme
+    return SchemeEngine(scheme)
+
+
 def route(
-    scheme: CompactRoutingScheme,
+    scheme: Any,
     source: int,
     target: int,
     max_hops: Optional[int] = None,
 ) -> RouteResult:
     """Route one message from ``source`` to ``target`` and return the trace.
 
-    ``max_hops`` defaults to ``8 * n + 64``, far above any bound the
-    implemented schemes can legitimately need, so hitting it indicates a
-    routing loop and raises :class:`RoutingLoopError`.
+    ``scheme`` is either a :class:`CompactRoutingScheme` (adapted via
+    :class:`SchemeEngine`) or a serving engine implementing the protocol
+    directly.  ``max_hops`` defaults to ``8 * n + 64``, far above any
+    bound the implemented schemes can legitimately need, so hitting it
+    indicates a routing loop and raises :class:`RoutingLoopError`.
     """
-    g = scheme.graph
+    engine = as_engine(scheme)
     if max_hops is None:
-        max_hops = 8 * g.n + 64
-    dest_label = scheme.label_of(target)
+        max_hops = 8 * engine.n + 64
+    dest_label = engine.label_of(target)
     header: Any = None
     current = source
     path = [source]
@@ -64,7 +122,7 @@ def route(
     max_header_words = 0
     phase_hops: dict = {}
     for _ in range(max_hops + 1):
-        action = scheme.step(current, header, dest_label)
+        action = engine.step(current, header, dest_label)
         if isinstance(action, Deliver):
             if current != target:
                 raise RuntimeError(
@@ -80,8 +138,8 @@ def route(
                 phase_hops=phase_hops,
             )
         assert isinstance(action, Forward)
-        nxt = scheme.ports.neighbor(current, action.port)
-        length += g.weight(current, nxt)
+        nxt, weight = engine.local_edge(current, action.port)
+        length += weight
         path.append(nxt)
         header = action.header
         max_header_words = max(max_header_words, words_of(header))

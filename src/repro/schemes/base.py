@@ -37,13 +37,24 @@ scalars via :meth:`routing_params` and rebuild their step-time helpers
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+)
 
 from ..graph.core import Graph
 from ..graph.metric import MetricView
 from ..routing.ball_routing import BallRoutingTables
 from ..routing.model import CompactRoutingScheme, SizedTable
 from ..routing.ports import PortAssignment
+from ..routing.tables import NodeTable, compile_tables
+from ..routing.tree_routing import TreeRouting
 from ..structures.balls import BallFamily, ball_size_parameter
 
 __all__ = ["SchemeBase"]
@@ -154,6 +165,26 @@ class SchemeBase(CompactRoutingScheme):
 
         return SampledHierarchy(self.metric, k, seed=seed)
 
+    def _tree_routing(
+        self,
+        root: int,
+        members: Optional[Iterable[int]],
+        build_tree: Callable[[], Any],
+    ) -> TreeRouting:
+        """A :class:`TreeRouting` for the tree ``build_tree`` produces.
+
+        Memoized on the substrate by ``(root, member set)`` —
+        ``members=None`` means the full-graph SPT rooted at ``root``.
+        Every caller's tree is a deterministic function of that key (a
+        shortest-path tree restricted to the member set, with the shared
+        metric's tie-breaking), so two schemes on one substrate that
+        route over the same cluster or landmark tree build its heavy-path
+        intervals once.  Cold builds without a substrate are unchanged.
+        """
+        if self._substrate_applies():
+            return self._substrate.tree_routing(root, members, build_tree)
+        return TreeRouting(build_tree(), self.ports)
+
     # ------------------------------------------------------------------
     def table_of(self, v: int) -> SizedTable:
         return self._tables[v]
@@ -205,6 +236,65 @@ class SchemeBase(CompactRoutingScheme):
         scheme.metric = None
         scheme._tables = list(tables)
         scheme._labels = dict(enumerate(labels))
+        if name is not None:
+            scheme.name = name
+        scheme._restore_routing(dict(params or {}))
+        return scheme
+
+    # ------------------------------------------------------------------
+    # Compile + serving hooks (sharded deployment)
+    # ------------------------------------------------------------------
+    def shard_categories(self) -> Optional[FrozenSet[str]]:
+        """Table categories this scheme's ``step`` function may read.
+
+        Each scheme declares its step-time manifest; compilation
+        (:meth:`compile_tables`) rejects built tables holding categories
+        outside it, catching preprocessing/decision-function drift before
+        a shard ships.  ``None`` disables the check (no declaration).
+        """
+        return None
+
+    def compile_tables(self) -> List[NodeTable]:
+        """Compile this built scheme into per-vertex :class:`NodeTable`\\ s.
+
+        The deployment shape: one record per vertex holding its table,
+        label and port-ordered incident links — everything that vertex
+        needs to execute ``step`` and move a message, and nothing else.
+        Word accounting is preserved exactly (see
+        :mod:`repro.routing.tables`).
+        """
+        return compile_tables(
+            self, allowed_categories=self.shard_categories()
+        )
+
+    @classmethod
+    def restore_serving(
+        cls,
+        *,
+        ports: Any,
+        tables: Any,
+        labels: Any,
+        params: Optional[Dict[str, Any]] = None,
+        name: Optional[str] = None,
+    ) -> "SchemeBase":
+        """Reconstruct a *step-only* scheme over externally stored state.
+
+        Unlike :meth:`restore`, no graph and no full table list exist:
+        ``tables``/``labels`` are indexable views (``obj[v]``) and
+        ``ports`` needs only ``port_to(u, v)`` — exactly the surface the
+        step functions and technique steppers touch.  The serving engine
+        (:class:`repro.routing.serving.LocalRouter`) passes views that
+        resolve each access from vertex ``u``'s shard alone, which is
+        what makes the local-knowledge invariant testable: the scheme
+        object physically has nothing but the current shard to read.
+        """
+        scheme = object.__new__(cls)
+        scheme.graph = None
+        scheme.ports = ports
+        scheme._substrate = None
+        scheme.metric = None
+        scheme._tables = tables
+        scheme._labels = labels
         if name is not None:
             scheme.name = name
         scheme._restore_routing(dict(params or {}))

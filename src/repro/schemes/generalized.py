@@ -122,8 +122,12 @@ class _GeneralizedScheme(SchemeBase):
                 members = self.bunches[i].cluster(w)
                 if not members:
                     continue
-                parents = self.metric.restricted_spt_parents(w, members)
-                tree = TreeRouting(RootedTree(parents), self.ports)
+                tree = self._tree_routing(
+                    w, members,
+                    lambda w=w, members=members: RootedTree(
+                        self.metric.restricted_spt_parents(w, members)
+                    ),
+                )
                 level_trees[w] = tree
                 for v in members:
                     self._tables[v].put(f"ctree{i}", w, tree.record_of(v))
@@ -225,6 +229,16 @@ class _GeneralizedScheme(SchemeBase):
         return (3.0 + self.sign * 2.0 / self.ell + self.eps, 2.0)
 
     # ------------------------------------------------------------------
+    def shard_categories(self) -> frozenset:
+        """Per-level trees/intersections/reps plus the shared ball state."""
+        cats = {"ball", "radius"}
+        for i in range(self.ell + 1):
+            cats.update({f"ctree{i}", f"clabel{i}", f"xsect{i}"})
+        for i in self.instances:
+            cats.add(f"rep{i}")
+            cats.add(self.techniques[i].cat_seq)
+        return frozenset(cats)
+
     def routing_params(self) -> dict:
         return {"ell": self.ell, "eps": self.eps}
 

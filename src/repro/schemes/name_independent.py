@@ -95,6 +95,13 @@ class NameIndependent3Eps(SchemeBase):
             self._labels[v] = v  # the name itself — nothing else
 
     # ------------------------------------------------------------------
+    def shard_categories(self) -> frozenset:
+        """As the warm-up, plus the ``const`` hash-seed words."""
+        return frozenset(
+            {"ball", "colorrep", "const",
+             self.technique.cat_seq, self.technique.cat_htree}
+        )
+
     def routing_params(self) -> dict:
         return {"eps": self.eps, "q": self.q}
 

@@ -95,7 +95,9 @@ class Stretch2Plus1Scheme(SchemeBase):
             members = self.bunches.cluster(w)
             if not members:
                 continue
-            tree = TreeRouting(self.bunches.cluster_tree(w), self.ports)
+            tree = self._tree_routing(
+                w, members, lambda w=w: self.bunches.cluster_tree(w)
+            )
             for v in members:
                 self._tables[v].put("ctree", w, tree.record_of(v))
                 self._tables[w].put("clabel", v, tree.label_of(v))
@@ -103,8 +105,9 @@ class Stretch2Plus1Scheme(SchemeBase):
         # Global landmark trees: every vertex stores a record per landmark.
         self._landmark_trees: Dict[int, TreeRouting] = {}
         for w in self.landmarks:
-            tree = TreeRouting(
-                RootedTree(self.metric.spt_parents(w)), self.ports
+            tree = self._tree_routing(
+                w, None,
+                lambda w=w: RootedTree(self.metric.spt_parents(w)),
             )
             self._landmark_trees[w] = tree
             for v in graph.vertices():
@@ -161,6 +164,13 @@ class Stretch2Plus1Scheme(SchemeBase):
             )
 
     # ------------------------------------------------------------------
+    def shard_categories(self) -> frozenset:
+        """Ball ports, intersections, both tree families, Lemma 7 state."""
+        return frozenset(
+            {"ball", "xsect", "ctree", "clabel", "atree", "colorrep",
+             self.technique.cat_seq, self.technique.cat_htree}
+        )
+
     def routing_params(self) -> dict:
         return {"eps": self.eps, "q": self.q}
 

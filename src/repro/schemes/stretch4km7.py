@@ -82,8 +82,12 @@ class Stretch4kMinus7Scheme(SchemeBase):
             members = self.hierarchy.cluster(w)
             if not members:
                 continue
-            parents = self.metric.restricted_spt_parents(w, members)
-            tree = TreeRouting(RootedTree(parents), self.ports)
+            tree = self._tree_routing(
+                w, members,
+                lambda w=w, members=members: RootedTree(
+                    self.metric.restricted_spt_parents(w, members)
+                ),
+            )
             self._trees[w] = tree
             for v in members:
                 self._tables[v].put("tztree", w, tree.record_of(v))
@@ -148,6 +152,13 @@ class Stretch4kMinus7Scheme(SchemeBase):
             self._labels[v] = (v, tuple(entries), self._target_class[pk2])
 
     # ------------------------------------------------------------------
+    def shard_categories(self) -> frozenset:
+        """TZ trees + own-cluster labels, ball ports, reps, Lemma 8."""
+        return frozenset(
+            {"ball", "tztree", "c0label", "colorrep",
+             self.technique.cat_seq}
+        )
+
     def routing_params(self) -> dict:
         return {"k": self.k, "eps": self.eps, "q": self.q}
 

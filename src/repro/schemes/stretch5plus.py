@@ -43,7 +43,7 @@ from ..graph.core import Graph
 from ..graph.metric import MetricView
 from ..routing.model import Deliver, Forward, RouteAction
 from ..routing.ports import PortAssignment
-from ..routing.tree_routing import TreeRouting, tree_step
+from ..routing.tree_routing import tree_step
 from ..structures.coloring import color_classes, find_coloring
 from .base import SchemeBase
 
@@ -91,7 +91,9 @@ class Stretch5PlusScheme(SchemeBase):
             members = self.bunches.cluster(w)
             if not members:
                 continue
-            tree = TreeRouting(self.bunches.cluster_tree(w), self.ports)
+            tree = self._tree_routing(
+                w, members, lambda w=w: self.bunches.cluster_tree(w)
+            )
             for v in members:
                 self._tables[v].put("ctree", w, tree.record_of(v))
                 self._tables[w].put("clabel", v, tree.label_of(v))
@@ -140,6 +142,12 @@ class Stretch5PlusScheme(SchemeBase):
             self._labels[v] = (v, p, self._target_class[p], z)
 
     # ------------------------------------------------------------------
+    def shard_categories(self) -> frozenset:
+        """Ball ports, cluster trees + owner labels, reps, Lemma 8."""
+        return frozenset(
+            {"ball", "ctree", "clabel", "colorrep", self.technique.cat_seq}
+        )
+
     def routing_params(self) -> dict:
         return {"eps": self.eps, "q": self.q}
 

@@ -98,6 +98,13 @@ class Warmup3Scheme(SchemeBase):
             self._labels[v] = (v, self.colors[v])
 
     # ------------------------------------------------------------------
+    def shard_categories(self) -> frozenset:
+        """Categories ``step`` reads: ball ports, color reps, Lemma 7."""
+        return frozenset(
+            {"ball", "colorrep",
+             self.technique.cat_seq, self.technique.cat_htree}
+        )
+
     def routing_params(self) -> dict:
         return {"eps": self.eps, "q": self.q}
 

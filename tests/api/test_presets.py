@@ -1,0 +1,94 @@
+"""Workload-aware parameter presets on the scheme registry."""
+
+import pytest
+
+from repro.api import (
+    UnknownPresetError,
+    build,
+    get_spec,
+    scheme_names,
+)
+from repro.graph.generators import grid, preferential_attachment
+
+
+class TestResolution:
+    def test_preset_overrides_defaults(self):
+        spec = get_spec("thm11")
+        resolved = spec.resolve_params({}, preset="grid")
+        assert resolved["alpha"] == 1.5
+        assert resolved["eps"] == spec.param("eps").default
+
+    def test_explicit_params_beat_preset(self):
+        spec = get_spec("thm11")
+        resolved = spec.resolve_params({"alpha": 2.25}, preset="grid")
+        assert resolved["alpha"] == 2.25
+
+    def test_er_preset_is_the_calibration_baseline(self):
+        spec = get_spec("warmup3")
+        assert spec.resolve_params({}, preset="er") == spec.defaults()
+
+    def test_no_preset_keeps_defaults(self):
+        spec = get_spec("thm10")
+        assert spec.resolve_params({}) == spec.defaults()
+
+    def test_preset_values_are_validated(self):
+        spec = get_spec("thm11")
+        # every declared preset must pass the spec's own param schema
+        for preset in spec.preset_names():
+            spec.resolve_params({}, preset=preset)
+
+    def test_ball_schemes_define_family_presets(self):
+        for name in ("thm10", "thm11", "thm13", "thm15", "thm16",
+                     "warmup3", "name-indep"):
+            assert get_spec(name).preset_names() == [
+                "ba", "er", "geo", "grid",
+            ], name
+
+
+class TestUnknownPreset:
+    def test_unknown_preset_lists_known(self):
+        with pytest.raises(UnknownPresetError) as err:
+            get_spec("thm11").resolve_params({}, preset="torus")
+        msg = str(err.value)
+        assert "torus" in msg and "thm11" in msg
+        assert "ba, er, geo, grid" in msg
+
+    def test_schemes_without_presets_say_so(self):
+        with pytest.raises(UnknownPresetError, match="no presets"):
+            get_spec("tz2").resolve_params({}, preset="grid")
+
+    def test_unknown_preset_is_a_param_error(self):
+        from repro.api import SchemeParamError
+
+        with pytest.raises(SchemeParamError):
+            get_spec("thm11").resolve_params({}, preset="nope")
+
+
+class TestBuildIntegration:
+    def test_build_applies_preset(self):
+        g = grid(8, 8)
+        session = build("warmup3", g, seed=2, preset="grid")
+        assert session.params["alpha"] == 1.5
+        # the fatter balls must still produce a working scheme
+        result = session.route(0, 63)
+        assert result.delivered
+
+    def test_build_preset_with_override(self):
+        g = preferential_attachment(60, 2, seed=5)
+        session = build("warmup3", g, seed=2, preset="ba", eps=0.9)
+        assert session.params["eps"] == 0.9
+        assert session.params["alpha"] == 0.75
+
+    def test_registered_presets_build_on_their_family(self):
+        """Each family preset actually constructs on that topology."""
+        from repro.__main__ import _build_graph
+
+        for family in ("grid", "ba"):
+            g = _build_graph(family, 70, 3, False)
+            session = build("warmup3", g, seed=3, preset=family)
+            assert session.validate(sample=30).ok
+
+    def test_every_scheme_accepts_none_preset(self):
+        for name in scheme_names():
+            spec = get_spec(name)
+            assert spec.resolve_params({}, preset=None) == spec.defaults()

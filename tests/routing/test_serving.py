@@ -1,0 +1,261 @@
+"""Serving engine: local-knowledge routing on per-vertex shards.
+
+The acceptance bar for the sharded deployment path, asserted for EVERY
+registered scheme on a seeded n >= 200 graph:
+
+* **identical decisions** — the :class:`LocalRouter` (step-only scheme
+  over lazily loaded shards) makes byte-identical step decisions, hop
+  sequences, lengths and header sizes as the monolithic in-memory
+  scheme, checked hop by hop,
+* **local knowledge** — a route executed against a store holding *only*
+  the shards of the vertices that route actually visits reproduces the
+  exact same trace; every other shard is deleted from disk first,
+* serve statistics account exactly the shards a route touched, and the
+  optional LRU bound keeps residency at the configured budget.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.api import (
+    RoutingSession,
+    SubstrateCache,
+    build,
+    get_spec,
+    load,
+    scheme_names,
+)
+from repro.eval.workloads import sample_pairs
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.routing.model import Deliver, Forward
+from repro.routing.serving import LocalRouter, ShardStore, write_shards
+
+N = 220  # the local-knowledge invariant is asserted at n >= 200
+PAIRS = 25
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    gu = erdos_renyi(N, 7.0 / (N - 1), seed=17)
+    gw = with_random_weights(gu, seed=18, low=1.0, high=8.0)
+    return {"unweighted": gu, "weighted": gw}
+
+
+@pytest.fixture(scope="module")
+def caches():
+    return {"unweighted": SubstrateCache(), "weighted": SubstrateCache()}
+
+
+@pytest.fixture(scope="module")
+def shard_root(tmp_path_factory):
+    return tmp_path_factory.mktemp("shards")
+
+
+@pytest.fixture(scope="module")
+def served(graphs, caches, shard_root):
+    """session + shard dir per scheme, built once for the module."""
+    out = {}
+    for name in scheme_names():
+        spec = get_spec(name)
+        kind = "weighted" if spec.weighted_capable else "unweighted"
+        session = build(name, graphs[kind], cache=caches[kind], seed=6)
+        path = str(shard_root / name)
+        session.save(path, shards=True)
+        out[name] = (session, path)
+    return out
+
+
+def _dual_step_route(scheme, router, s, t, max_hops=None):
+    """Drive both engines in lockstep, asserting every decision matches.
+
+    Returns the common path.  This is stronger than comparing final
+    routes: a pair of off-by-one errors that cancelled out would still
+    fail here.
+    """
+    if max_hops is None:
+        max_hops = 8 * scheme.graph.n + 64
+    label = scheme.label_of(t)
+    assert router.label_of(t) == label
+    header = None
+    u = s
+    path = [s]
+    for _ in range(max_hops + 1):
+        a1 = scheme.step(u, header, label)
+        a2 = router.step(u, header, label)
+        assert type(a1) is type(a2), (u, a1, a2)
+        if isinstance(a1, Deliver):
+            assert u == t
+            return path
+        assert isinstance(a1, Forward)
+        assert a1.port == a2.port, (u, a1, a2)
+        assert a1.header == a2.header, (u, a1, a2)
+        nxt = scheme.ports.neighbor(u, a1.port)
+        assert router.local_edge(u, a1.port) == (
+            nxt, scheme.graph.weight(u, nxt),
+        )
+        header = a1.header
+        path.append(nxt)
+        u = nxt
+    raise AssertionError(f"route {s}->{t} not delivered")
+
+
+@pytest.mark.parametrize("name", scheme_names())
+def test_identical_step_decisions_hop_by_hop(name, served):
+    session, path = served[name]
+    router = LocalRouter(ShardStore(path))
+    for s, t in sample_pairs(N, PAIRS, seed=77):
+        _dual_step_route(session.scheme, router, s, t)
+
+
+@pytest.mark.parametrize("name", scheme_names())
+def test_local_knowledge_invariant(name, served, tmp_path):
+    """Routes survive deletion of every shard the route does not visit.
+
+    The paper's deployment claim made operational: the only state a
+    route needs is the tables of the vertices it traverses (plus the
+    destination label, and the destination is traversed).
+    """
+    session, path = served[name]
+    full = load(path)
+    for i, (s, t) in enumerate(sample_pairs(N, 8, seed=131)):
+        reference = session.route(s, t)
+        visited = set(reference.path) | {s, t}
+
+        trimmed = tmp_path / f"{name}-{i}"
+        store = ShardStore(str(path))
+        os.makedirs(trimmed / "shards")
+        shutil.copy(
+            os.path.join(path, "manifest.json"),
+            trimmed / "manifest.json",
+        )
+        for v in visited:
+            src = store.shard_path(v)
+            dst = trimmed / os.path.relpath(src, path)
+            os.makedirs(dst.parent, exist_ok=True)
+            shutil.copy(src, dst)
+
+        lonely = load(str(trimmed))
+        result = lonely.route(s, t)
+        assert result.path == reference.path, (name, s, t)
+        assert result.length == pytest.approx(reference.length)
+        assert result.hops == reference.hops
+        assert result.max_header_words == reference.max_header_words
+        # and the full shard set was genuinely not consulted
+        stats = lonely.serve_stats()
+        assert stats["loads"] <= len(visited)
+
+    # sanity: a route through a deleted vertex fails loudly, it does not
+    # silently reroute
+    ref = full.route(0, N - 1)
+    if len(ref.path) > 2:
+        middle = ref.path[len(ref.path) // 2]
+        broken_dir = tmp_path / f"{name}-broken"
+        shutil.copytree(path, broken_dir)
+        victim = ShardStore(str(path)).shard_path(middle)
+        os.remove(broken_dir / os.path.relpath(victim, path))
+        broken = load(str(broken_dir))
+        with pytest.raises(FileNotFoundError, match=str(middle)):
+            broken.route(0, N - 1)
+
+
+@pytest.mark.parametrize("name", ["thm11", "tz3"])
+def test_routes_and_stats_match_via_session(name, served):
+    session, path = served[name]
+    restored = load(path)
+    assert restored.loaded
+    assert restored.spec_name == name
+    assert restored.name == session.name
+    for s, t in sample_pairs(N, 15, seed=5):
+        r1 = session.route(s, t)
+        r2 = restored.route(s, t)
+        assert r1.path == r2.path
+        assert r2.length == pytest.approx(r1.length)
+        assert r1.max_header_words == r2.max_header_words
+    st1, st2 = session.stats(), restored.stats()
+    assert st2.total_table_words == st1.total_table_words
+    assert st2.max_table_words == st1.max_table_words
+    assert st2.max_label_words == st1.max_label_words
+    assert st2.table_breakdown_max == st1.table_breakdown_max
+
+
+def test_serve_stats_count_only_visited(served):
+    _, path = served["tz2"]
+    session = RoutingSession.from_shards(path)
+    assert session.serve_stats()["loads"] == 0  # manifest only
+    result = session.route(1, 100)
+    stats = session.serve_stats()
+    assert 0 < stats["loads"] <= len(set(result.path)) + 1
+    assert stats["bytes_read"] > 0
+    # warm repeat: no new loads
+    session.route(1, 100)
+    assert session.serve_stats()["loads"] == stats["loads"]
+    assert session.serve_stats()["hits"] > stats["hits"]
+
+
+def test_max_resident_bounds_memory(served):
+    _, path = served["warmup3"]
+    store = ShardStore(path, max_resident=4)
+    router = LocalRouter(store)
+    for s, t in sample_pairs(N, 10, seed=3):
+        from repro.routing.simulator import route as sim_route
+
+        sim_route(router, s, t)
+        assert len(store._resident) <= 4
+
+
+def test_measure_works_on_shard_session(served):
+    session, path = served["warmup3"]
+    restored = load(path)
+    report = restored.measure(count=30, seed=8)
+    alpha, beta = restored.stretch_bound()
+    assert report.max_additive_over <= beta + 1e-9
+
+
+def test_reshard_roundtrip(served, tmp_path):
+    """A shard-backed session can re-export itself (rolling re-deploy)."""
+    _, path = served["tz2"]
+    restored = load(path)
+    again = str(tmp_path / "re-export")
+    write_shards(
+        restored.scheme, again,
+        spec_name=restored.spec_name, params=restored.params,
+        seed=restored.seed,
+    )
+    twice = load(again)
+    r1, r2 = restored.route(3, 50), twice.route(3, 50)
+    assert r1.path == r2.path
+
+
+class TestStoreValidation:
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="manifest"):
+            ShardStore(str(tmp_path))
+
+    def test_load_on_plain_dir_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="without a shard manifest"):
+            load(str(tmp_path))
+
+    def test_foreign_manifest_rejected(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"format": "other"}')
+        with pytest.raises(ValueError, match="format"):
+            ShardStore(str(tmp_path))
+
+    def test_vertex_out_of_range(self, served):
+        _, path = served["tz2"]
+        store = ShardStore(path)
+        with pytest.raises(ValueError, match="outside"):
+            store.node(N)
+
+    def test_wrong_spec_class_rejected(self, served, tmp_path):
+        import json
+
+        _, path = served["tz2"]
+        target = tmp_path / "tampered"
+        shutil.copytree(path, target)
+        manifest = json.loads((target / "manifest.json").read_text())
+        manifest["spec"] = "thm11"  # wrong family for the shard class
+        (target / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="compiled by"):
+            load(str(target))

@@ -1,0 +1,174 @@
+"""Compile layer + shard codec: word-exact records, lossless bytes.
+
+The contracts the serving stack rests on, asserted for EVERY registered
+scheme:
+
+* compiling a built scheme yields one :class:`NodeTable` per vertex whose
+  word accounting reproduces the scheme's own ``SchemeStats`` exactly
+  (per vertex and in total),
+* the binary codec round-trips every record losslessly (categories,
+  labels, neighbour lists and weights), with the versioned header
+  rejecting foreign and future bytes,
+* the per-scheme ``shard_categories`` manifest rejects drifting state —
+  a category present in tables but unknown to the decision function
+  refuses to compile.
+"""
+
+import pytest
+
+from repro.api import SubstrateCache, build, get_spec, scheme_names
+from repro.graph.generators import erdos_renyi, with_random_weights
+from repro.routing.model import words_of
+from repro.routing.shard_codec import (
+    CODEC_VERSION,
+    ShardCodecError,
+    decode_node_table,
+    encode_node_table,
+    encoded_size,
+)
+from repro.routing.tables import NodeTable, compile_tables
+
+N = 64
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    gu = erdos_renyi(N, 8.0 / (N - 1), seed=51)
+    gw = with_random_weights(gu, seed=52, low=1.0, high=8.0)
+    return {"unweighted": gu, "weighted": gw}
+
+
+@pytest.fixture(scope="module")
+def caches():
+    return {"unweighted": SubstrateCache(), "weighted": SubstrateCache()}
+
+
+@pytest.fixture(scope="module")
+def sessions(graphs, caches):
+    out = {}
+    for name in scheme_names():
+        spec = get_spec(name)
+        kind = "weighted" if spec.weighted_capable else "unweighted"
+        out[name] = build(name, graphs[kind], cache=caches[kind], seed=9)
+    return out
+
+
+@pytest.mark.parametrize("name", scheme_names())
+def test_word_accounting_reconciles(name, sessions):
+    """Per-vertex and total words match SizedTable/SchemeStats exactly."""
+    scheme = sessions[name].scheme
+    records = scheme.compile_tables()
+    assert len(records) == scheme.graph.n
+    stats = scheme.stats()
+    for record in records:
+        table = scheme.table_of(record.owner)
+        assert record.table_words() == table.total_words()
+        assert record.label_words() == words_of(
+            scheme.label_of(record.owner)
+        )
+        # the rebuilt SizedTable carries identical accounting, category
+        # by category
+        rebuilt = record.sized_table()
+        assert rebuilt.owner == record.owner
+        assert rebuilt.words_by_category() == table.words_by_category()
+    assert (
+        sum(r.table_words() for r in records) == stats.total_table_words
+    )
+    assert max(r.table_words() for r in records) == stats.max_table_words
+    assert max(r.label_words() for r in records) == stats.max_label_words
+
+
+@pytest.mark.parametrize("name", scheme_names())
+def test_codec_roundtrip_lossless(name, sessions):
+    scheme = sessions[name].scheme
+    for record in scheme.compile_tables():
+        blob = encode_node_table(record)
+        assert encoded_size(record) == len(blob)
+        back = decode_node_table(blob)
+        assert back.owner == record.owner
+        assert back.neighbors == record.neighbors
+        assert back.label == record.label
+        assert back.categories == record.categories
+        # word accounting survives the byte round trip
+        assert back.table_words() == record.table_words()
+
+
+@pytest.mark.parametrize("name", scheme_names())
+def test_neighbors_are_port_ordered(name, sessions):
+    scheme = sessions[name].scheme
+    record = scheme.compile_tables()[3]
+    for port, (nb, w) in enumerate(record.neighbors):
+        assert scheme.ports.neighbor(3, port) == nb
+        assert scheme.graph.weight(3, nb) == w
+        assert record.port_to(nb) == port
+        assert record.neighbor(port) == nb
+        assert record.edge(port) == (nb, w)
+    with pytest.raises(ValueError, match="no port"):
+        record.neighbor(record.degree())
+    with pytest.raises(ValueError, match="not a neighbour"):
+        record.port_to(3)  # self is never a neighbour
+
+
+class TestCategoryManifest:
+    def test_undeclared_category_refuses_to_compile(self, sessions):
+        scheme = sessions["warmup3"].scheme
+        scheme.table_of(0).put("rogue", 1, 2)
+        try:
+            with pytest.raises(ValueError, match="rogue"):
+                scheme.compile_tables()
+        finally:
+            scheme.table_of(0)._data.pop("rogue", None)
+
+    def test_manifest_covers_built_categories(self, sessions):
+        for name, session in sessions.items():
+            declared = session.scheme.shard_categories()
+            assert declared is not None, name
+            built = set()
+            for v in session.graph.vertices():
+                built.update(session.scheme.table_of(v).categories())
+            assert built <= declared, (name, built - declared)
+
+
+class TestCodecValidation:
+    def _record(self):
+        return NodeTable(
+            owner=5,
+            neighbors=((1, 1.0), (2, 2.5)),
+            label=(5, 0, None, ("x", -3)),
+            categories={"ball": {1: 0, (2, 3): [1.5, True]}},
+        )
+
+    def test_weighted_and_exotic_values_roundtrip(self):
+        back = decode_node_table(encode_node_table(self._record()))
+        assert back == self._record()
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ShardCodecError, match="magic"):
+            decode_node_table(b"XX\x01\x00junk")
+
+    def test_future_version_rejected(self):
+        blob = bytearray(encode_node_table(self._record()))
+        blob[2] = CODEC_VERSION + 1
+        with pytest.raises(ShardCodecError, match="version"):
+            decode_node_table(bytes(blob))
+
+    def test_trailing_bytes_rejected(self):
+        blob = encode_node_table(self._record()) + b"\x00"
+        with pytest.raises(ShardCodecError, match="trailing"):
+            decode_node_table(blob)
+
+    def test_truncation_rejected(self):
+        blob = encode_node_table(self._record())
+        with pytest.raises(ShardCodecError):
+            decode_node_table(blob[: len(blob) // 2])
+
+    def test_unencodable_value_rejected(self):
+        record = self._record()
+        record.categories["ball"][9] = object()
+        with pytest.raises(ShardCodecError, match="cannot encode"):
+            encode_node_table(record)
+
+
+def test_compile_tables_standalone_matches_method(sessions):
+    scheme = sessions["tz2"].scheme
+    assert compile_tables(scheme) == scheme.compile_tables()

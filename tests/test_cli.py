@@ -115,3 +115,116 @@ class TestSaveLoad:
         path.write_text('{"format": "wrong"}')
         with pytest.raises(SystemExit, match="cannot load"):
             main(["load", str(path)])
+
+
+class TestShard:
+    def test_shard_then_route(self, capsys, tmp_path):
+        out = str(tmp_path / "shards")
+        args = ["--scheme", "thm11", "--n", "80", "--seed", "4"]
+        rc = main(["shard", *args, "--out", out])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "sharded to" in text
+        assert "codec v1" in text
+        assert "reconciled" in text
+
+        # same pair through a cold build and through the shards: the
+        # path lines must match exactly (route prints the hop list)
+        assert main(["route", *args, "--source", "5", "--target", "33"]) == 0
+        built = capsys.readouterr().out.splitlines()[1]
+        rc = main(
+            ["route", "--shards", out, "--source", "5", "--target", "33"]
+        )
+        assert rc == 0
+        served = capsys.readouterr().out
+        assert built in served
+        assert "served from" in served
+        assert "shard loads" in served
+
+    def test_shard_dir_loads_via_load(self, capsys, tmp_path):
+        out = str(tmp_path / "shards")
+        assert main(
+            ["shard", "--scheme", "tz2", "--n", "70", "--out", out]
+        ) == 0
+        capsys.readouterr()
+        rc = main(["load", out, "--measure", "30"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "loaded TZ 4k-5 (k=2) [tz2]" in text
+        assert "measured 30 pairs" in text
+
+    def test_route_shards_on_bogus_dir_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot serve"):
+            main(["route", "--shards", str(tmp_path / "nope")])
+
+    def test_route_shards_rejects_build_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="--scheme"):
+            main(
+                ["route", "--shards", str(tmp_path), "--scheme", "thm10"]
+            )
+
+    def test_reshard_removes_stale_shards(self, capsys, tmp_path):
+        import os
+
+        out = str(tmp_path / "shards")
+        assert main(
+            ["shard", "--scheme", "tz2", "--n", "90", "--out", out]
+        ) == 0
+        assert main(
+            ["shard", "--scheme", "tz2", "--n", "40", "--out", out]
+        ) == 0
+        capsys.readouterr()
+        shard_files = [
+            f for _, _, files in os.walk(os.path.join(out, "shards"))
+            for f in files
+        ]
+        assert len(shard_files) == 40  # no orphans from the n=90 run
+        assert main(["load", out, "--measure", "20"]) == 0
+
+
+class TestPresets:
+    def test_family_preset_applied_automatically(self, capsys):
+        rc = main(
+            ["route", "--scheme", "warmup3", "--family", "grid",
+             "--n", "64", "--target", "21"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[preset grid: alpha=1.5]" in out
+
+    def test_preset_none_disables(self, capsys):
+        rc = main(
+            ["route", "--scheme", "warmup3", "--family", "grid",
+             "--n", "64", "--target", "21", "--preset", "none"]
+        )
+        assert rc == 0
+        assert "[preset" not in capsys.readouterr().out
+
+    def test_er_preset_is_silent_noop(self, capsys):
+        rc = main(
+            ["route", "--scheme", "warmup3", "--n", "60", "--target", "9"]
+        )
+        assert rc == 0
+        assert "[preset" not in capsys.readouterr().out
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit, match="unknown preset"):
+            main(
+                ["route", "--scheme", "warmup3", "--n", "60",
+                 "--preset", "torus"]
+            )
+
+    def test_table1_applies_family_preset(self, capsys):
+        rc = main(["table1", "--family", "grid", "--n", "49",
+                   "--pairs", "30"])
+        assert rc == 0
+        assert "[preset grid]" in capsys.readouterr().out
+
+    def test_table1_preset_none_and_unknown(self, capsys):
+        rc = main(["table1", "--family", "grid", "--n", "49",
+                   "--pairs", "30", "--preset", "none"])
+        assert rc == 0
+        assert "[preset" not in capsys.readouterr().out
+        with pytest.raises(SystemExit, match="unknown preset"):
+            main(["table1", "--n", "49", "--pairs", "30",
+                  "--preset", "torus"])

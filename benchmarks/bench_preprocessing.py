@@ -173,7 +173,9 @@ def run_tree_memo(n: int) -> dict:
       Lemma 7 state remain scheme-specific),
     * *resweep* — a second thm10 build at a different ``eps`` on the
       same handle, the parameter-sweep pattern: every tree (cluster
-      *and* global landmark) hits, only the eps-dependent Technique 1
+      *and* global landmark/hub) hits, and so do the Lemma 6 coloring
+      and the greedy hitting set (both eps-independent, memoized on the
+      substrate since PR 5); only the eps-dependent Technique 1
       sequences and intersection tables are rebuilt.
 
     Identical tables between the cold and after-thm11 legs are asserted
@@ -201,7 +203,8 @@ def run_tree_memo(n: int) -> dict:
         cold_stats.total_table_words == warm_stats.total_table_words
         and cold_stats.table_breakdown_max == warm_stats.table_breakdown_max
     ), "tree memoization changed the built tables"
-    tree_stats = cache.substrate(g).stats().get("trees", {})
+    sub_stats = cache.substrate(g).stats()
+    tree_stats = sub_stats.get("trees", {})
     return {
         "n": n,
         "m": g.m,
@@ -214,6 +217,8 @@ def run_tree_memo(n: int) -> dict:
         "tree_hits": tree_stats.get("hits", 0),
         "tree_misses": tree_stats.get("misses", 0),
         "tree_build_seconds": tree_stats.get("build_seconds", 0.0),
+        "coloring_hits": sub_stats.get("coloring", {}).get("hits", 0),
+        "hitting_hits": sub_stats.get("hitting", {}).get("hits", 0),
     }
 
 

@@ -1,0 +1,107 @@
+"""Preset calibration: record per-preset stretch/size frontiers.
+
+The workload-aware presets (``SchemeSpec.presets``) were hand-tuned in
+PR 4; the ROADMAP follow-up asks for calibration from data.  This bench
+records, for the headline ball-based scheme (thm11), one alpha frontier
+per graph family — feasibility, measured max/avg stretch, bound
+compliance and average table words per swept ``alpha`` — and the
+data-driven recommendation (:func:`repro.eval.frontier.calibrate_alpha`)
+next to the registered hand-tuned preset value.
+
+Full runs merge into ``BENCH_kernel.json`` under ``preset_frontier``;
+``REPRO_BENCH_SMOKE=1`` shrinks n and skips the write.  Runs under
+pytest or standalone (``python benchmarks/bench_presets.py``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.api import get_spec
+from repro.eval.frontier import calibrate_alpha, preset_frontiers
+
+from conftest import SMOKE, merge_bench_results, smoke_scale
+
+SECTION = "Preset calibration: per-family alpha frontiers (thm11)"
+
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_kernel.json"
+)
+
+SCHEME = "thm11"
+#: sweep far enough left that the Lemma 6 infeasibility edge — the
+#: per-family signal calibration keys off — lands on the frontier
+ALPHAS = (0.2, 0.35, 0.5, 0.75, 1.0, 1.25, 1.5)
+
+
+def run_preset_frontier(n: int, *, pairs: int = 150) -> dict:
+    spec = get_spec(SCHEME)
+    frontiers = preset_frontiers(
+        SCHEME, n=n, alphas=ALPHAS, pairs=pairs, seed=17
+    )
+    default_alpha = spec.param("alpha").default
+    families = {}
+    for family, points in frontiers.items():
+        registered = spec.preset_params(family).get("alpha", default_alpha)
+        families[family] = {
+            "points": [p.to_json() for p in points],
+            "calibrated_alpha": calibrate_alpha(points),
+            "registered_alpha": registered,
+        }
+    return {
+        "n": n,
+        "scheme": SCHEME,
+        "pairs": pairs,
+        "alphas": list(ALPHAS),
+        "families": families,
+    }
+
+
+def _report_lines(out: dict) -> list:
+    lines = []
+    for family, rec in out["families"].items():
+        frontier = ", ".join(
+            f"a={p['alpha']:g}:"
+            + (
+                f"{p['max_stretch']:.2f}x/{p['avg_table_words']:.0f}w"
+                if p["feasible"] else "infeasible"
+            )
+            for p in rec["points"]
+        )
+        lines.append(
+            f"{out['scheme']} {family:<5} calibrated "
+            f"alpha={rec['calibrated_alpha']} "
+            f"(registered {rec['registered_alpha']:g}) | {frontier}"
+        )
+    return lines
+
+
+def test_preset_frontier(benchmark, report, bench_scale):
+    n = bench_scale(300, 100)
+    out = benchmark.pedantic(
+        lambda: run_preset_frontier(n, pairs=smoke_scale(150, 40)),
+        rounds=1, iterations=1,
+    )
+    report.section(SECTION)
+    for line in _report_lines(out):
+        report.line(line)
+    # Every family must yield a calibratable frontier: at least one
+    # feasible, bound-respecting point (this holds at smoke scale too).
+    for family, rec in out["families"].items():
+        assert rec["calibrated_alpha"] is not None, (family, rec)
+    if not SMOKE:
+        merge_bench_results(RESULT_PATH, {"preset_frontier": out})
+
+
+def main() -> None:
+    n = smoke_scale(300, 100)
+    out = run_preset_frontier(n, pairs=smoke_scale(150, 40))
+    for line in _report_lines(out):
+        print(line)
+    if not SMOKE:
+        merge_bench_results(RESULT_PATH, {"preset_frontier": out})
+        print(f"merged into {os.path.normpath(RESULT_PATH)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,10 @@ Subcommands (all scheme names resolve through the ``repro.api`` registry):
 * ``validate`` — run the structural validation checklist on a scheme,
 * ``save`` — build a scheme and persist its routing state to disk,
 * ``shard`` — build a scheme and compile it into per-vertex binary
-  shards (the deployment layout: each node gets only its own table),
+  shards (the deployment layout: each node gets only its own table);
+  ``--pack`` writes mmap-able packed group files instead of one file
+  per vertex (same payloads, ``O(n / group_size)`` files — the
+  ``n >= 10^5`` shape),
 * ``load`` — restore a saved scheme (no preprocessing) and serve it;
   accepts both the JSON blob and a shard directory.
 
@@ -37,33 +40,14 @@ from .api import (
     scheme_names,
 )
 from .eval.reporting import table
-from .eval.workloads import sample_pairs
-from .graph.generators import (
-    erdos_renyi,
-    grid,
-    preferential_attachment,
-    random_geometric,
-    with_random_weights,
-)
-
-FAMILIES = ["er", "grid", "ba", "geo"]
+from .eval.workloads import FAMILIES, family_graph, sample_pairs
 
 
 def _build_graph(family: str, n: int, seed: int, weighted: bool):
-    if family == "er":
-        g = erdos_renyi(n, 7.0 / max(n - 1, 1), seed=seed)
-    elif family == "grid":
-        side = max(2, int(round(n ** 0.5)))
-        g = grid(side, side)
-    elif family == "ba":
-        g = preferential_attachment(n, 2, seed=seed)
-    elif family == "geo":
-        return random_geometric(n, 2.6 / n ** 0.5, seed=seed)
-    else:
-        raise SystemExit(f"unknown family {family!r}")
-    if weighted:
-        g = with_random_weights(g, seed=seed + 1, low=1.0, high=8.0)
-    return g
+    try:
+        return family_graph(family, n, seed, weighted=weighted)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _resolve_preset(spec, family: str, preset_arg: str):
@@ -170,8 +154,15 @@ def cmd_route(args) -> int:
         print(f"length {result.length:.4f} in {result.hops} hops")
         print(
             f"served from {stats['loads']} shard loads "
-            f"({stats['bytes_read']} bytes; {stats['n']} shards on disk)"
+            f"({stats['bytes_read']} bytes; {stats['n']} shards on disk, "
+            f"{stats['layout']} layout)"
         )
+        if stats.get("headers_encoded"):
+            print(
+                f"wire headers: {stats['headers_encoded']} encoded, "
+                f"{stats['header_bytes']} bytes total "
+                f"(max {stats['max_header_bytes']})"
+            )
         return 0
     session = _build_session(
         args.scheme, args.n, args.family, args.seed, args.preset
@@ -288,11 +279,19 @@ def cmd_shard(args) -> int:
         spec_name=session.spec_name,
         params=session.params,
         seed=session.seed,
+        packed=args.pack,
     )
     print(f"{session.name} on {session.graph}")
+    if args.pack:
+        layout_note = (
+            f"{manifest['files']['groups']} packed group files "
+            f"(group size {manifest['group_size']})"
+        )
+    else:
+        layout_note = "one file per vertex"
     print(
-        f"sharded to {args.out}: {manifest['n']} shards, "
-        f"{manifest['bytes']['total']} bytes total "
+        f"sharded to {args.out}: {manifest['n']} shards in "
+        f"{layout_note}, {manifest['bytes']['total']} bytes total "
         f"(max {manifest['bytes']['max_shard']}, "
         f"avg {manifest['bytes']['avg_shard']}), codec v{manifest['codec']}"
     )
@@ -418,6 +417,11 @@ def main(argv=None) -> int:
     _add_build_args(p_shard)
     p_shard.add_argument(
         "--out", required=True, help="output shard directory"
+    )
+    p_shard.add_argument(
+        "--pack", action="store_true",
+        help="write packed mmap-able group files instead of one file "
+             "per vertex (layout v2; `route --shards` auto-detects)",
     )
     p_shard.set_defaults(func=cmd_shard)
 

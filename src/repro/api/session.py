@@ -25,9 +25,13 @@ Two persisted shapes exist:
   tables); ``load`` parses everything up front,
 * ``save(path, shards=True)`` — the deployment shape: one binary shard
   per vertex plus a small manifest (:mod:`repro.routing.serving`);
-  ``load`` on the directory returns a session backed by a
-  :class:`~repro.routing.serving.LocalRouter` that lazily loads only the
-  shards a route visits (``serve_stats()`` reports loads/bytes).
+  ``save(path, shards=True, packed=True)`` packs the same shards into
+  ``O(n / group_size)`` mmap-able group files instead of one file per
+  vertex (the ``n >= 10^5`` shape).  ``load`` on either directory
+  auto-detects the layout from the manifest and returns a session backed
+  by a :class:`~repro.routing.serving.LocalRouter` that lazily loads
+  only the shards a route visits (``serve_stats()`` reports loads,
+  bytes, and the wire-header bytes the routes sent).
 """
 
 from __future__ import annotations
@@ -178,14 +182,21 @@ class RoutingSession:
             "state": export_scheme_state(self.scheme),
         }
 
-    def save(self, path: str, *, shards: bool = False) -> str:
+    def save(
+        self, path: str, *, shards: bool = False, packed: bool = False
+    ) -> str:
         """Persist the session; returns ``path``.
 
         ``shards=False`` writes the single JSON blob.  ``shards=True``
         writes the sharded deployment layout (``path`` becomes a
         directory: one binary shard per vertex + ``manifest.json``), the
         shape where each node can be handed only its own table.
+        ``packed=True`` (with ``shards=True``) packs the shards into
+        mmap-able group files — same payloads, ``O(n / group_size)``
+        files — for serving at ``n >= 10^5``.
         """
+        if packed and not shards:
+            raise ValueError("packed=True requires shards=True")
         if shards:
             from ..routing.serving import write_shards
 
@@ -195,6 +206,7 @@ class RoutingSession:
                 spec_name=self.spec_name,
                 params=self.params,
                 seed=self.seed,
+                packed=packed,
             )
             return path
         payload = self.to_payload()
@@ -254,13 +266,15 @@ class RoutingSession:
     ) -> "RoutingSession":
         """Open a sharded layout (``save(shards=True)``) for serving.
 
-        Nothing but the manifest is read up front; each shard loads on
-        the first route that visits its vertex.  ``max_resident`` bounds
-        the decoded-shard LRU (the serving node's memory budget).
+        The layout (per-file v1 or packed v2) is auto-detected from the
+        manifest.  Nothing but the manifest is read up front; each shard
+        loads on the first route that visits its vertex.
+        ``max_resident`` bounds the decoded-shard LRU (the serving
+        node's memory budget).
         """
-        from ..routing.serving import LocalRouter, ShardStore
+        from ..routing.serving import LocalRouter, open_store
 
-        store = ShardStore(path, max_resident=max_resident)
+        store = open_store(path, max_resident=max_resident)
         router = LocalRouter(store)
         return cls(
             router,
@@ -273,13 +287,19 @@ class RoutingSession:
     def serve_stats(self) -> Optional[Dict[str, Any]]:
         """Shard-serving counters (loads, hits, bytes read) or ``None``.
 
+        Includes the engine's wire-header accounting (headers encoded,
+        total/max header bytes) when the scheme is a serving engine.
         ``None`` means the session is whole-object in-memory — there is
         no lazy loading to account for.
         """
         store = getattr(self.scheme, "store", None)
         if store is None:
             return None
-        return store.stats()
+        stats = store.stats()
+        header_stats = getattr(self.scheme, "header_stats", None)
+        if header_stats is not None:
+            stats.update(header_stats())
+        return stats
 
     def describe(self) -> str:
         """One human-readable summary line."""

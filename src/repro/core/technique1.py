@@ -22,7 +22,7 @@ table, keeping the distributed discipline intact.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..graph.metric import MetricView
 from ..graph.trees import RootedTree
@@ -67,7 +67,16 @@ class Technique1:
         Target stretch is ``1 + eps``.
     hitting:
         Optional pre-computed hitting set of all balls; computed greedily
-        when omitted.
+        when omitted.  Substrate-backed schemes pass the memoized set
+        (``SchemeBase._ball_hitting_set``) — it is eps-independent, so
+        parameter sweeps reuse it.
+    tree_factory:
+        Optional ``root -> TreeRouting`` for the global hitting-set
+        trees; defaults to a cold per-instance build.  Substrate-backed
+        schemes pass ``SchemeBase._global_tree_routing`` so the ~|H|
+        full-graph trees (the other eps-independent half of this
+        technique's state, and a dominant cost of thm10's marginal
+        build) are shared across schemes and sweeps.
     prefix:
         Category prefix inside the shared tables (several technique
         instances may coexist, e.g. in the generalized schemes).
@@ -97,6 +106,7 @@ class Technique1:
         eps: float,
         *,
         hitting: Optional[Sequence[int]] = None,
+        tree_factory: Optional[Callable[[int], TreeRouting]] = None,
         prefix: str = "t1:",
         seed: int = 0,
         use_greedy_hitting: bool = True,
@@ -123,7 +133,10 @@ class Technique1:
 
         self._trees: Dict[int, TreeRouting] = {}
         for h in self.hitting:
-            self._trees[h] = TreeRouting(_global_tree(metric, h), ports)
+            if tree_factory is not None:
+                self._trees[h] = tree_factory(h)
+            else:
+                self._trees[h] = TreeRouting(_global_tree(metric, h), ports)
 
         # class index of each vertex (for diagnostics / validation)
         self._class_of: List[int] = [-1] * metric.n

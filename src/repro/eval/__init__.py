@@ -1,16 +1,32 @@
 """Evaluation harness: workloads, measurement, space accounting, reporting."""
 
+from .frontier import (
+    FrontierPoint,
+    alpha_frontier,
+    calibrate_alpha,
+    preset_frontiers,
+)
 from .harness import Evaluation, OracleEvaluation, evaluate_oracle, evaluate_scheme
 from .metrics import fit_exponent, polylog_normalized_exponent, words_to_bits
 from .reporting import PAPER_TABLE1_REFERENCE, banner, reference_row, table
 from .validation import ValidationResult, validate_scheme
-from .workloads import all_pairs, sample_pairs, stratified_pairs
+from .workloads import (
+    FAMILIES,
+    all_pairs,
+    family_graph,
+    sample_pairs,
+    stratified_pairs,
+)
 
 __all__ = [
     "Evaluation",
     "OracleEvaluation",
     "evaluate_oracle",
     "evaluate_scheme",
+    "FrontierPoint",
+    "alpha_frontier",
+    "calibrate_alpha",
+    "preset_frontiers",
     "fit_exponent",
     "polylog_normalized_exponent",
     "words_to_bits",
@@ -20,7 +36,9 @@ __all__ = [
     "table",
     "ValidationResult",
     "validate_scheme",
+    "FAMILIES",
     "all_pairs",
+    "family_graph",
     "sample_pairs",
     "stratified_pairs",
 ]

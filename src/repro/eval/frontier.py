@@ -1,0 +1,197 @@
+"""Per-preset stretch/size frontiers: calibrate presets from data.
+
+The workload-aware presets (``SchemeSpec.presets``) tune the ball-size
+constant ``alpha`` per graph family.  Until this module they were
+hand-tuned; now the harness can *record* the frontier each preset sits
+on — for a sweep of ``alpha`` values on one family's graph, the measured
+(max stretch, average table words) trade-off plus feasibility (a too-thin
+``alpha`` fails the Lemma 6 coloring) — and pick the data-driven value:
+
+* :func:`alpha_frontier` — sweep ``alpha`` for one scheme on one graph,
+  sharing the substrate (metric, ports) across the sweep so only the
+  ball-dependent work is repaid per point,
+* :func:`preset_frontiers` — one frontier per graph family, on the same
+  canonical family graphs the CLI builds
+  (:func:`repro.eval.workloads.family_graph`),
+* :func:`calibrate_alpha` — the recommendation: the cheapest feasible
+  point whose measured stretch stays within the scheme's advertised
+  bound.
+
+``benchmarks/bench_presets.py`` records the frontiers into
+``BENCH_kernel.json`` (key ``preset_frontier``) next to the registered
+hand-tuned values, closing the PR 4 ROADMAP gap ("calibrate presets from
+recorded per-preset stretch/size frontiers instead of hand-tuning").
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..graph.core import Graph
+from .workloads import FAMILIES, family_graph, sample_pairs
+
+__all__ = [
+    "FrontierPoint",
+    "alpha_frontier",
+    "preset_frontiers",
+    "calibrate_alpha",
+]
+
+#: the default calibration sweep around the registered alpha defaults
+DEFAULT_ALPHAS = (0.5, 0.75, 1.0, 1.25, 1.5)
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One measured point of a scheme's alpha frontier on one graph."""
+
+    family: str
+    alpha: float
+    #: False when the build failed (e.g. Lemma 6 coloring infeasible)
+    feasible: bool
+    #: the failure message of an infeasible point, "" otherwise
+    error: str = ""
+    max_stretch: float = 0.0
+    avg_stretch: float = 0.0
+    #: measured `routed - bound_alpha * d` worst case (<= beta means the
+    #: advertised (alpha, beta) guarantee held on this workload)
+    max_additive_over: float = 0.0
+    within_bound: bool = False
+    avg_table_words: float = 0.0
+    max_table_words: int = 0
+    build_seconds: float = 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def alpha_frontier(
+    graph: Graph,
+    scheme_name: str,
+    *,
+    family: str = "?",
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    pairs: int = 200,
+    seed: int = 0,
+) -> List[FrontierPoint]:
+    """Sweep ``alpha`` for one scheme on one graph; one point per value.
+
+    The substrate (metric, ports, and every alpha-independent artifact)
+    is shared across the sweep through a
+    :class:`~repro.api.SubstrateCache`, so each point pays only the
+    ball-dependent marginal cost — the same reuse a production
+    calibration run would get.  Infeasible points are recorded, not
+    skipped: the frontier's *left edge* is exactly what calibration
+    needs to know.  Only :class:`ColoringError` counts as infeasible —
+    it is the signal "balls too thin for this alpha"; any other build
+    failure (wrong graph class, a scheme regression) propagates, so a
+    bug can never masquerade as calibration data.
+    """
+    from ..api import SubstrateCache, build
+    from ..structures.coloring import ColoringError
+
+    cache = SubstrateCache()
+    workload = sample_pairs(graph.n, pairs, seed=seed + 1)
+    points: List[FrontierPoint] = []
+    for alpha in alphas:
+        try:
+            session = build(
+                scheme_name, graph, cache=cache, seed=seed, alpha=alpha
+            )
+        except ColoringError as exc:
+            points.append(FrontierPoint(
+                family=family, alpha=float(alpha),
+                feasible=False, error=str(exc),
+            ))
+            continue
+        report = session.measure(workload)
+        stats = session.stats()
+        _, beta = session.stretch_bound()
+        points.append(FrontierPoint(
+            family=family,
+            alpha=float(alpha),
+            feasible=True,
+            max_stretch=round(report.max_stretch, 4),
+            avg_stretch=round(report.avg_stretch, 4),
+            max_additive_over=round(report.max_additive_over, 4),
+            within_bound=report.max_additive_over <= beta + 1e-9,
+            avg_table_words=round(stats.avg_table_words, 1),
+            max_table_words=stats.max_table_words,
+            build_seconds=round(session.build_seconds, 4),
+        ))
+    return points
+
+
+def preset_frontiers(
+    scheme_name: str,
+    *,
+    n: int,
+    families: Sequence[str] = tuple(FAMILIES),
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    pairs: int = 200,
+    seed: int = 0,
+) -> Dict[str, List[FrontierPoint]]:
+    """One alpha frontier per graph family (the per-preset record).
+
+    Graphs come from :func:`repro.eval.workloads.family_graph` with the
+    scheme's preferred weighting — exactly what the CLI builds for
+    ``--family X``, so the recorded frontier calibrates the preset the
+    CLI will actually apply.
+    """
+    from ..api import get_spec
+
+    spec = get_spec(scheme_name)
+    spec.param("alpha")  # fail fast on schemes without the knob
+    out: Dict[str, List[FrontierPoint]] = {}
+    for family in families:
+        weighted = spec.prefers_weighted and family != "geo"
+        graph = family_graph(family, n, seed, weighted=weighted)
+        if not spec.weighted_capable and not graph.is_unweighted():
+            continue  # e.g. thm10 on geo: no preset to calibrate
+        out[family] = alpha_frontier(
+            graph, scheme_name,
+            family=family, alphas=alphas, pairs=pairs, seed=seed,
+        )
+    return out
+
+
+def calibrate_alpha(
+    points: Sequence[FrontierPoint], *, stretch_slack: float = 0.10
+) -> Optional[float]:
+    """The data-driven preset value for one recorded frontier.
+
+    Selection is stretch-targeted: among feasible, bound-respecting
+    points, find the best (smallest) *measured* max stretch anywhere on
+    the sweep, keep the points within ``stretch_slack`` of it, and pick
+    the one with the smallest average table size (ties toward smaller
+    ``alpha`` — thinner balls).  Merely being inside the advertised
+    bound cannot be the criterion: the theorems' bounds are loose at
+    reproduction scale, every swept point clears them, and the
+    recommendation would degenerate to wherever the sweep happened to
+    start — measuring the grid, not the family.  The stretch target is
+    what the hand-tuned presets were chasing (grids need fatter balls
+    to route well, hubs do not), so this is the knob the data can
+    actually re-derive.
+
+    One guard on top: an all-feasible sweep has not shown its
+    infeasible left edge (no ``ColoringError`` point recorded), so its
+    leftmost point is excluded — a sweep minimum is only trustworthy
+    once the sweep demonstrably reaches past it.  ``None`` when no
+    point qualifies.
+    """
+    eligible = [p for p in points if p.feasible and p.within_bound]
+    if not eligible:
+        return None
+    if not any(not p.feasible for p in points):
+        min_alpha = min(p.alpha for p in points)
+        eligible = [p for p in eligible if p.alpha != min_alpha]
+        if not eligible:
+            return None
+    target = min(p.max_stretch for p in eligible)
+    near_best = [
+        p for p in eligible
+        if p.max_stretch <= target * (1.0 + stretch_slack)
+    ]
+    best = min(near_best, key=lambda p: (p.avg_table_words, p.alpha))
+    return best.alpha

@@ -12,9 +12,55 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterator, List, Tuple
 
+from ..graph.core import Graph
 from ..graph.metric import MetricView
 
-__all__ = ["all_pairs", "sample_pairs", "stratified_pairs"]
+__all__ = [
+    "FAMILIES",
+    "family_graph",
+    "all_pairs",
+    "sample_pairs",
+    "stratified_pairs",
+]
+
+#: the benchmark/CLI graph families (also the preset names of the specs)
+FAMILIES = ["er", "grid", "ba", "geo"]
+
+
+def family_graph(
+    family: str, n: int, seed: int = 0, *, weighted: bool = False
+) -> Graph:
+    """The canonical test graph of one family at size ``n``.
+
+    One definition shared by the CLI, the preset-frontier recorder and
+    the benchmarks, so "thm11 on er at n=200" means the same graph
+    everywhere.  ``geo`` graphs are intrinsically weighted (Euclidean
+    edge lengths); the ``weighted`` flag is ignored there.
+    """
+    from ..graph.generators import (
+        erdos_renyi,
+        grid,
+        preferential_attachment,
+        random_geometric,
+        with_random_weights,
+    )
+
+    if family == "er":
+        g = erdos_renyi(n, 7.0 / max(n - 1, 1), seed=seed)
+    elif family == "grid":
+        side = max(2, int(round(n ** 0.5)))
+        g = grid(side, side)
+    elif family == "ba":
+        g = preferential_attachment(n, 2, seed=seed)
+    elif family == "geo":
+        return random_geometric(n, 2.6 / n ** 0.5, seed=seed)
+    else:
+        raise ValueError(
+            f"unknown graph family {family!r}; expected one of {FAMILIES}"
+        )
+    if weighted:
+        g = with_random_weights(g, seed=seed + 1, low=1.0, high=8.0)
+    return g
 
 
 def all_pairs(n: int) -> Iterator[Tuple[int, int]]:

@@ -17,7 +17,13 @@ from .model import (
 from .persistence import dumps as dump_scheme_state
 from .persistence import loads as load_scheme_state
 from .ports import PortAssignment
-from .serving import LocalRouter, ShardStore, write_shards
+from .serving import (
+    LocalRouter,
+    PackedShardStore,
+    ShardStore,
+    open_store,
+    write_shards,
+)
 from .shard_codec import decode_node_table, encode_node_table
 from .simulator import (
     RouteResult,
@@ -48,7 +54,9 @@ __all__ = [
     "words_of",
     "PortAssignment",
     "LocalRouter",
+    "PackedShardStore",
     "ShardStore",
+    "open_store",
     "write_shards",
     "decode_node_table",
     "encode_node_table",

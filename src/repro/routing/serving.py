@@ -5,68 +5,261 @@ each node holds *its own* ``o(n)``-word table and forwards using that
 table plus the packet header — nothing global.  This module makes that
 executable:
 
-* :func:`write_shards` — lay a compiled scheme out on disk as one binary
-  shard per vertex (:mod:`repro.routing.shard_codec`) under a fan-out
-  directory tree, plus one small ``manifest.json`` with the scheme
-  identity, codec version and byte/word accounting,
-* :class:`ShardStore` — lazy shard loader with an optional LRU residency
-  bound and serve statistics (loads, cache hits, bytes read),
+* :func:`write_shards` — lay a compiled scheme out on disk, either as one
+  binary shard per vertex (:mod:`repro.routing.shard_codec`) under a
+  fan-out directory tree (layout v1), or — with ``packed=True`` — as a
+  handful of packed group files holding many shard payloads each behind
+  a sorted offset/length index (layout v2), plus one small
+  ``manifest.json`` with the scheme identity, codec version, layout and
+  byte/word accounting,
+* :class:`ShardStore` / :class:`PackedShardStore` — lazy shard loaders
+  over the two layouts, sharing one LRU residency bound and one set of
+  serve statistics (loads, cache hits, bytes read); the packed store
+  maps each group file once (``mmap``) and decodes a record through
+  a zero-copy ``memoryview`` of the mapped buffer — no per-vertex
+  ``open()``, no intermediate ``bytes``,
+* :func:`open_store` — layout dispatch from the manifest, so callers
+  (and ``RoutingSession.load``) never care which layout is on disk,
 * :class:`LocalRouter` — the serving engine: a step-only scheme instance
   (``SchemeBase.restore_serving``) whose table, label and port accesses
   all resolve from the *current vertex's* shard.  It implements the
   simulator's engine protocol (``step``/``label_of``/``local_edge``), so
   :func:`repro.routing.simulator.route` drives it exactly like an
   in-memory scheme — and the local-knowledge tests prove the step
-  decisions are identical even when every shard but the visited ones is
-  deleted from disk.
+  decisions are identical even when every shard (or group) but the
+  visited ones is deleted from disk.  Every forwarded header is pushed
+  through the wire codec (:mod:`repro.routing.header_codec`): the header
+  the next hop sees is the decoded wire bytes, and ``serve_stats()``
+  reports the true header bytes sent.
 
-Layout on disk::
+Layouts on disk::
 
     <dir>/manifest.json             # identity + accounting, JSON
-    <dir>/shards/<g>/<v>.shard      # g = v // fanout, zero-padded hex
+    <dir>/shards/<g>/<v>.shard      # v1: g = v // fanout, zero-padded hex
+    <dir>/groups/<g>.pack           # v2: g = v // group_size
 
 Cold-start cost is the point: serving vertex ``v`` reads the manifest
 and ``v``'s shard — a few hundred bytes — instead of parsing the whole
-JSON session blob (``benchmarks/bench_serving.py`` gates the 10x).
+JSON session blob.  The packed layout extends that to ``n >= 10^5``:
+``O(n / group_size)`` files instead of ``n`` inodes, and the group index
+is binary-searched in the mapped file (``benchmarks/bench_serving.py``
+gates both the 10x cold start and the >= 100x file-count reduction).
 """
 
 from __future__ import annotations
 
 import json
+import mmap
 import os
 import shutil
 from collections import OrderedDict
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..graph.core import Graph
-from .model import RouteAction, SchemeStats, aggregate_scheme_stats
+from . import header_codec
+from .model import RouteAction, Forward, SchemeStats, aggregate_scheme_stats
 from .shard_codec import (
     CODEC_VERSION,
+    ShardCodecError,
+    check_pack,
     decode_node_table,
     encode_node_table,
+    encode_pack,
+    find_in_pack,
+    parse_pack_header,
 )
 from .tables import NodeTable
 
 __all__ = [
     "ShardStore",
+    "PackedShardStore",
+    "open_store",
     "LocalRouter",
     "write_shards",
+    "write_shard_records",
     "shard_path",
+    "group_path",
     "is_shard_dir",
 ]
 
 MANIFEST_NAME = "manifest.json"
 FORMAT = "repro.routing.shards"
+#: layout version 1: one file per vertex under shards/<g>/<v>.shard
 FORMAT_VERSION = 1
+#: layout version 2: packed group files under groups/<g>.pack
+PACKED_FORMAT_VERSION = 2
 #: shards per leaf directory (keeps directories small at n ~ 10^6)
 DEFAULT_FANOUT = 256
+#: shard payloads per packed group file: at n = 10^6 this is ~245 files
+#: (vs 10^6 inodes), while one group stays small enough to map lazily
+DEFAULT_GROUP_SIZE = 4096
 
 
 def shard_path(root: str, v: int, fanout: int) -> str:
-    """On-disk path of vertex ``v``'s shard under ``root``."""
+    """On-disk path of vertex ``v``'s shard under a v1 layout ``root``."""
     return os.path.join(
         root, "shards", f"{v // fanout:04x}", f"{v}.shard"
     )
+
+
+def group_path(root: str, g: int) -> str:
+    """On-disk path of packed group ``g`` under a v2 layout ``root``."""
+    return os.path.join(root, "groups", f"{g:04x}.pack")
+
+
+def _clear_stale_layouts(path: str) -> None:
+    # A previous, larger or differently-packed layout would leave orphan
+    # shards the new manifest cannot reach — and the directory's on-disk
+    # size would no longer match the manifest's byte accounting.  Start
+    # clean, whichever layout was there before.  The old manifest goes
+    # FIRST: every reader gates on it, so a write interrupted anywhere
+    # after this point leaves an unambiguous "not a shard directory"
+    # (the new manifest only appears, atomically, after the last shard
+    # landed) instead of a stale manifest describing deleted shards.
+    manifest = os.path.join(path, MANIFEST_NAME)
+    if os.path.isfile(manifest):
+        os.remove(manifest)
+    for sub in ("shards", "groups"):
+        stale = os.path.join(path, sub)
+        if os.path.isdir(stale):
+            shutil.rmtree(stale)
+
+
+def _write_per_file(
+    path: str, blobs: Iterable[Tuple[int, bytes]], fanout: int
+) -> Dict[str, Any]:
+    # Streaming: each shard hits disk as it arrives — O(1) residency.
+    made_dirs = set()
+    count = 0
+    for v, blob in blobs:
+        target = shard_path(path, v, fanout)
+        leaf = os.path.dirname(target)
+        if leaf not in made_dirs:
+            os.makedirs(leaf, exist_ok=True)
+            made_dirs.add(leaf)
+        tmp = f"{target}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, target)
+        count += 1
+    return {
+        "version": FORMAT_VERSION,
+        "layout": "files",
+        "fanout": fanout,
+        "files": {"shards": count, "dirs": len(made_dirs)},
+    }
+
+
+def _write_packed(
+    path: str, blobs: Iterable[Tuple[int, bytes]], group_size: int
+) -> Dict[str, Any]:
+    # Streaming with O(group) residency: a group flushes as soon as a
+    # record of a later group arrives, so a 10^6-vertex layout never
+    # holds more than one group's payloads.  That requires records in
+    # nondecreasing group order — what every producer in this repository
+    # emits (compile_tables, iter_nodes and the benches walk vertices in
+    # order; within a group, encode_pack sorts).
+    os.makedirs(os.path.join(path, "groups"), exist_ok=True)
+    groups_written = 0
+
+    def flush(g: int, entries: List[Tuple[int, bytes]]) -> None:
+        target = group_path(path, g)
+        tmp = f"{target}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(encode_pack(entries))
+        os.replace(tmp, target)
+
+    current: Optional[int] = None
+    entries: List[Tuple[int, bytes]] = []
+    for v, blob in blobs:
+        g = v // group_size
+        if current is None:
+            current = g
+        elif g != current:
+            if g < current:
+                raise ValueError(
+                    f"packed layout needs records in nondecreasing "
+                    f"group order; got group {g} after {current} "
+                    f"(vertex {v})"
+                )
+            flush(current, entries)
+            groups_written += 1
+            current, entries = g, []
+        entries.append((v, blob))
+    if current is not None:
+        flush(current, entries)
+        groups_written += 1
+    return {
+        "version": PACKED_FORMAT_VERSION,
+        "layout": "packed",
+        "group_size": group_size,
+        "files": {"groups": groups_written},
+    }
+
+
+def write_shard_records(
+    records: Iterable[NodeTable],
+    path: str,
+    *,
+    identity: Dict[str, Any],
+    packed: bool = False,
+    fanout: int = DEFAULT_FANOUT,
+    group_size: int = DEFAULT_GROUP_SIZE,
+) -> Dict[str, Any]:
+    """Write encoded :class:`NodeTable` records under ``path``.
+
+    The record-level half of :func:`write_shards`: callers that already
+    hold records (re-export of a shard-backed session, the storage-layer
+    benchmark) use it directly; ``identity`` supplies the manifest's
+    scheme-identity fields (``spec``, ``scheme``, ``name``, ``params``,
+    ``routing_params``, ``seed``).  ``records`` may be a generator — it
+    is consumed in one streaming pass with bounded residency (one shard
+    for the per-file layout, one group for the packed layout; packed
+    writing needs records in nondecreasing ``owner // group_size``
+    order, which every producer here emits).  Returns the manifest dict
+    (also written to ``manifest.json``).
+    """
+    os.makedirs(path, exist_ok=True)
+    _clear_stale_layouts(path)
+    stats = {"n": 0, "bytes": 0, "max_bytes": 0, "words": 0, "max_words": 0}
+
+    def encoded() -> Iterator[Tuple[int, bytes]]:
+        for record in records:
+            blob = encode_node_table(record)
+            stats["n"] += 1
+            stats["bytes"] += len(blob)
+            stats["max_bytes"] = max(stats["max_bytes"], len(blob))
+            words = record.table_words()
+            stats["words"] += words
+            stats["max_words"] = max(stats["max_words"], words)
+            yield record.owner, blob
+
+    if packed:
+        layout = _write_packed(path, encoded(), group_size)
+    else:
+        layout = _write_per_file(path, encoded(), fanout)
+    manifest = {
+        "format": FORMAT,
+        "codec": CODEC_VERSION,
+        "n": stats["n"],
+        "bytes": {
+            "total": stats["bytes"],
+            "max_shard": stats["max_bytes"],
+            "avg_shard": round(stats["bytes"] / max(stats["n"], 1), 1),
+        },
+        "words": {
+            "total_table_words": stats["words"],
+            "max_table_words": stats["max_words"],
+        },
+    }
+    manifest.update(layout)
+    manifest.update(identity)
+    tmp = os.path.join(path, f"{MANIFEST_NAME}.tmp.{os.getpid()}")
+    with open(tmp, "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, os.path.join(path, MANIFEST_NAME))
+    return manifest
 
 
 def write_shards(
@@ -77,11 +270,16 @@ def write_shards(
     params: Optional[Dict[str, Any]] = None,
     seed: int = 0,
     fanout: int = DEFAULT_FANOUT,
+    packed: bool = False,
+    group_size: int = DEFAULT_GROUP_SIZE,
 ) -> Dict[str, Any]:
     """Compile ``scheme`` and write the sharded layout under ``path``.
 
-    Returns the manifest dict (also written to ``manifest.json``).  The
-    manifest's word totals are asserted against the scheme's own
+    ``packed=False`` writes one file per vertex (layout v1);
+    ``packed=True`` writes ``O(n / group_size)`` packed group files
+    (layout v2) — same payload bytes, same manifest accounting, a
+    fraction of the inodes.  Returns the manifest dict.  The manifest's
+    word totals are asserted against the scheme's own
     :class:`SchemeStats` — byte accounting that silently drifted from
     the word accounting would invalidate every size table we report.
     """
@@ -93,34 +291,7 @@ def write_shards(
             f"compiled shards hold {total_words} table words, scheme "
             f"reports {stats.total_table_words} — accounting drift"
         )
-    os.makedirs(path, exist_ok=True)
-    # A previous, larger layout would leave orphan shards the new
-    # manifest cannot reach — and the directory's on-disk size would no
-    # longer match the manifest's byte accounting.  Start clean.
-    stale = os.path.join(path, "shards")
-    if os.path.isdir(stale):
-        shutil.rmtree(stale)
-    total_bytes = 0
-    max_bytes = 0
-    made_dirs = set()
-    for record in records:
-        blob = encode_node_table(record)
-        total_bytes += len(blob)
-        max_bytes = max(max_bytes, len(blob))
-        target = shard_path(path, record.owner, fanout)
-        leaf = os.path.dirname(target)
-        if leaf not in made_dirs:
-            os.makedirs(leaf, exist_ok=True)
-            made_dirs.add(leaf)
-        tmp = f"{target}.tmp.{os.getpid()}"
-        with open(tmp, "wb") as fh:
-            fh.write(blob)
-        os.replace(tmp, target)
-    manifest = {
-        "format": FORMAT,
-        "version": FORMAT_VERSION,
-        "codec": CODEC_VERSION,
-        "fanout": fanout,
+    identity = {
         "spec": spec_name,
         # LocalRouter re-exports carry the original scheme class through
         # scheme_class_name; built schemes are their own class.
@@ -128,26 +299,18 @@ def write_shards(
             scheme, "scheme_class_name", type(scheme).__name__
         ),
         "name": scheme.name,
-        "n": len(records),
         "seed": seed,
         "params": dict(params or {}),
         "routing_params": scheme.routing_params(),
-        "bytes": {
-            "total": total_bytes,
-            "max_shard": max_bytes,
-            "avg_shard": round(total_bytes / max(len(records), 1), 1),
-        },
-        "words": {
-            "total_table_words": total_words,
-            "max_table_words": stats.max_table_words,
-        },
     }
-    tmp = os.path.join(path, f"{MANIFEST_NAME}.tmp.{os.getpid()}")
-    with open(tmp, "w") as fh:
-        json.dump(manifest, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    os.replace(tmp, os.path.join(path, MANIFEST_NAME))
-    return manifest
+    return write_shard_records(
+        records,
+        path,
+        identity=identity,
+        packed=packed,
+        fanout=fanout,
+        group_size=group_size,
+    )
 
 
 def is_shard_dir(path: str) -> bool:
@@ -157,40 +320,42 @@ def is_shard_dir(path: str) -> bool:
     )
 
 
-class ShardStore:
-    """Lazy per-vertex shard loader with serve statistics.
+def _load_manifest(path: str) -> Dict[str, Any]:
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    try:
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"{path!r} is not a shard directory (no {MANIFEST_NAME})"
+        ) from None
+    if manifest.get("format") != FORMAT:
+        raise ValueError(
+            f"not a shard manifest (format={manifest.get('format')!r})"
+        )
+    return manifest
 
-    Parameters
-    ----------
-    path:
-        Directory :func:`write_shards` produced.
-    max_resident:
-        Optional LRU bound on decoded shards kept in memory — the
-        serving-node memory budget.  ``None`` keeps everything touched.
+
+class _ShardStoreBase:
+    """Shared store machinery: LRU residency, serve counters, decoding.
+
+    Subclasses implement one method — ``_read_shard(v)`` returning the
+    raw shard bytes (or a zero-copy view of them) — and everything else
+    (decode, owner check, LRU, statistics) is identical across layouts,
+    which is what makes the packed-vs-per-file equivalence tests
+    meaningful: the counters count the same events.
     """
 
-    def __init__(self, path: str, *, max_resident: Optional[int] = None):
+    #: subclass-provided layout tag for stats()/repr
+    layout = "?"
+
+    def __init__(
+        self, path: str, manifest: Dict[str, Any],
+        max_resident: Optional[int],
+    ) -> None:
         self.path = path
-        manifest_path = os.path.join(path, MANIFEST_NAME)
-        try:
-            with open(manifest_path) as fh:
-                self.manifest = json.load(fh)
-        except FileNotFoundError:
-            raise FileNotFoundError(
-                f"{path!r} is not a shard directory (no {MANIFEST_NAME})"
-            ) from None
-        if self.manifest.get("format") != FORMAT:
-            raise ValueError(
-                f"not a shard manifest "
-                f"(format={self.manifest.get('format')!r})"
-            )
-        if self.manifest.get("version") != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported shard layout version "
-                f"{self.manifest.get('version')!r}"
-            )
-        self.n = int(self.manifest["n"])
-        self.fanout = int(self.manifest.get("fanout", DEFAULT_FANOUT))
+        self.manifest = manifest
+        self.n = int(manifest["n"])
         self.max_resident = max_resident
         self._resident: "OrderedDict[int, NodeTable]" = OrderedDict()
         #: serve statistics
@@ -198,10 +363,19 @@ class ShardStore:
         self.hits = 0
         self.bytes_read = 0
 
-    # ------------------------------------------------------------------
-    def shard_path(self, v: int) -> str:
-        return shard_path(self.path, v, self.fanout)
+    # -- layout hooks --------------------------------------------------
+    def _read_shard(self, v: int):
+        raise NotImplementedError
 
+    def _diagnose(self, v: int) -> None:
+        """Layout-specific deep check when a shard fails to decode.
+
+        Called before re-raising a decode/owner error so a layout can
+        replace a vague symptom with the precise cause (the packed
+        store runs the full index validation here).  Default: no-op.
+        """
+
+    # ------------------------------------------------------------------
     def node(self, v: int) -> NodeTable:
         """Vertex ``v``'s record, loaded from its shard on first touch."""
         record = self._resident.get(v)
@@ -211,20 +385,16 @@ class ShardStore:
             return record
         if not 0 <= v < self.n:
             raise ValueError(f"vertex {v} outside 0..{self.n - 1}")
-        target = self.shard_path(v)
+        blob = self._read_shard(v)
         try:
-            with open(target, "rb") as fh:
-                blob = fh.read()
-        except FileNotFoundError:
-            raise FileNotFoundError(
-                f"shard of vertex {v} is missing ({target}); a "
-                f"local-knowledge route only touches visited vertices — "
-                f"this one was needed"
-            ) from None
-        record = decode_node_table(blob)
+            record = decode_node_table(blob)
+        except ShardCodecError:
+            self._diagnose(v)
+            raise
         if record.owner != v:
+            self._diagnose(v)
             raise ValueError(
-                f"shard {target} holds vertex {record.owner}, not {v}"
+                f"shard of vertex {v} holds vertex {record.owner}"
             )
         self.loads += 1
         self.bytes_read += len(blob)
@@ -245,6 +415,7 @@ class ShardStore:
         """Serve counters: shard loads, cache hits, bytes read, residency."""
         return {
             "n": self.n,
+            "layout": self.layout,
             "loads": self.loads,
             "hits": self.hits,
             "bytes_read": self.bytes_read,
@@ -254,9 +425,216 @@ class ShardStore:
 
     def __repr__(self) -> str:
         return (
-            f"ShardStore({self.path!r}, n={self.n}, "
+            f"{type(self).__name__}({self.path!r}, n={self.n}, "
             f"loads={self.loads}, hits={self.hits})"
         )
+
+
+class ShardStore(_ShardStoreBase):
+    """Layout-v1 store: one file per vertex, opened lazily.
+
+    Parameters
+    ----------
+    path:
+        Directory :func:`write_shards` produced (``packed=False``).
+    max_resident:
+        Optional LRU bound on decoded shards kept in memory — the
+        serving-node memory budget.  ``None`` keeps everything touched.
+    """
+
+    layout = "files"
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        max_resident: Optional[int] = None,
+        manifest: Optional[Dict[str, Any]] = None,
+    ):
+        # ``manifest`` lets open_store hand over the parse it already
+        # did — cold-open reads the file once, not per-dispatch-step.
+        if manifest is None:
+            manifest = _load_manifest(path)
+        if manifest.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported shard layout version "
+                f"{manifest.get('version')!r} (per-file store reads "
+                f"version {FORMAT_VERSION}; use open_store for dispatch)"
+            )
+        super().__init__(path, manifest, max_resident)
+        self.fanout = int(manifest.get("fanout", DEFAULT_FANOUT))
+
+    def shard_path(self, v: int) -> str:
+        return shard_path(self.path, v, self.fanout)
+
+    def _read_shard(self, v: int) -> bytes:
+        target = self.shard_path(v)
+        try:
+            with open(target, "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            raise FileNotFoundError(
+                f"shard of vertex {v} is missing ({target}); a "
+                f"local-knowledge route only touches visited vertices — "
+                f"this one was needed"
+            ) from None
+
+
+class PackedShardStore(_ShardStoreBase):
+    """Layout-v2 store: ``mmap``-ed group files, zero-copy decode.
+
+    Each ``groups/<g>.pack`` file is mapped once on first touch with its
+    header validated (magic, version, index-fits-in-file); serving
+    vertex ``v`` then binary-searches the mapped index and decodes the
+    record straight from a ``memoryview`` slice of the map — no
+    per-vertex ``open()``/``read()`` syscalls and no intermediate
+    ``bytes`` copy on the hot path.  The full O(count) index validation
+    (:func:`repro.routing.shard_codec.check_pack`) is deferred off the
+    hot path: it runs on the first anomaly — a lookup miss, a decode
+    failure, an owner mismatch — so corruption still fails loudly with
+    the codec's precise error, and eagerly via :meth:`verify`.
+    """
+
+    layout = "packed"
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        max_resident: Optional[int] = None,
+        manifest: Optional[Dict[str, Any]] = None,
+    ):
+        if manifest is None:
+            manifest = _load_manifest(path)
+        if (
+            manifest.get("version") != PACKED_FORMAT_VERSION
+            or manifest.get("layout") != "packed"
+        ):
+            raise ValueError(
+                f"unsupported shard layout version "
+                f"{manifest.get('version')!r}/"
+                f"{manifest.get('layout')!r} (packed store reads "
+                f"version {PACKED_FORMAT_VERSION}, layout 'packed')"
+            )
+        super().__init__(path, manifest, max_resident)
+        self.group_size = int(manifest["group_size"])
+        self._maps: Dict[int, memoryview] = {}
+        self._mmaps: List[mmap.mmap] = []
+
+    def group_path(self, g: int) -> str:
+        return group_path(self.path, g)
+
+    def group_of(self, v: int) -> int:
+        return v // self.group_size
+
+    @property
+    def groups_mapped(self) -> int:
+        return len(self._maps)
+
+    def _group_view(self, g: int) -> memoryview:
+        view = self._maps.get(g)
+        if view is None:
+            target = self.group_path(g)
+            try:
+                with open(target, "rb") as fh:
+                    mapped = mmap.mmap(
+                        fh.fileno(), 0, access=mmap.ACCESS_READ
+                    )
+            except FileNotFoundError:
+                raise FileNotFoundError(
+                    f"group {g} of the packed layout is missing "
+                    f"({target}); a local-knowledge route only touches "
+                    f"visited vertices' groups — this one was needed"
+                ) from None
+            # Header-only validation per mapping keeps cold lookups
+            # syscall-light; the O(count) index check runs on demand
+            # (_diagnose / verify) and every corruption it would catch
+            # still surfaces through a failed lookup, decode or owner
+            # check first.
+            view = memoryview(mapped)
+            parse_pack_header(view)
+            self._maps[g] = view
+            self._mmaps.append(mapped)
+        return view
+
+    def _read_shard(self, v: int) -> memoryview:
+        view = self._group_view(self.group_of(v))
+        found = find_in_pack(view, v)
+        if found is None:
+            check_pack(view)  # corrupt index? raise its precise error
+            raise FileNotFoundError(
+                f"shard of vertex {v} is missing from group "
+                f"{self.group_of(v)} ({self.group_path(self.group_of(v))})"
+            )
+        offset, length = found
+        return view[offset:offset + length]
+
+    def _diagnose(self, v: int) -> None:
+        # A shard that fails to decode (or holds the wrong owner) from
+        # an mmap slice means the group's index lied about its bounds —
+        # replace the symptom with check_pack's precise diagnosis.
+        check_pack(self._group_view(self.group_of(v)))
+
+    def verify(self) -> int:
+        """Eagerly validate every group's full index; returns the number
+        of groups checked.  Offline tooling / release checks — serving
+        itself validates lazily."""
+        groups = (self.n + self.group_size - 1) // self.group_size
+        for g in range(groups):
+            check_pack(self._group_view(g))
+        return groups
+
+    def stats(self) -> Dict[str, Any]:
+        out = super().stats()
+        out["groups_mapped"] = self.groups_mapped
+        out["group_size"] = self.group_size
+        return out
+
+    def close(self) -> None:
+        """Release every mapping (the store is unusable afterwards)."""
+        maps, self._maps = self._maps, {}
+        for view in maps.values():
+            view.release()
+        mmaps, self._mmaps = self._mmaps, []
+        for mapped in mmaps:
+            mapped.close()
+
+
+def open_store(
+    path: str, *, max_resident: Optional[int] = None
+) -> _ShardStoreBase:
+    """Open a shard directory with the store matching its manifest.
+
+    Layout dispatch lives here (and only here): per-file v1 manifests
+    get a :class:`ShardStore`, packed v2 manifests a
+    :class:`PackedShardStore`; anything else fails loudly instead of
+    being misread by the wrong backend.
+    """
+    manifest = _load_manifest(path)
+    version = manifest.get("version")
+    if version == FORMAT_VERSION:
+        return ShardStore(
+            path, max_resident=max_resident, manifest=manifest
+        )
+    if version == PACKED_FORMAT_VERSION:
+        return PackedShardStore(
+            path, max_resident=max_resident, manifest=manifest
+        )
+    raise ValueError(f"unsupported shard layout version {version!r}")
+
+
+def _contains_bool(header: Any) -> bool:
+    """Whether a (nested-tuple) header carries a bool leaf anywhere.
+
+    The bool-free header contract's checker: ``LocalRouter._wire_len``
+    runs it on value-cache misses, and the serving conformance tests
+    run it on every header every registered scheme forwards.
+    """
+    if isinstance(header, bool):
+        return True
+    if isinstance(header, tuple):
+        return any(_contains_bool(item) for item in header)
+    return False
 
 
 # ----------------------------------------------------------------------
@@ -265,7 +643,7 @@ class ShardStore:
 class _ShardPorts:
     """Footnote-2 port translation answered from the local shard only."""
 
-    def __init__(self, store: ShardStore) -> None:
+    def __init__(self, store: _ShardStoreBase) -> None:
         self._store = store
 
     def port_to(self, u: int, v: int) -> int:
@@ -281,7 +659,7 @@ class _ShardPorts:
 class _ShardTables:
     """``tables[v]`` view resolving to the shard's :class:`SizedTable`."""
 
-    def __init__(self, store: ShardStore) -> None:
+    def __init__(self, store: _ShardStoreBase) -> None:
         self._store = store
         self._sized: Dict[int, Any] = {}
 
@@ -301,7 +679,7 @@ class _ShardTables:
 class _ShardLabels:
     """``labels[v]`` view resolving to the shard's label."""
 
-    def __init__(self, store: ShardStore) -> None:
+    def __init__(self, store: _ShardStoreBase) -> None:
         self._store = store
 
     def __getitem__(self, v: int):
@@ -320,9 +698,21 @@ class LocalRouter:
     via ``SchemeBase.restore_serving`` — so decisions are byte-identical
     to the monolithic in-memory scheme, which the serving tests assert
     hop by hop for every registered scheme.
+
+    Every forwarded header crosses the wire codec
+    (:mod:`repro.routing.header_codec`): the first time a header value is
+    forwarded it is encoded, decoded back, and checked for exact
+    round-trip — a header shape the codec cannot carry fails at serve
+    time, not in a hypothetical future deployment — and its wire length
+    is cached by value, so the per-hop cost of accounting the true
+    header bytes (``header_stats()``, surfaced through
+    ``RoutingSession.serve_stats()``) is one dict probe.  The verified
+    round-trip is what makes forwarding the in-memory header equivalent
+    to forwarding the wire bytes, which keeps warm shard throughput
+    within the ~10%-of-in-memory budget the serving benchmark gates.
     """
 
-    def __init__(self, store: ShardStore) -> None:
+    def __init__(self, store: _ShardStoreBase) -> None:
         # Resolved lazily to keep repro.routing import-independent from
         # repro.api (which imports the schemes, which import routing).
         from ..api.registry import get_spec
@@ -348,10 +738,62 @@ class LocalRouter:
         self.name = self._stepper.name
         self._graph: Optional[Graph] = None
         self._ports: Optional[Any] = None
+        #: wire-header accounting (headers forwarded, total/max bytes)
+        self.headers_encoded = 0
+        self.header_bytes = 0
+        self.max_header_bytes = 0
+        #: header value -> verified wire length (bounded; see _wire_len)
+        self._wire_cache: Dict[Any, int] = {}
+
+    def _wire_len(self, header: Any) -> int:
+        """Wire byte length of ``header``, round-trip-verified once.
+
+        A cache miss pays the full ``decode(encode(h)) == h`` check;
+        hits (the overwhelming majority — tree-phase headers repeat
+        unchanged hop after hop, technique headers recur by value
+        across routes) cost one dict probe.
+
+        Contract: headers must be bool-free (use 0/1 ints).  Python
+        equality conflates ``True``/``1`` — whose wire encodings differ
+        — so a bool-leafed header that happened to equal a cached int
+        shape would be misaccounted by its twin's length; a per-lookup
+        deep check would cost more than the encode it avoids (measured:
+        warm shard throughput drops from ~0.9x of in-memory to ~0.7x),
+        so the contract is enforced where it is free — the miss path
+        below refuses bool leaves outright, and the serving conformance
+        tests assert bool-freedom for every header every registered
+        scheme forwards, hop by hop.
+        """
+        length = self._wire_cache.get(header)
+        if length is None:
+            if _contains_bool(header):
+                raise RuntimeError(
+                    f"header {header!r} carries a bool leaf; the "
+                    f"serving engine's wire-length cache cannot tell "
+                    f"True/False from 1/0 (Python value equality) — "
+                    f"encode the flag as an int instead"
+                )
+            wire = header_codec.encode(header)
+            if header_codec.decode(wire) != header:
+                raise RuntimeError(
+                    f"header {header!r} does not survive the wire codec"
+                )
+            length = len(wire)
+            if len(self._wire_cache) >= 65536:
+                self._wire_cache.clear()
+            self._wire_cache[header] = length
+        return length
 
     # -- engine protocol -----------------------------------------------
     def step(self, u: int, header: Any, dest_label: Any) -> RouteAction:
-        return self._stepper.step(u, header, dest_label)
+        action = self._stepper.step(u, header, dest_label)
+        if isinstance(action, Forward):
+            length = self._wire_len(action.header)
+            self.headers_encoded += 1
+            self.header_bytes += length
+            if length > self.max_header_bytes:
+                self.max_header_bytes = length
+        return action
 
     def label_of(self, v: int) -> Any:
         return self.store.node(v).label
@@ -359,6 +801,14 @@ class LocalRouter:
     def local_edge(self, u: int, port: int) -> Tuple[int, float]:
         """``(neighbour, weight)`` of ``u``'s link ``port`` — shard-local."""
         return self.store.node(u).edge(port)
+
+    def header_stats(self) -> Dict[str, int]:
+        """True wire cost of every header this engine forwarded."""
+        return {
+            "headers_encoded": self.headers_encoded,
+            "header_bytes": self.header_bytes,
+            "max_header_bytes": self.max_header_bytes,
+        }
 
     # -- scheme-compatible surface (measurement/accounting) ------------
     def table_of(self, v: int):

@@ -141,6 +141,53 @@ class SchemeBase(CompactRoutingScheme):
             tables.install(table)
         return tables
 
+    def _find_coloring(
+        self, family: BallFamily, q: int, seed: int
+    ) -> List[int]:
+        """Lemma 6 coloring over ``family``'s balls (memoized per graph)."""
+        if self._substrate_applies() and self._substrate.owns_family(family):
+            return self._substrate.coloring(family.ell, q, seed)
+        from ..structures.coloring import find_coloring
+
+        return find_coloring(family.balls(), self.graph.n, q, seed=seed)
+
+    def _find_hash_coloring(
+        self, family: BallFamily, q: int, seed: int
+    ):
+        """Name-independent hash coloring (memoized per graph)."""
+        if self._substrate_applies() and self._substrate.owns_family(family):
+            return self._substrate.hash_coloring(family.ell, q, seed)
+        from ..structures.coloring import find_hash_coloring
+
+        return find_hash_coloring(family.balls(), self.graph.n, q, seed=seed)
+
+    def _ball_hitting_set(self, family: BallFamily) -> List[int]:
+        """Greedy hitting set of ``family``'s balls (memoized per graph).
+
+        Part of Technique 1's eps-independent state: the hitting set
+        depends only on the balls, so parameter sweeps reuse it.
+        """
+        if self._substrate_applies() and self._substrate.owns_family(family):
+            return self._substrate.hitting_set(family.ell)
+        from ..structures.hitting_set import greedy_hitting_set
+
+        return greedy_hitting_set(family.balls())
+
+    def _global_tree_routing(self, root: int) -> TreeRouting:
+        """Heavy-path routing over the full-graph SPT at ``root``.
+
+        Memoized on the substrate under ``(root, None)`` — the same key
+        landmark trees use, so Technique 1 hub trees, thm10's global
+        landmark trees and parameter resweeps all share one build.
+        ``_global_tree`` keeps the explicit disconnected-graph
+        diagnostic even though ``__init__`` already rejects such graphs.
+        """
+        from ..core.technique1 import _global_tree
+
+        return self._tree_routing(
+            root, None, lambda: _global_tree(self.metric, root)
+        )
+
     def _sample_landmarks(self, s: float, seed: int) -> List[int]:
         """Lemma 4 cluster-bounded landmark sample (memoized per graph)."""
         if self._substrate_applies():

@@ -40,7 +40,7 @@ from ..routing.model import Deliver, Forward, RouteAction
 from ..routing.ports import PortAssignment
 from ..routing.tree_routing import TreeRouting, tree_step
 from ..structures.balls import BallFamily, ball_size_parameter
-from ..structures.coloring import color_classes, find_coloring
+from ..structures.coloring import color_classes
 from .base import SchemeBase
 
 if TYPE_CHECKING:
@@ -155,9 +155,8 @@ class _GeneralizedScheme(SchemeBase):
         self._target_class: Dict[int, Dict[int, int]] = {}
         for i in self.instances:
             colors_count = max(1, int(round(self.q ** i)))
-            balls_i = [self.families[i].ball(u) for u in graph.vertices()]
-            coloring = find_coloring(
-                balls_i, n, colors_count, seed=seed + 97 * i
+            coloring = self._find_coloring(
+                self.families[i], colors_count, seed + 97 * i
             )
             self.colorings[i] = coloring
             classes = color_classes(coloring, colors_count)

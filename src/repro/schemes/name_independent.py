@@ -23,7 +23,7 @@ from ..graph.core import Graph
 from ..graph.metric import MetricView
 from ..routing.model import Deliver, Forward, RouteAction
 from ..routing.ports import PortAssignment
-from ..structures.coloring import color_classes, find_hash_coloring, hash_color
+from ..structures.coloring import color_classes, hash_color
 from .base import SchemeBase
 
 __all__ = ["NameIndependent3Eps"]
@@ -61,14 +61,15 @@ class NameIndependent3Eps(SchemeBase):
         self.family = self._build_balls(self.q, alpha)
         self._install_ball_ports(self.family)
 
-        balls = [self.family.ball(u) for u in graph.vertices()]
-        self.hash_seed, self.colors = find_hash_coloring(
-            balls, n, self.q, seed=seed
+        self.hash_seed, self.colors = self._find_hash_coloring(
+            self.family, self.q, seed
         )
         classes = color_classes(self.colors, self.q)
 
         self.technique = Technique1(
             self.metric, self.family, self.ports, classes, eps / 2.0,
+            hitting=self._ball_hitting_set(self.family),
+            tree_factory=self._global_tree_routing,
             seed=seed,
         )
         for table in self._tables:

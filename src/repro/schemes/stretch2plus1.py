@@ -39,11 +39,10 @@ from typing import Any, Dict, Optional
 from ..core.technique1 import Technique1
 from ..graph.core import Graph
 from ..graph.metric import MetricView
-from ..graph.trees import RootedTree
 from ..routing.model import Deliver, Forward, RouteAction
 from ..routing.ports import PortAssignment
 from ..routing.tree_routing import TreeRouting, tree_step
-from ..structures.coloring import color_classes, find_coloring
+from ..structures.coloring import color_classes
 from .base import SchemeBase
 
 __all__ = ["Stretch2Plus1Scheme"]
@@ -105,10 +104,7 @@ class Stretch2Plus1Scheme(SchemeBase):
         # Global landmark trees: every vertex stores a record per landmark.
         self._landmark_trees: Dict[int, TreeRouting] = {}
         for w in self.landmarks:
-            tree = self._tree_routing(
-                w, None,
-                lambda w=w: RootedTree(self.metric.spt_parents(w)),
-            )
+            tree = self._global_tree_routing(w)
             self._landmark_trees[w] = tree
             for v in graph.vertices():
                 self._tables[v].put("atree", w, tree.record_of(v))
@@ -126,12 +122,15 @@ class Stretch2Plus1Scheme(SchemeBase):
             for v, (_, w) in best.items():
                 table.put("xsect", v, w)
 
-        # Coloring and Technique 1 over the color classes.
-        balls = [self.family.ball(u) for u in graph.vertices()]
-        self.colors = find_coloring(balls, n, self.q, seed=seed)
+        # Coloring and Technique 1 over the color classes.  The coloring,
+        # the hitting set and the global hub trees are eps-independent,
+        # memoized on the substrate.
+        self.colors = self._find_coloring(self.family, self.q, seed)
         classes = color_classes(self.colors, self.q)
         self.technique = Technique1(
             self.metric, self.family, self.ports, classes, eps / 2.0,
+            hitting=self._ball_hitting_set(self.family),
+            tree_factory=self._global_tree_routing,
             seed=seed,
         )
         for table in self._tables:

@@ -36,7 +36,7 @@ from ..graph.trees import RootedTree
 from ..routing.model import Deliver, Forward, RouteAction
 from ..routing.ports import PortAssignment
 from ..routing.tree_routing import TreeRouting, tree_step
-from ..structures.coloring import color_classes, find_coloring
+from ..structures.coloring import color_classes
 from .base import SchemeBase
 
 __all__ = ["Stretch4kMinus7Scheme"]
@@ -103,8 +103,7 @@ class Stretch4kMinus7Scheme(SchemeBase):
         self.family = self._build_balls(self.q, alpha)
         self._install_ball_ports(self.family)
 
-        balls = [self.family.ball(u) for u in graph.vertices()]
-        self.colors = find_coloring(balls, n, self.q, seed=seed)
+        self.colors = self._find_coloring(self.family, self.q, seed)
         classes = color_classes(self.colors, self.q)
 
         ak2 = self.hierarchy.level(k - 2)

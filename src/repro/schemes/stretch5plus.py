@@ -44,7 +44,7 @@ from ..graph.metric import MetricView
 from ..routing.model import Deliver, Forward, RouteAction
 from ..routing.ports import PortAssignment
 from ..routing.tree_routing import tree_step
-from ..structures.coloring import color_classes, find_coloring
+from ..structures.coloring import color_classes
 from .base import SchemeBase
 
 __all__ = ["Stretch5PlusScheme"]
@@ -98,8 +98,7 @@ class Stretch5PlusScheme(SchemeBase):
                 self._tables[v].put("ctree", w, tree.record_of(v))
                 self._tables[w].put("clabel", v, tree.label_of(v))
 
-        balls = [self.family.ball(u) for u in graph.vertices()]
-        self.colors = find_coloring(balls, n, self.q, seed=seed)
+        self.colors = self._find_coloring(self.family, self.q, seed)
         classes = color_classes(self.colors, self.q)
 
         # Arbitrary balanced partition W of the landmark set A.

@@ -27,7 +27,7 @@ from ..graph.core import Graph
 from ..graph.metric import MetricView
 from ..routing.model import Deliver, Forward, RouteAction
 from ..routing.ports import PortAssignment
-from ..structures.coloring import color_classes, find_coloring
+from ..structures.coloring import color_classes
 from .base import SchemeBase
 
 __all__ = ["Warmup3Scheme"]
@@ -65,8 +65,7 @@ class Warmup3Scheme(SchemeBase):
         self.family = self._build_balls(self.q, alpha)
         self._install_ball_ports(self.family)
 
-        balls = [self.family.ball(u) for u in graph.vertices()]
-        self.colors = find_coloring(balls, n, self.q, seed=seed)
+        self.colors = self._find_coloring(self.family, self.q, seed)
         classes = color_classes(self.colors, self.q)
 
         self.technique = Technique1(
@@ -75,6 +74,8 @@ class Warmup3Scheme(SchemeBase):
             self.ports,
             classes,
             eps / 2.0,
+            hitting=self._ball_hitting_set(self.family),
+            tree_factory=self._global_tree_routing,
             seed=seed,
         )
         for table in self._tables:

@@ -62,6 +62,74 @@ class TestSubstrateHandle:
         assert h1 is h2
         assert h3 is not h1
 
+    def test_coloring_memoized_on_ell_q_seed(self, graph):
+        sub = Substrate(graph)
+        c1 = sub.coloring(20, 5, 3)
+        c2 = sub.coloring(20, 5, 3)
+        sub.coloring(20, 5, 4)
+        assert c1 == c2
+        assert c1 is not c2  # defensive copy per caller
+        stats = sub.stats()["coloring"]
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        # memoization is invisible in the result
+        from repro.structures.coloring import find_coloring
+
+        cold = find_coloring(
+            sub.ball_family(20).balls(), graph.n, 5, seed=3
+        )
+        assert c1 == cold
+
+    def test_hash_coloring_memoized(self, graph):
+        sub = Substrate(graph)
+        s1, c1 = sub.hash_coloring(20, 5, 3)
+        s2, c2 = sub.hash_coloring(20, 5, 3)
+        assert (s1, c1) == (s2, c2)
+        assert sub.stats()["coloring"]["hits"] == 1
+
+    def test_hitting_set_memoized_per_ell(self, graph):
+        sub = Substrate(graph)
+        h1 = sub.hitting_set(20)
+        h2 = sub.hitting_set(20)
+        sub.hitting_set(21)
+        assert h1 == h2
+        stats = sub.stats()["hitting"]
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        from repro.structures.hitting_set import greedy_hitting_set
+
+        assert h1 == greedy_hitting_set(sub.ball_family(20).balls())
+
+
+class TestTechnique1StateSharing:
+    """The eps-independent Technique 1 state (coloring, hitting set,
+    global hub trees) is shared on the substrate: an eps-resweep of a
+    Technique 1 scheme rebuilds none of it, and the shared build is
+    bit-identical to a cold one."""
+
+    def test_resweep_hits_coloring_hitting_and_trees(self, graph):
+        cache = SubstrateCache()
+        build("warmup3", graph, cache=cache, seed=5, eps=0.5)
+        sub = cache.substrate(graph)
+        before = sub.stats()
+        build("warmup3", graph, cache=cache, seed=5, eps=0.9)
+        after = sub.stats()
+        for kind in ("coloring", "hitting", "trees"):
+            assert after[kind]["hits"] > before[kind].get("hits", 0), kind
+            assert after[kind]["misses"] == before[kind]["misses"], kind
+
+    def test_shared_technique1_build_equals_cold(self, graph):
+        cache = SubstrateCache()
+        build("thm10", graph, cache=cache, seed=5)  # warms the substrate
+        shared = build("thm10", graph, cache=cache, seed=5, eps=0.8)
+        cold = build("thm10", graph, seed=5, eps=0.8)
+        assert (
+            cold.stats().total_table_words
+            == shared.stats().total_table_words
+        )
+        for pair in [(0, 50), (3, 88), (12, 45)]:
+            assert cold.route(*pair).path == shared.route(*pair).path
+
 
 class TestSubstrateCache:
     def test_one_handle_per_graph(self, graph):

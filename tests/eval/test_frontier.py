@@ -1,0 +1,154 @@
+"""Preset frontier recording: sweep, feasibility edges, calibration."""
+
+import pytest
+
+from repro.api import get_spec
+from repro.eval.frontier import (
+    FrontierPoint,
+    alpha_frontier,
+    calibrate_alpha,
+    preset_frontiers,
+)
+from repro.eval.workloads import family_graph
+from repro.graph.generators import erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(100, 7.0 / 99, seed=41)
+
+
+class TestAlphaFrontier:
+    def test_points_cover_the_sweep(self, graph):
+        points = alpha_frontier(
+            graph, "warmup3", family="er",
+            alphas=(0.75, 1.0), pairs=40, seed=2,
+        )
+        assert [p.alpha for p in points] == [0.75, 1.0]
+        for p in points:
+            assert p.feasible
+            assert p.max_stretch >= 1.0
+            assert p.avg_table_words > 0
+            assert p.to_json()["family"] == "er"
+
+    def test_infeasible_alpha_recorded_not_raised(self, graph):
+        # alpha ~ 0 makes balls far too thin for the Lemma 6 coloring;
+        # the point must land on the frontier as infeasible, because the
+        # left edge is exactly what calibration needs to see.
+        points = alpha_frontier(
+            graph, "warmup3", family="er",
+            alphas=(1e-6, 1.0), pairs=40, seed=2,
+        )
+        assert not points[0].feasible
+        assert points[0].error
+        assert points[1].feasible
+
+    def test_non_coloring_failures_propagate(self, graph):
+        # Only ColoringError means "infeasible alpha"; anything else is
+        # a bug or caller misuse and must not become calibration data.
+        from repro.api import SchemeParamError
+        from repro.graph.generators import with_random_weights
+
+        weighted = with_random_weights(graph, seed=7)
+        with pytest.raises(SchemeParamError, match="unweighted"):
+            alpha_frontier(
+                weighted, "thm10", family="er", alphas=(1.0,), pairs=5
+            )
+
+    def test_table_words_grow_with_alpha(self, graph):
+        points = alpha_frontier(
+            graph, "warmup3", family="er",
+            alphas=(0.75, 1.5), pairs=20, seed=2,
+        )
+        assert points[0].avg_table_words < points[1].avg_table_words
+
+
+class TestPresetFrontiers:
+    def test_records_one_frontier_per_family(self):
+        frontiers = preset_frontiers(
+            "warmup3", n=80, families=("er", "grid"),
+            alphas=(1.0,), pairs=30, seed=3,
+        )
+        assert set(frontiers) == {"er", "grid"}
+        for family, points in frontiers.items():
+            assert all(p.family == family for p in points)
+
+    def test_weighted_preference_matches_the_cli(self):
+        # warmup3 prefers weighted graphs; the frontier must measure the
+        # same graph the CLI would build for --family er.
+        frontiers = preset_frontiers(
+            "warmup3", n=80, families=("er",),
+            alphas=(1.0,), pairs=20, seed=3,
+        )
+        assert frontiers["er"][0].feasible
+        g = family_graph("er", 80, 3, weighted=True)
+        assert not g.is_unweighted()
+
+    def test_unweighted_scheme_skips_weighted_family(self):
+        # thm10 is stated for unweighted graphs; geo graphs are
+        # intrinsically weighted, so no preset frontier exists there.
+        frontiers = preset_frontiers(
+            "thm10", n=80, families=("geo",), alphas=(1.0,), pairs=10,
+        )
+        assert frontiers == {}
+
+    def test_scheme_without_alpha_rejected(self):
+        from repro.api import SchemeParamError
+
+        with pytest.raises(SchemeParamError, match="alpha"):
+            preset_frontiers("tz2", n=60, families=("er",))
+
+
+class TestCalibration:
+    def _point(
+        self, alpha, feasible=True, within=True, words=100.0, stretch=2.0
+    ):
+        return FrontierPoint(
+            family="er", alpha=alpha, feasible=feasible,
+            within_bound=within, avg_table_words=words,
+            max_stretch=stretch,
+        )
+
+    def test_picks_smallest_table_among_eligible(self):
+        points = [
+            self._point(0.5, feasible=False),
+            self._point(0.75, within=False, words=80.0),
+            self._point(1.0, words=90.0),
+            self._point(1.5, words=120.0),
+        ]
+        assert calibrate_alpha(points) == 1.0
+
+    def test_ties_break_toward_thinner_balls(self):
+        points = [
+            self._point(0.5, feasible=False),  # edge recorded
+            self._point(1.0, words=90.0),
+            self._point(0.75, words=90.0),
+        ]
+        assert calibrate_alpha(points) == 0.75
+
+    def test_all_feasible_frontier_distrusts_its_left_edge(self):
+        # Without a recorded infeasible point, the sweep minimum is an
+        # artifact of where the sweep started, not a measurement — it
+        # must not be recommended.
+        points = [
+            self._point(0.5, words=80.0),
+            self._point(0.75, words=90.0),
+        ]
+        assert calibrate_alpha(points) == 0.75
+        assert calibrate_alpha([self._point(0.5)]) is None
+
+    def test_selection_is_stretch_targeted_not_just_cheapest(self):
+        # The cheapest in-bound point routes badly (stretch 3.0 vs the
+        # sweep's best 1.95); calibration must chase the measured
+        # stretch the presets were hand-tuned for, not the grid edge.
+        points = [
+            self._point(0.5, feasible=False),
+            self._point(0.75, words=80.0, stretch=3.0),
+            self._point(1.0, words=100.0, stretch=2.0),
+            self._point(1.5, words=150.0, stretch=1.95),
+        ]
+        assert calibrate_alpha(points) == 1.0  # within 10% of 1.95
+
+    def test_none_when_nothing_qualifies(self):
+        assert calibrate_alpha([self._point(0.5, feasible=False)]) is None
+        assert calibrate_alpha([]) is None

@@ -1,0 +1,138 @@
+"""Pack-group codec (layout v2): round-trips and loud rejection.
+
+The packed store trusts the index after one :func:`check_pack` pass, so
+that pass must catch everything a corrupt or foreign file could carry:
+wrong magic, future versions, truncated headers/indexes, unsorted or
+overlapping entries, payloads running past the file.  The zero-copy
+decode path (``memoryview`` in, no intermediate ``bytes``) must agree
+bit for bit with the plain ``bytes`` path.
+"""
+
+import struct
+
+import pytest
+
+from repro.routing.shard_codec import (
+    PACK_VERSION,
+    ShardCodecError,
+    check_pack,
+    decode_node_table,
+    encode_node_table,
+    encode_pack,
+    find_in_pack,
+    iter_pack_entries,
+)
+from repro.routing.tables import NodeTable
+
+_PACK_HEADER = struct.Struct("<4sBBI")
+_PACK_ENTRY = struct.Struct("<IQI")
+
+
+def _record(v: int) -> NodeTable:
+    return NodeTable(
+        owner=v,
+        neighbors=((v + 1, 1.5), (v + 2, 2.5)),
+        label=(v, "label", (v, ((1, 2),))),
+        categories={"ball": {v + 1: 0, v + 2: 1}, "seq": {7: (1, 2, 3)}},
+    )
+
+
+def _pack(vertices):
+    return encode_pack(
+        [(v, encode_node_table(_record(v))) for v in vertices]
+    )
+
+
+class TestRoundTrip:
+    def test_find_and_decode_every_entry(self):
+        vertices = [3, 9, 17, 42, 1000]
+        buf = _pack(vertices)
+        assert check_pack(buf) == len(vertices)
+        for v in vertices:
+            offset, length = find_in_pack(buf, v)
+            record = decode_node_table(
+                memoryview(buf)[offset:offset + length]
+            )
+            assert record == _record(v)
+
+    def test_absent_vertex_returns_none(self):
+        buf = _pack([3, 9, 17])
+        assert find_in_pack(buf, 4) is None
+        assert find_in_pack(buf, 0) is None
+        assert find_in_pack(buf, 18) is None
+
+    def test_entries_are_index_sorted_regardless_of_input_order(self):
+        buf = _pack([42, 3, 17])
+        assert [v for v, _, _ in iter_pack_entries(buf)] == [3, 17, 42]
+
+    def test_memoryview_decode_matches_bytes_decode(self):
+        blob = encode_node_table(_record(5))
+        assert decode_node_table(memoryview(blob)) == decode_node_table(blob)
+
+    def test_empty_pack(self):
+        buf = encode_pack([])
+        assert check_pack(buf) == 0
+        assert find_in_pack(buf, 0) is None
+
+    def test_duplicate_vertex_rejected_at_encode(self):
+        blob = encode_node_table(_record(3))
+        with pytest.raises(ShardCodecError, match="twice"):
+            encode_pack([(3, blob), (3, blob)])
+
+
+class TestRejection:
+    def test_foreign_magic(self):
+        buf = bytearray(_pack([1, 2]))
+        buf[:4] = b"NOPE"
+        with pytest.raises(ShardCodecError, match="magic"):
+            check_pack(bytes(buf))
+
+    def test_future_version(self):
+        buf = bytearray(_pack([1, 2]))
+        buf[4] = PACK_VERSION + 1
+        with pytest.raises(ShardCodecError, match="version"):
+            check_pack(bytes(buf))
+
+    def test_truncated_header(self):
+        with pytest.raises(ShardCodecError, match="truncated"):
+            check_pack(_pack([1])[:6])
+
+    def test_truncated_index(self):
+        buf = bytearray(_pack([1, 2]))
+        # claim more entries than the file holds
+        struct.pack_into("<I", buf, 6, 1000)
+        with pytest.raises(ShardCodecError, match="too short"):
+            check_pack(bytes(buf))
+
+    def _handcrafted(self, entries, payload):
+        out = [_PACK_HEADER.pack(b"RTPK", PACK_VERSION, 0, len(entries))]
+        out.extend(_PACK_ENTRY.pack(*e) for e in entries)
+        out.append(payload)
+        return b"".join(out)
+
+    def test_unsorted_index(self):
+        buf = self._handcrafted(
+            [(9, 0, 4), (3, 4, 4)], b"\x00" * 8
+        )
+        with pytest.raises(ShardCodecError, match="sorted"):
+            check_pack(buf)
+
+    def test_overlapping_payloads(self):
+        buf = self._handcrafted(
+            [(3, 0, 6), (9, 4, 4)], b"\x00" * 8
+        )
+        with pytest.raises(ShardCodecError, match="overlap"):
+            check_pack(buf)
+
+    def test_payload_out_of_bounds(self):
+        buf = self._handcrafted(
+            [(3, 0, 4), (9, 4, 100)], b"\x00" * 8
+        )
+        with pytest.raises(ShardCodecError, match="past the payload"):
+            check_pack(buf)
+
+    def test_truncated_payload_slice_fails_in_decode(self):
+        """A wrong length yields a slice the shard decoder rejects."""
+        blob = encode_node_table(_record(3))
+        with pytest.raises(ShardCodecError):
+            decode_node_table(memoryview(blob)[: len(blob) - 2])

@@ -11,7 +11,11 @@ registered scheme on a seeded n >= 200 graph:
   the shards of the vertices that route actually visits reproduces the
   exact same trace; every other shard is deleted from disk first,
 * serve statistics account exactly the shards a route touched, and the
-  optional LRU bound keeps residency at the configured budget.
+  optional LRU bound keeps residency at the configured budget,
+* **packed equivalence** — the packed (layout v2) store serves the same
+  workload with identical hop-by-hop decisions, identical serve
+  counters and identical word accounting, and passes the same
+  local-knowledge invariant with every non-visited *group* deleted.
 """
 
 import os
@@ -30,7 +34,13 @@ from repro.api import (
 from repro.eval.workloads import sample_pairs
 from repro.graph.generators import erdos_renyi, with_random_weights
 from repro.routing.model import Deliver, Forward
-from repro.routing.serving import LocalRouter, ShardStore, write_shards
+from repro.routing.serving import (
+    LocalRouter,
+    PackedShardStore,
+    ShardStore,
+    open_store,
+    write_shards,
+)
 
 N = 220  # the local-knowledge invariant is asserted at n >= 200
 PAIRS = 25
@@ -53,6 +63,11 @@ def shard_root(tmp_path_factory):
     return tmp_path_factory.mktemp("shards")
 
 
+#: packed-group size for the tests: small enough that n=220 spans many
+#: groups, so group-level deletion (local knowledge) means something
+GROUP_SIZE = 16
+
+
 @pytest.fixture(scope="module")
 def served(graphs, caches, shard_root):
     """session + shard dir per scheme, built once for the module."""
@@ -64,6 +79,21 @@ def served(graphs, caches, shard_root):
         path = str(shard_root / name)
         session.save(path, shards=True)
         out[name] = (session, path)
+    return out
+
+
+@pytest.fixture(scope="module")
+def served_packed(served, shard_root):
+    """packed (layout v2) shard dir per scheme, from the same sessions."""
+    out = {}
+    for name, (session, _) in served.items():
+        path = str(shard_root / f"{name}.packed")
+        write_shards(
+            session.scheme, path,
+            spec_name=session.spec_name, params=session.params,
+            seed=session.seed, packed=True, group_size=GROUP_SIZE,
+        )
+        out[name] = path
     return out
 
 
@@ -91,6 +121,11 @@ def _dual_step_route(scheme, router, s, t, max_hops=None):
         assert isinstance(a1, Forward)
         assert a1.port == a2.port, (u, a1, a2)
         assert a1.header == a2.header, (u, a1, a2)
+        # the serving engine's bool-free header contract, checked for
+        # every hop of every registered scheme (see LocalRouter._wire_len)
+        from repro.routing.serving import _contains_bool
+
+        assert not _contains_bool(a1.header), (u, a1.header)
         nxt = scheme.ports.neighbor(u, a1.port)
         assert router.local_edge(u, a1.port) == (
             nxt, scheme.graph.weight(u, nxt),
@@ -226,6 +261,248 @@ def test_reshard_roundtrip(served, tmp_path):
     twice = load(again)
     r1, r2 = restored.route(3, 50), twice.route(3, 50)
     assert r1.path == r2.path
+
+
+# ----------------------------------------------------------------------
+# packed layout (v2): equivalence with the per-file store
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", scheme_names())
+def test_packed_identical_step_decisions(name, served, served_packed):
+    session, _ = served[name]
+    router = LocalRouter(PackedShardStore(served_packed[name]))
+    for s, t in sample_pairs(N, PAIRS, seed=77):
+        _dual_step_route(session.scheme, router, s, t)
+
+
+@pytest.mark.parametrize("name", scheme_names())
+def test_packed_equals_per_file_serve_counters(name, served, served_packed):
+    """Same workload, same counters: the layouts differ only in inodes."""
+    _, v1_path = served[name]
+    v1 = LocalRouter(ShardStore(v1_path))
+    packed = LocalRouter(PackedShardStore(served_packed[name]))
+    from repro.routing.simulator import route as sim_route
+
+    for s, t in sample_pairs(N, 10, seed=41):
+        r1 = sim_route(v1, s, t)
+        r2 = sim_route(packed, s, t)
+        assert r1.path == r2.path, (name, s, t)
+        assert r2.length == pytest.approx(r1.length)
+        assert r1.max_header_words == r2.max_header_words
+    s1, s2 = v1.store.stats(), packed.store.stats()
+    for key in ("n", "loads", "hits", "bytes_read", "resident"):
+        assert s1[key] == s2[key], (name, key, s1, s2)
+    assert v1.header_stats() == packed.header_stats()
+    # manifests account identical payload bytes and words
+    m1, m2 = v1.store.manifest, packed.store.manifest
+    assert m1["bytes"] == m2["bytes"]
+    assert m1["words"] == m2["words"]
+
+
+@pytest.mark.parametrize("name", ["thm11", "tz3"])
+def test_packed_word_accounting_matches(name, served, served_packed):
+    session, _ = served[name]
+    restored = load(served_packed[name])
+    st1, st2 = session.stats(), restored.stats()
+    assert st2.total_table_words == st1.total_table_words
+    assert st2.max_table_words == st1.max_table_words
+    assert st2.max_label_words == st1.max_label_words
+
+
+@pytest.mark.parametrize("name", scheme_names())
+def test_packed_local_knowledge_invariant(
+    name, served, served_packed, tmp_path
+):
+    """Routes survive deletion of every *group* the route does not visit."""
+    session, _ = served[name]
+    path = served_packed[name]
+    for i, (s, t) in enumerate(sample_pairs(N, 5, seed=131)):
+        reference = session.route(s, t)
+        visited = set(reference.path) | {s, t}
+        store = PackedShardStore(path)
+        groups = {store.group_of(v) for v in visited}
+
+        trimmed = tmp_path / f"{name}-{i}"
+        os.makedirs(trimmed / "groups")
+        shutil.copy(
+            os.path.join(path, "manifest.json"), trimmed / "manifest.json"
+        )
+        for g in groups:
+            shutil.copy(
+                store.group_path(g),
+                trimmed / "groups" / os.path.basename(store.group_path(g)),
+            )
+
+        lonely = load(str(trimmed))
+        result = lonely.route(s, t)
+        assert result.path == reference.path, (name, s, t)
+        assert result.length == pytest.approx(reference.length)
+        assert result.max_header_words == reference.max_header_words
+        stats = lonely.serve_stats()
+        assert stats["loads"] <= len(visited)
+        assert stats["groups_mapped"] <= len(groups)
+
+    # a route through a deleted group fails loudly, never reroutes
+    full = load(path)
+    ref = full.route(0, N - 1)
+    if len(ref.path) > 2:
+        middle = ref.path[len(ref.path) // 2]
+        store = PackedShardStore(path)
+        broken_dir = tmp_path / f"{name}-broken"
+        shutil.copytree(path, broken_dir)
+        victim = os.path.basename(store.group_path(store.group_of(middle)))
+        os.remove(broken_dir / "groups" / victim)
+        broken = load(str(broken_dir))
+        with pytest.raises(FileNotFoundError, match="group"):
+            broken.route(0, N - 1)
+
+
+def test_packed_session_autodetects_layout(served, served_packed):
+    """`load` on a packed dir serves without being told the layout."""
+    session, _ = served["thm11"]
+    restored = load(served_packed["thm11"])
+    assert restored.loaded
+    assert restored.spec_name == "thm11"
+    assert isinstance(restored.scheme.store, PackedShardStore)
+    r1, r2 = session.route(3, 50), restored.route(3, 50)
+    assert r1.path == r2.path
+
+
+def test_open_store_dispatches_by_manifest(served, served_packed):
+    _, v1_path = served["tz2"]
+    assert isinstance(open_store(v1_path), ShardStore)
+    assert isinstance(open_store(served_packed["tz2"]), PackedShardStore)
+
+
+def test_packed_rejected_by_per_file_store(served_packed):
+    with pytest.raises(ValueError, match="version"):
+        ShardStore(served_packed["tz2"])
+
+
+def test_per_file_rejected_by_packed_store(served):
+    _, v1_path = served["tz2"]
+    with pytest.raises(ValueError, match="version"):
+        PackedShardStore(v1_path)
+
+
+def test_packed_max_resident_bounds_memory(served_packed):
+    store = PackedShardStore(served_packed["warmup3"], max_resident=4)
+    router = LocalRouter(store)
+    from repro.routing.simulator import route as sim_route
+
+    for s, t in sample_pairs(N, 10, seed=3):
+        sim_route(router, s, t)
+        assert len(store._resident) <= 4
+
+
+def test_serve_stats_report_header_bytes(served_packed):
+    """The wire codec is on the serving path: serve_stats shows bytes."""
+    session = RoutingSession.from_shards(served_packed["thm11"])
+    stats = session.serve_stats()
+    assert stats["headers_encoded"] == 0 and stats["header_bytes"] == 0
+    routed = 0
+    for s, t in sample_pairs(N, 10, seed=9):
+        routed += session.route(s, t).hops
+    stats = session.serve_stats()
+    assert stats["headers_encoded"] == routed  # one header per hop
+    assert stats["header_bytes"] > 0
+    assert 0 < stats["max_header_bytes"] <= stats["header_bytes"]
+
+
+def test_wire_cache_refuses_bool_header_leaves(served_packed):
+    """True/1 hash-collide in the value-keyed wire cache, so headers
+    must be bool-free: the miss path refuses bool leaves, and the
+    dual-step harness asserts the contract for every scheme's every
+    forwarded header (a per-lookup deep check would cost more than the
+    encode the cache avoids)."""
+    from repro.routing.serving import _contains_bool
+
+    router = LocalRouter(PackedShardStore(served_packed["tz2"]))
+    with pytest.raises(RuntimeError, match="bool leaf"):
+        router._wire_len(("tree", True, (0, ())))
+    assert router._wire_len(("tree", 1, (0, ()))) > 0
+    assert _contains_bool(("t1", (0, (False,))))  # nested leaves found
+    assert not _contains_bool(("t1", (0, 1), None, "tag"))
+
+
+def test_packed_vertex_out_of_range(served_packed):
+    store = PackedShardStore(served_packed["tz2"])
+    with pytest.raises(ValueError, match="outside"):
+        store.node(N)
+
+
+def test_packed_close_releases_maps(served_packed):
+    store = PackedShardStore(served_packed["tz2"])
+    store.node(0)
+    assert store.groups_mapped == 1
+    store.close()
+    assert store.groups_mapped == 0
+
+
+def test_packed_verify_checks_every_group(served_packed):
+    store = PackedShardStore(served_packed["tz2"])
+    assert store.verify() == (N + GROUP_SIZE - 1) // GROUP_SIZE
+
+
+def test_packed_corrupt_index_fails_loudly(served_packed, tmp_path):
+    """A lying index surfaces check_pack's precise error, not garbage."""
+    import struct
+
+    from repro.routing.shard_codec import ShardCodecError
+
+    target = tmp_path / "corrupt"
+    shutil.copytree(served_packed["tz2"], target)
+    group0 = target / "groups" / "0000.pack"
+    buf = bytearray(group0.read_bytes())
+    # first index entry (<IQI at byte 10): point its offset past the file
+    struct.pack_into("<Q", buf, 14, 1 << 40)
+    group0.write_bytes(bytes(buf))
+
+    store = PackedShardStore(str(target))
+    with pytest.raises(ShardCodecError, match="overlaps|past the payload"):
+        store.node(0)
+    with pytest.raises(ShardCodecError, match="overlaps|past the payload"):
+        PackedShardStore(str(target)).verify()
+
+
+def test_interrupted_reshard_leaves_no_stale_manifest(served, tmp_path):
+    """A write that dies mid-stream must not leave the OLD manifest
+    describing deleted shards — the directory reads as 'not a shard
+    directory' until the new manifest lands atomically at the end."""
+    from repro.routing.serving import write_shard_records
+
+    session, path = served["tz2"]
+    target = tmp_path / "reshard"
+    shutil.copytree(path, target)
+    assert load(str(target)).route(1, 50).path  # valid before
+
+    def exploding_records():
+        for i, record in enumerate(session.scheme.compile_tables()):
+            if i == 5:
+                raise RuntimeError("disk full")
+            yield record
+
+    with pytest.raises(RuntimeError, match="disk full"):
+        write_shard_records(
+            exploding_records(), str(target),
+            identity={"spec": "tz2"}, packed=True,
+        )
+    assert not os.path.exists(target / "manifest.json")
+    with pytest.raises((FileNotFoundError, ValueError)):
+        load(str(target))
+
+
+def test_packed_tampered_version_rejected_at_map(served_packed, tmp_path):
+    from repro.routing.shard_codec import ShardCodecError
+
+    target = tmp_path / "future"
+    shutil.copytree(served_packed["tz2"], target)
+    group0 = target / "groups" / "0000.pack"
+    buf = bytearray(group0.read_bytes())
+    buf[4] = 99  # pack version byte
+    group0.write_bytes(bytes(buf))
+    store = PackedShardStore(str(target))
+    with pytest.raises(ShardCodecError, match="version"):
+        store.node(0)
 
 
 class TestStoreValidation:

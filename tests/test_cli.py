@@ -163,6 +163,66 @@ class TestShard:
                 ["route", "--shards", str(tmp_path), "--scheme", "thm10"]
             )
 
+    def test_shard_pack_then_route(self, capsys, tmp_path):
+        import os
+
+        out = str(tmp_path / "packed")
+        args = ["--scheme", "thm11", "--n", "80", "--seed", "4"]
+        rc = main(["shard", *args, "--out", out, "--pack"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "packed group files" in text
+        assert os.path.isdir(os.path.join(out, "groups"))
+        assert not os.path.isdir(os.path.join(out, "shards"))
+
+        # per-vertex and packed layouts must print identical route lines
+        per_file = str(tmp_path / "per-file")
+        assert main(["shard", *args, "--out", per_file]) == 0
+        capsys.readouterr()
+        assert main(
+            ["route", "--shards", per_file, "--source", "5", "--target", "33"]
+        ) == 0
+        v1_line = next(
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("route ")
+        )
+        assert main(
+            ["route", "--shards", out, "--source", "5", "--target", "33"]
+        ) == 0
+        served = capsys.readouterr().out
+        assert v1_line in served
+        assert "packed layout" in served
+        assert "wire headers" in served
+
+    def test_packed_dir_loads_via_load(self, capsys, tmp_path):
+        out = str(tmp_path / "packed")
+        assert main(
+            ["shard", "--scheme", "tz2", "--n", "70", "--out", out, "--pack"]
+        ) == 0
+        capsys.readouterr()
+        rc = main(["load", out, "--measure", "30"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "loaded TZ 4k-5 (k=2) [tz2]" in text
+        assert "measured 30 pairs" in text
+
+    def test_reshard_pack_removes_stale_per_file_layout(
+        self, capsys, tmp_path
+    ):
+        import os
+
+        out = str(tmp_path / "shards")
+        assert main(
+            ["shard", "--scheme", "tz2", "--n", "60", "--out", out]
+        ) == 0
+        assert main(
+            ["shard", "--scheme", "tz2", "--n", "60", "--out", out, "--pack"]
+        ) == 0
+        capsys.readouterr()
+        # the per-file tree is gone; the packed layout serves
+        assert not os.path.isdir(os.path.join(out, "shards"))
+        assert main(["load", out, "--measure", "20"]) == 0
+
     def test_reshard_removes_stale_shards(self, capsys, tmp_path):
         import os
 

@@ -163,6 +163,14 @@ def cmd_route(args) -> int:
                 f"{stats['header_bytes']} bytes total "
                 f"(max {stats['max_header_bytes']})"
             )
+        health = session.health()
+        if health is not None and health["status"] != "ok":
+            print(
+                f"health: {health['status']} "
+                f"(retries {health['retries']}, checksum failures "
+                f"{health['checksum_failures']}, failovers "
+                f"{health['failovers']}, repairs {health['repairs']})"
+            )
         return 0
     session = _build_session(
         args.scheme, args.n, args.family, args.seed, args.preset
@@ -270,6 +278,17 @@ def cmd_save(args) -> int:
 def cmd_shard(args) -> int:
     from .routing.serving import write_shards
 
+    if args.verify is not None:
+        return _verify_shard_dir(args.verify)
+    if args.out is None:
+        raise SystemExit("shard: --out is required (or use --verify DIR)")
+    if args.replicas > 1 and not args.pack:
+        raise SystemExit("--replicas requires --pack")
+    if args.no_checksums and args.replicas > 1:
+        raise SystemExit(
+            "--no-checksums conflicts with --replicas: failover is "
+            "driven by checksum verification"
+        )
     session = _build_session(
         args.scheme, args.n, args.family, args.seed, args.preset
     )
@@ -280,12 +299,20 @@ def cmd_shard(args) -> int:
         params=session.params,
         seed=session.seed,
         packed=args.pack,
+        checksums=not args.no_checksums,
+        replicas=args.replicas,
     )
     print(f"{session.name} on {session.graph}")
     if args.pack:
         layout_note = (
             f"{manifest['files']['groups']} packed group files "
-            f"(group size {manifest['group_size']})"
+            f"(group size {manifest['group_size']}"
+            + (", checksummed" if manifest.get("checksums") else "")
+            + (
+                f", x{manifest['replicas']} replicas"
+                if manifest.get("replicas", 1) > 1 else ""
+            )
+            + ")"
         )
     else:
         layout_note = "one file per vertex"
@@ -300,6 +327,24 @@ def cmd_shard(args) -> int:
         f"words (reconciled with the in-memory scheme)"
     )
     return 0
+
+
+def _verify_shard_dir(path: str) -> int:
+    """`shard --verify DIR`: offline integrity sweep, exit 1 on damage."""
+    from .routing.serving import verify_shard_dir
+
+    try:
+        report = verify_shard_dir(path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot verify {path!r}: {exc}") from None
+    bad = {unit: err for unit, err in report.items() if err != "ok"}
+    print(
+        f"verified {path}: {len(report) - len(bad)}/{len(report)} "
+        f"units intact"
+    )
+    for unit, err in sorted(bad.items()):
+        print(f"  CORRUPT {unit}: {err}")
+    return 1 if bad else 0
 
 
 def cmd_load(args) -> int:
@@ -416,12 +461,27 @@ def main(argv=None) -> int:
     )
     _add_build_args(p_shard)
     p_shard.add_argument(
-        "--out", required=True, help="output shard directory"
+        "--out", default=None, help="output shard directory"
     )
     p_shard.add_argument(
         "--pack", action="store_true",
         help="write packed mmap-able group files instead of one file "
-             "per vertex (layout v2; `route --shards` auto-detects)",
+             "per vertex (layout v2/v3; `route --shards` auto-detects)",
+    )
+    p_shard.add_argument(
+        "--no-checksums", action="store_true",
+        help="write the plain v2 packed layout without CRC32 checksums "
+             "(default: checksummed v3)",
+    )
+    p_shard.add_argument(
+        "--replicas", type=int, default=1, metavar="R",
+        help="with --pack: write every group to R replica roots; "
+             "serving fails over on read/checksum errors",
+    )
+    p_shard.add_argument(
+        "--verify", default=None, metavar="DIR",
+        help="skip building: run an offline integrity sweep over an "
+             "existing shard directory (exit 1 if any unit is corrupt)",
     )
     p_shard.set_defaults(func=cmd_shard)
 

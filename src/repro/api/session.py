@@ -183,7 +183,13 @@ class RoutingSession:
         }
 
     def save(
-        self, path: str, *, shards: bool = False, packed: bool = False
+        self,
+        path: str,
+        *,
+        shards: bool = False,
+        packed: bool = False,
+        checksums: bool = True,
+        replicas: int = 1,
     ) -> str:
         """Persist the session; returns ``path``.
 
@@ -193,7 +199,12 @@ class RoutingSession:
         shape where each node can be handed only its own table.
         ``packed=True`` (with ``shards=True``) packs the shards into
         mmap-able group files — same payloads, ``O(n / group_size)``
-        files — for serving at ``n >= 10^5``.
+        files — for serving at ``n >= 10^5``.  Packed shards carry
+        CRC32 checksums by default (layout v3; ``checksums=False``
+        reverts to plain v2); ``replicas=R >= 2`` writes every group to
+        R replica roots, and loading the directory serves through
+        checksum-driven failover
+        (:class:`~repro.routing.serving.ReplicatedShardStore`).
         """
         if packed and not shards:
             raise ValueError("packed=True requires shards=True")
@@ -207,6 +218,8 @@ class RoutingSession:
                 params=self.params,
                 seed=self.seed,
                 packed=packed,
+                checksums=checksums,
+                replicas=replicas,
             )
             return path
         payload = self.to_payload()
@@ -300,6 +313,20 @@ class RoutingSession:
         if header_stats is not None:
             stats.update(header_stats())
         return stats
+
+    def health(self) -> Optional[Dict[str, Any]]:
+        """Serving-health summary, or ``None`` for in-memory sessions.
+
+        ``{"status": "ok" | "degraded", ...counters}`` — degraded means
+        the store retried, failed over, detected a checksum mismatch or
+        currently quarantines a replica; routes still complete (that is
+        the point of the fault-tolerance layer), but an operator should
+        look at the counters and consider ``repair()``.
+        """
+        store = getattr(self.scheme, "store", None)
+        if store is None:
+            return None
+        return store.health()
 
     def describe(self) -> str:
         """One human-readable summary line."""

@@ -48,10 +48,13 @@ gates both the 10x cold start and the >= 100x file-count reduction).
 
 from __future__ import annotations
 
+import errno
 import json
 import mmap
 import os
 import shutil
+import time
+import zlib
 from collections import OrderedDict
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -60,25 +63,35 @@ from . import header_codec
 from .model import RouteAction, Forward, SchemeStats, aggregate_scheme_stats
 from .shard_codec import (
     CODEC_VERSION,
+    ChecksumError,
     ShardCodecError,
     check_pack,
     decode_node_table,
     encode_node_table,
     encode_pack,
-    find_in_pack,
+    find_pack_entry,
     parse_pack_header,
+    verify_pack,
 )
 from .tables import NodeTable
 
 __all__ = [
+    "ServingError",
+    "ShardUnavailableError",
+    "ShardIntegrityError",
+    "ReplicaExhaustedError",
+    "DirectIO",
     "ShardStore",
     "PackedShardStore",
+    "ReplicatedShardStore",
     "open_store",
+    "verify_shard_dir",
     "LocalRouter",
     "write_shards",
     "write_shard_records",
     "shard_path",
     "group_path",
+    "replica_root",
     "is_shard_dir",
 ]
 
@@ -88,11 +101,94 @@ FORMAT = "repro.routing.shards"
 FORMAT_VERSION = 1
 #: layout version 2: packed group files under groups/<g>.pack
 PACKED_FORMAT_VERSION = 2
+#: layout version 3: packed group files whose index and payloads carry
+#: CRC32 checksums (pack v2); with ``replicas=R > 1`` every group exists
+#: on R replica paths under replica/<r>/groups/<g>.pack
+CHECKSUM_FORMAT_VERSION = 3
 #: shards per leaf directory (keeps directories small at n ~ 10^6)
 DEFAULT_FANOUT = 256
 #: shard payloads per packed group file: at n = 10^6 this is ~245 files
 #: (vs 10^6 inodes), while one group stays small enough to map lazily
 DEFAULT_GROUP_SIZE = 4096
+#: transient-IO retry policy defaults (see _ShardStoreBase)
+DEFAULT_RETRY_BUDGET = 2
+DEFAULT_BACKOFF_S = 0.002
+
+
+class ServingError(RuntimeError):
+    """Base of the typed serving-failure hierarchy.
+
+    Degraded-mode callers catch this one type; the subclasses say what
+    failed (and multiple-inherit the legacy exception types earlier
+    releases raised, so existing handlers keep working).
+    """
+
+
+class ShardUnavailableError(ServingError, FileNotFoundError):
+    """A shard/group file that the manifest covers cannot be opened."""
+
+
+class ShardIntegrityError(ServingError, ShardCodecError):
+    """Stored bytes are corrupt: checksum mismatch, lying index, or a
+    manifest-covered vertex missing from a structurally valid index."""
+
+
+class ReplicaExhaustedError(ServingError):
+    """Every replica of a group failed; carries the per-replica causes."""
+
+    def __init__(self, message: str, causes: Dict[int, Exception]):
+        super().__init__(message)
+        #: replica index -> the exception that disqualified it
+        self.causes = causes
+
+
+class DirectIO:
+    """The real filesystem behind a shard store.
+
+    Stores never touch ``open``/``mmap`` directly — they go through one
+    of these, which is the seam the fault-injection layer
+    (:class:`repro.routing.faults.FaultInjector`) wraps.  Owns the maps
+    it hands out; :meth:`close` releases them (the ``close()``
+    discipline the leak tests enforce).
+    """
+
+    def __init__(self) -> None:
+        self._views: List[memoryview] = []
+        self._mmaps: List[mmap.mmap] = []
+
+    def map_group(self, path: str) -> memoryview:
+        """Map ``path`` read-only; the view stays valid until close()."""
+        with open(path, "rb") as fh:
+            mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        view = memoryview(mapped)
+        self._views.append(view)
+        self._mmaps.append(mapped)
+        return view
+
+    def read_bytes(self, path: str) -> bytes:
+        with open(path, "rb") as fh:
+            return fh.read()
+
+    def close(self) -> None:
+        views, self._views = self._views, []
+        for view in views:
+            view.release()
+        mmaps, self._mmaps = self._mmaps, []
+        collected = False
+        for mapped in mmaps:
+            try:
+                mapped.close()
+            except BufferError:
+                # a stray sub-view of this map is pinned in a reference
+                # cycle (typically an exception traceback from a failed
+                # verify) — one gc pass frees it; a second BufferError
+                # is a real leak and propagates
+                if not collected:
+                    import gc
+
+                    gc.collect()
+                    collected = True
+                mapped.close()
 
 
 def shard_path(root: str, v: int, fanout: int) -> str:
@@ -103,8 +199,13 @@ def shard_path(root: str, v: int, fanout: int) -> str:
 
 
 def group_path(root: str, g: int) -> str:
-    """On-disk path of packed group ``g`` under a v2 layout ``root``."""
+    """On-disk path of packed group ``g`` under a v2/v3 layout ``root``."""
     return os.path.join(root, "groups", f"{g:04x}.pack")
+
+
+def replica_root(root: str, r: int) -> str:
+    """Root of replica ``r`` under a replicated (v3) layout ``root``."""
+    return os.path.join(root, "replica", str(r))
 
 
 def _clear_stale_layouts(path: str) -> None:
@@ -119,7 +220,7 @@ def _clear_stale_layouts(path: str) -> None:
     manifest = os.path.join(path, MANIFEST_NAME)
     if os.path.isfile(manifest):
         os.remove(manifest)
-    for sub in ("shards", "groups"):
+    for sub in ("shards", "groups", "replica"):
         stale = os.path.join(path, sub)
         if os.path.isdir(stale):
             shutil.rmtree(stale)
@@ -151,7 +252,12 @@ def _write_per_file(
 
 
 def _write_packed(
-    path: str, blobs: Iterable[Tuple[int, bytes]], group_size: int
+    path: str,
+    blobs: Iterable[Tuple[int, bytes]],
+    group_size: int,
+    *,
+    checksums: bool = True,
+    replicas: int = 1,
 ) -> Dict[str, Any]:
     # Streaming with O(group) residency: a group flushes as soon as a
     # record of a later group arrives, so a 10^6-vertex layout never
@@ -159,15 +265,35 @@ def _write_packed(
     # nondecreasing group order — what every producer in this repository
     # emits (compile_tables, iter_nodes and the benches walk vertices in
     # order; within a group, encode_pack sorts).
-    os.makedirs(os.path.join(path, "groups"), exist_ok=True)
+    #
+    # ``replicas=R > 1`` lands every encoded group on R replica roots
+    # (encode once, write R times) — the redundancy the
+    # ReplicatedShardStore fails over across.  Replication without
+    # checksums would fail over on *loud* faults only, so it is refused.
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    if replicas > 1 and not checksums:
+        raise ValueError(
+            "replicas > 1 requires checksums=True — failover is driven "
+            "by checksum verification, a replica set without checksums "
+            "could silently serve a corrupted group"
+        )
+    roots = (
+        [path] if replicas == 1
+        else [replica_root(path, r) for r in range(replicas)]
+    )
+    for root in roots:
+        os.makedirs(os.path.join(root, "groups"), exist_ok=True)
     groups_written = 0
 
     def flush(g: int, entries: List[Tuple[int, bytes]]) -> None:
-        target = group_path(path, g)
-        tmp = f"{target}.tmp.{os.getpid()}"
-        with open(tmp, "wb") as fh:
-            fh.write(encode_pack(entries))
-        os.replace(tmp, target)
+        pack = encode_pack(entries, checksums=checksums)
+        for root in roots:
+            target = group_path(root, g)
+            tmp = f"{target}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as fh:
+                fh.write(pack)
+            os.replace(tmp, target)
 
     current: Optional[int] = None
     entries: List[Tuple[int, bytes]] = []
@@ -190,10 +316,14 @@ def _write_packed(
         flush(current, entries)
         groups_written += 1
     return {
-        "version": PACKED_FORMAT_VERSION,
+        "version": (
+            CHECKSUM_FORMAT_VERSION if checksums else PACKED_FORMAT_VERSION
+        ),
         "layout": "packed",
         "group_size": group_size,
-        "files": {"groups": groups_written},
+        "checksums": checksums,
+        "replicas": replicas,
+        "files": {"groups": groups_written, "replicas": replicas},
     }
 
 
@@ -205,6 +335,8 @@ def write_shard_records(
     packed: bool = False,
     fanout: int = DEFAULT_FANOUT,
     group_size: int = DEFAULT_GROUP_SIZE,
+    checksums: bool = True,
+    replicas: int = 1,
 ) -> Dict[str, Any]:
     """Write encoded :class:`NodeTable` records under ``path``.
 
@@ -218,7 +350,14 @@ def write_shard_records(
     writing needs records in nondecreasing ``owner // group_size``
     order, which every producer here emits).  Returns the manifest dict
     (also written to ``manifest.json``).
+
+    Packed layouts default to ``checksums=True`` (layout v3: CRC32 per
+    payload and per index); ``checksums=False`` writes the legacy v2
+    packs.  ``replicas=R > 1`` (packed + checksummed only) lands every
+    group on R replica paths for :class:`ReplicatedShardStore` failover.
     """
+    if replicas > 1 and not packed:
+        raise ValueError("replicas > 1 requires packed=True")
     os.makedirs(path, exist_ok=True)
     _clear_stale_layouts(path)
     stats = {"n": 0, "bytes": 0, "max_bytes": 0, "words": 0, "max_words": 0}
@@ -235,7 +374,10 @@ def write_shard_records(
             yield record.owner, blob
 
     if packed:
-        layout = _write_packed(path, encoded(), group_size)
+        layout = _write_packed(
+            path, encoded(), group_size,
+            checksums=checksums, replicas=replicas,
+        )
     else:
         layout = _write_per_file(path, encoded(), fanout)
     manifest = {
@@ -254,11 +396,20 @@ def write_shard_records(
     }
     manifest.update(layout)
     manifest.update(identity)
+    # tmp + os.replace: the manifest appears atomically or not at all —
+    # and a crash mid-dump must not leave the tmp file behind either
+    # (operators sweeping a shard fleet should never wonder whether a
+    # half-written .tmp is load-bearing).
     tmp = os.path.join(path, f"{MANIFEST_NAME}.tmp.{os.getpid()}")
-    with open(tmp, "w") as fh:
-        json.dump(manifest, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    os.replace(tmp, os.path.join(path, MANIFEST_NAME))
+    try:
+        with open(tmp, "w") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, os.path.join(path, MANIFEST_NAME))
+    except BaseException:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+        raise
     return manifest
 
 
@@ -272,16 +423,22 @@ def write_shards(
     fanout: int = DEFAULT_FANOUT,
     packed: bool = False,
     group_size: int = DEFAULT_GROUP_SIZE,
+    checksums: bool = True,
+    replicas: int = 1,
 ) -> Dict[str, Any]:
     """Compile ``scheme`` and write the sharded layout under ``path``.
 
     ``packed=False`` writes one file per vertex (layout v1);
-    ``packed=True`` writes ``O(n / group_size)`` packed group files
-    (layout v2) — same payload bytes, same manifest accounting, a
-    fraction of the inodes.  Returns the manifest dict.  The manifest's
-    word totals are asserted against the scheme's own
-    :class:`SchemeStats` — byte accounting that silently drifted from
-    the word accounting would invalidate every size table we report.
+    ``packed=True`` writes ``O(n / group_size)`` packed group files —
+    same payload bytes, same manifest accounting, a fraction of the
+    inodes — checksummed by default (layout v3; ``checksums=False``
+    reverts to the legacy v2 packs) and optionally replicated
+    (``replicas=R`` places every group on R replica paths for
+    :class:`ReplicatedShardStore` failover).  Returns the manifest
+    dict.  The manifest's word totals are asserted against the scheme's
+    own :class:`SchemeStats` — byte accounting that silently drifted
+    from the word accounting would invalidate every size table we
+    report.
     """
     records = scheme.compile_tables()
     stats = scheme.stats()
@@ -310,6 +467,8 @@ def write_shards(
         packed=packed,
         fanout=fanout,
         group_size=group_size,
+        checksums=checksums,
+        replicas=replicas,
     )
 
 
@@ -318,6 +477,72 @@ def is_shard_dir(path: str) -> bool:
     return os.path.isdir(path) and os.path.isfile(
         os.path.join(path, MANIFEST_NAME)
     )
+
+
+#: manifest fields every layout must carry, with their validators —
+#: _load_manifest refuses arbitrary JSON instead of letting a missing
+#: or mistyped field surface later as a KeyError in the serving path
+_MANIFEST_COMMON = {
+    "version": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "n": lambda v: (
+        isinstance(v, int) and not isinstance(v, bool) and v >= 0
+    ),
+    "spec": lambda v: isinstance(v, str) and v != "",
+    "scheme": lambda v: isinstance(v, str) and v != "",
+}
+_MANIFEST_LAYOUT = {
+    FORMAT_VERSION: {
+        "fanout": lambda v: (
+            isinstance(v, int) and not isinstance(v, bool) and v >= 1
+        ),
+    },
+    PACKED_FORMAT_VERSION: {
+        "group_size": lambda v: (
+            isinstance(v, int) and not isinstance(v, bool) and v >= 1
+        ),
+    },
+    CHECKSUM_FORMAT_VERSION: {
+        "group_size": lambda v: (
+            isinstance(v, int) and not isinstance(v, bool) and v >= 1
+        ),
+        "checksums": lambda v: v is True,
+        "replicas": lambda v: (
+            isinstance(v, int) and not isinstance(v, bool) and v >= 1
+        ),
+    },
+}
+
+
+def _validate_manifest(manifest: Any, path: str) -> Dict[str, Any]:
+    """Refuse manifests that are not what :func:`write_shard_records`
+    writes, with the precise field named — a manifest is operator-edited
+    JSON, and a typo'd ``n`` or ``group_size`` must fail at open, not as
+    a wrong-shaped lookup mid-route."""
+    if not isinstance(manifest, dict):
+        raise ValueError(
+            f"shard manifest of {path!r} is not a JSON object "
+            f"(got {type(manifest).__name__})"
+        )
+    if manifest.get("format") != FORMAT:
+        raise ValueError(
+            f"not a shard manifest (format={manifest.get('format')!r})"
+        )
+    checks = dict(_MANIFEST_COMMON)
+    version = manifest.get("version")
+    if version in _MANIFEST_LAYOUT:
+        checks.update(_MANIFEST_LAYOUT[version])
+    for field, ok in checks.items():
+        if field not in manifest:
+            raise ValueError(
+                f"shard manifest of {path!r} is missing required "
+                f"field {field!r} (layout version {version!r})"
+            )
+        if not ok(manifest[field]):
+            raise ValueError(
+                f"shard manifest of {path!r} has invalid "
+                f"{field}={manifest[field]!r}"
+            )
+    return manifest
 
 
 def _load_manifest(path: str) -> Dict[str, Any]:
@@ -329,11 +554,11 @@ def _load_manifest(path: str) -> Dict[str, Any]:
         raise FileNotFoundError(
             f"{path!r} is not a shard directory (no {MANIFEST_NAME})"
         ) from None
-    if manifest.get("format") != FORMAT:
+    except json.JSONDecodeError as exc:
         raise ValueError(
-            f"not a shard manifest (format={manifest.get('format')!r})"
-        )
-    return manifest
+            f"shard manifest of {path!r} is not valid JSON: {exc}"
+        ) from None
+    return _validate_manifest(manifest, path)
 
 
 class _ShardStoreBase:
@@ -352,16 +577,56 @@ class _ShardStoreBase:
     def __init__(
         self, path: str, manifest: Dict[str, Any],
         max_resident: Optional[int],
+        io: Optional[DirectIO] = None,
+        retry_budget: int = DEFAULT_RETRY_BUDGET,
+        backoff_s: float = DEFAULT_BACKOFF_S,
     ) -> None:
         self.path = path
         self.manifest = manifest
         self.n = int(manifest["n"])
         self.max_resident = max_resident
+        self._io = io if io is not None else DirectIO()
+        #: transient-IO retry policy: an EIO read is retried up to
+        #: ``retry_budget`` times with exponential backoff before the
+        #: error escapes (or, in the replicated store, fails over)
+        self.retry_budget = retry_budget
+        self.backoff_s = backoff_s
         self._resident: "OrderedDict[int, NodeTable]" = OrderedDict()
         #: serve statistics
         self.loads = 0
         self.hits = 0
         self.bytes_read = 0
+        #: fault-tolerance counters (every layout reports them; only
+        #: the checksummed/replicated paths can move most of them)
+        self.retries = 0
+        self.checksum_failures = 0
+        self.failovers = 0
+        self.repairs = 0
+
+    def _with_retries(self, op, describe: str):
+        """Run ``op()`` retrying transient IO errors (EIO/EAGAIN).
+
+        A NAS hiccup or an injected transient fault is not corruption:
+        it is retried up to ``retry_budget`` times with exponential
+        backoff, counted in ``retries``.  Anything else (missing file,
+        checksum mismatch) propagates immediately — retrying those
+        wastes the budget and delays failover.
+        """
+        attempt = 0
+        while True:
+            try:
+                return op()
+            except OSError as exc:
+                if isinstance(exc, FileNotFoundError) or exc.errno not in (
+                    errno.EIO, errno.EAGAIN,
+                ):
+                    raise
+                if attempt >= self.retry_budget:
+                    raise
+                self.retries += 1
+                if self.backoff_s:
+                    time.sleep(self.backoff_s * (2 ** attempt))
+                attempt += 1
 
     # -- layout hooks --------------------------------------------------
     def _read_shard(self, v: int):
@@ -412,7 +677,9 @@ class _ShardStoreBase:
             yield self.node(v)
 
     def stats(self) -> Dict[str, Any]:
-        """Serve counters: shard loads, cache hits, bytes read, residency."""
+        """Serve counters: shard loads, cache hits, bytes read, residency,
+        and the fault-tolerance counters (retries, checksum failures,
+        failovers, repairs)."""
         return {
             "n": self.n,
             "layout": self.layout,
@@ -421,7 +688,37 @@ class _ShardStoreBase:
             "bytes_read": self.bytes_read,
             "resident": len(self._resident),
             "max_resident": self.max_resident,
+            "retries": self.retries,
+            "checksum_failures": self.checksum_failures,
+            "failovers": self.failovers,
+            "repairs": self.repairs,
         }
+
+    def health(self) -> Dict[str, Any]:
+        """One-look serving-health summary.
+
+        ``status`` is ``"ok"`` until the store has observed (and
+        survived) a fault — retried IO, a checksum failure, a failover —
+        then ``"degraded"``; a store that cannot serve raises instead of
+        reporting.  Subclasses extend this with layout detail (the
+        replicated store adds its quarantine list).
+        """
+        degraded = bool(
+            self.retries or self.checksum_failures or self.failovers
+        )
+        return {
+            "status": "degraded" if degraded else "ok",
+            "layout": self.layout,
+            "n": self.n,
+            "retries": self.retries,
+            "checksum_failures": self.checksum_failures,
+            "failovers": self.failovers,
+            "repairs": self.repairs,
+        }
+
+    def close(self) -> None:
+        """Release every IO resource (the store is unusable afterwards)."""
+        self._io.close()
 
     def __repr__(self) -> str:
         return (
@@ -450,6 +747,9 @@ class ShardStore(_ShardStoreBase):
         *,
         max_resident: Optional[int] = None,
         manifest: Optional[Dict[str, Any]] = None,
+        io: Optional[DirectIO] = None,
+        retry_budget: int = DEFAULT_RETRY_BUDGET,
+        backoff_s: float = DEFAULT_BACKOFF_S,
     ):
         # ``manifest`` lets open_store hand over the parse it already
         # did — cold-open reads the file once, not per-dispatch-step.
@@ -461,7 +761,9 @@ class ShardStore(_ShardStoreBase):
                 f"{manifest.get('version')!r} (per-file store reads "
                 f"version {FORMAT_VERSION}; use open_store for dispatch)"
             )
-        super().__init__(path, manifest, max_resident)
+        super().__init__(
+            path, manifest, max_resident, io, retry_budget, backoff_s
+        )
         self.fanout = int(manifest.get("fanout", DEFAULT_FANOUT))
 
     def shard_path(self, v: int) -> str:
@@ -470,10 +772,11 @@ class ShardStore(_ShardStoreBase):
     def _read_shard(self, v: int) -> bytes:
         target = self.shard_path(v)
         try:
-            with open(target, "rb") as fh:
-                return fh.read()
+            return self._with_retries(
+                lambda: self._io.read_bytes(target), target
+            )
         except FileNotFoundError:
-            raise FileNotFoundError(
+            raise ShardUnavailableError(
                 f"shard of vertex {v} is missing ({target}); a "
                 f"local-knowledge route only touches visited vertices — "
                 f"this one was needed"
@@ -481,18 +784,24 @@ class ShardStore(_ShardStoreBase):
 
 
 class PackedShardStore(_ShardStoreBase):
-    """Layout-v2 store: ``mmap``-ed group files, zero-copy decode.
+    """Layout-v2/v3 store: ``mmap``-ed group files, zero-copy decode.
 
     Each ``groups/<g>.pack`` file is mapped once on first touch with its
-    header validated (magic, version, index-fits-in-file); serving
-    vertex ``v`` then binary-searches the mapped index and decodes the
-    record straight from a ``memoryview`` slice of the map — no
-    per-vertex ``open()``/``read()`` syscalls and no intermediate
-    ``bytes`` copy on the hot path.  The full O(count) index validation
-    (:func:`repro.routing.shard_codec.check_pack`) is deferred off the
-    hot path: it runs on the first anomaly — a lookup miss, a decode
-    failure, an owner mismatch — so corruption still fails loudly with
-    the codec's precise error, and eagerly via :meth:`verify`.
+    header validated (magic, version, index-fits-in-file — and, for the
+    checksummed v3 layout, the index CRC32, so a lying index is caught
+    before the first binary search trusts it); serving vertex ``v`` then
+    binary-searches the mapped index and decodes the record straight
+    from a ``memoryview`` slice of the map — no per-vertex
+    ``open()``/``read()`` syscalls and no intermediate ``bytes`` copy on
+    the hot path.  On v3 the payload's CRC32 is verified *before* the
+    decoder touches the bytes, so a flipped bit in a stored weight —
+    which would decode to a structurally valid but wrong table — raises
+    :class:`ShardIntegrityError` instead.  The full O(count) structural
+    index validation (:func:`repro.routing.shard_codec.check_pack`) is
+    deferred off the hot path: it runs on the first anomaly — a lookup
+    miss, a decode failure, an owner mismatch — so corruption still
+    fails loudly with the codec's precise error, and eagerly (including
+    every payload checksum) via :meth:`verify`.
     """
 
     layout = "packed"
@@ -503,23 +812,35 @@ class PackedShardStore(_ShardStoreBase):
         *,
         max_resident: Optional[int] = None,
         manifest: Optional[Dict[str, Any]] = None,
+        io: Optional[DirectIO] = None,
+        retry_budget: int = DEFAULT_RETRY_BUDGET,
+        backoff_s: float = DEFAULT_BACKOFF_S,
     ):
         if manifest is None:
             manifest = _load_manifest(path)
+        version = manifest.get("version")
         if (
-            manifest.get("version") != PACKED_FORMAT_VERSION
+            version not in (PACKED_FORMAT_VERSION, CHECKSUM_FORMAT_VERSION)
             or manifest.get("layout") != "packed"
         ):
             raise ValueError(
-                f"unsupported shard layout version "
-                f"{manifest.get('version')!r}/"
+                f"unsupported shard layout version {version!r}/"
                 f"{manifest.get('layout')!r} (packed store reads "
-                f"version {PACKED_FORMAT_VERSION}, layout 'packed')"
+                f"versions {PACKED_FORMAT_VERSION} and "
+                f"{CHECKSUM_FORMAT_VERSION}, layout 'packed')"
             )
-        super().__init__(path, manifest, max_resident)
+        if int(manifest.get("replicas", 1)) > 1:
+            raise ValueError(
+                f"shard directory {path!r} is replicated "
+                f"(replicas={manifest['replicas']}); use "
+                f"ReplicatedShardStore or open_store"
+            )
+        super().__init__(
+            path, manifest, max_resident, io, retry_budget, backoff_s
+        )
         self.group_size = int(manifest["group_size"])
+        self.checksums = bool(manifest.get("checksums", False))
         self._maps: Dict[int, memoryview] = {}
-        self._mmaps: List[mmap.mmap] = []
 
     def group_path(self, g: int) -> str:
         return group_path(self.path, g)
@@ -531,42 +852,75 @@ class PackedShardStore(_ShardStoreBase):
     def groups_mapped(self) -> int:
         return len(self._maps)
 
+    def _map_group_file(self, target: str, g: int) -> memoryview:
+        try:
+            view = self._with_retries(
+                lambda: self._io.map_group(target), target
+            )
+        except FileNotFoundError:
+            raise ShardUnavailableError(
+                f"group {g} of the packed layout is missing "
+                f"({target}); a local-knowledge route only touches "
+                f"visited vertices' groups — this one was needed"
+            ) from None
+        # Header validation per mapping (plus the index CRC on v3)
+        # keeps cold lookups syscall-light; the O(count) structural
+        # index check runs on demand (_diagnose / verify) and every
+        # corruption it would catch still surfaces through a failed
+        # lookup, checksum, decode or owner check first.
+        parse_pack_header(view)
+        return view
+
     def _group_view(self, g: int) -> memoryview:
         view = self._maps.get(g)
         if view is None:
-            target = self.group_path(g)
-            try:
-                with open(target, "rb") as fh:
-                    mapped = mmap.mmap(
-                        fh.fileno(), 0, access=mmap.ACCESS_READ
-                    )
-            except FileNotFoundError:
-                raise FileNotFoundError(
-                    f"group {g} of the packed layout is missing "
-                    f"({target}); a local-knowledge route only touches "
-                    f"visited vertices' groups — this one was needed"
-                ) from None
-            # Header-only validation per mapping keeps cold lookups
-            # syscall-light; the O(count) index check runs on demand
-            # (_diagnose / verify) and every corruption it would catch
-            # still surfaces through a failed lookup, decode or owner
-            # check first.
-            view = memoryview(mapped)
-            parse_pack_header(view)
+            view = self._map_group_file(self.group_path(g), g)
             self._maps[g] = view
-            self._mmaps.append(mapped)
         return view
 
+    def _quarantine_mapping(self, g: int) -> None:
+        """Drop group ``g``'s mapping so the next access re-maps the
+        file — a repaired/replaced pack must not be shadowed by a map
+        of its corrupt predecessor."""
+        self._maps.pop(g, None)
+
     def _read_shard(self, v: int) -> memoryview:
-        view = self._group_view(self.group_of(v))
-        found = find_in_pack(view, v)
+        g = self.group_of(v)
+        view = self._group_view(g)
+        found = find_pack_entry(view, v)
         if found is None:
-            check_pack(view)  # corrupt index? raise its precise error
-            raise FileNotFoundError(
-                f"shard of vertex {v} is missing from group "
-                f"{self.group_of(v)} ({self.group_path(self.group_of(v))})"
+            # The manifest covers v and write_shard_records packs every
+            # record of a group into its file — an in-range miss means
+            # the index lied (or the pack is incomplete), never that
+            # deleting the file would help.  Quarantine the mapping and
+            # raise the *integrity* error, not FileNotFoundError: the
+            # structural check may name the corruption precisely.
+            try:
+                check_pack(view)
+            except ShardCodecError as exc:
+                self._quarantine_mapping(g)
+                raise ShardIntegrityError(
+                    f"index of group {g} is corrupt "
+                    f"({self.group_path(g)}): {exc}"
+                ) from exc
+            self._quarantine_mapping(g)
+            raise ShardIntegrityError(
+                f"index of group {g} ({self.group_path(g)}) has no "
+                f"entry for vertex {v}, which the manifest covers — "
+                f"the index is corrupt or the pack is incomplete; the "
+                f"mapping is quarantined (do NOT delete the pack: the "
+                f"other entries may be intact)"
             )
-        offset, length = found
+        offset, length, crc = found
+        if crc is not None:
+            if zlib.crc32(view[offset:offset + length]) != crc:
+                self.checksum_failures += 1
+                self._quarantine_mapping(g)
+                raise ShardIntegrityError(
+                    f"payload of vertex {v} in group {g} fails its "
+                    f"CRC32 ({self.group_path(g)}) — refusing to "
+                    f"decode corrupted bytes"
+                )
         return view[offset:offset + length]
 
     def _diagnose(self, v: int) -> None:
@@ -575,52 +929,416 @@ class PackedShardStore(_ShardStoreBase):
         # replace the symptom with check_pack's precise diagnosis.
         check_pack(self._group_view(self.group_of(v)))
 
+    def group_count(self) -> int:
+        return (self.n + self.group_size - 1) // self.group_size
+
     def verify(self) -> int:
-        """Eagerly validate every group's full index; returns the number
-        of groups checked.  Offline tooling / release checks — serving
-        itself validates lazily."""
-        groups = (self.n + self.group_size - 1) // self.group_size
+        """Eagerly validate every group — full index check plus every
+        payload checksum (v3) or structural decode (v2); returns the
+        number of groups checked.  Offline tooling / release checks —
+        serving itself validates lazily."""
+        groups = self.group_count()
         for g in range(groups):
-            check_pack(self._group_view(g))
+            verify_pack(self._group_view(g))
         return groups
+
+    def verify_report(self) -> Dict[str, str]:
+        """Non-raising :meth:`verify`: per-group ``"ok"`` or the error.
+
+        The ``shard --verify`` sweep prints this — operators want the
+        whole corruption picture, not the first bad group.
+        """
+        report: Dict[str, str] = {}
+        for g in range(self.group_count()):
+            name = f"group {g:04x}"
+            try:
+                verify_pack(self._group_view(g))
+                report[name] = "ok"
+            except (ShardCodecError, OSError) as exc:
+                self._quarantine_mapping(g)
+                report[name] = f"{type(exc).__name__}: {exc}"
+        return report
 
     def stats(self) -> Dict[str, Any]:
         out = super().stats()
         out["groups_mapped"] = self.groups_mapped
         out["group_size"] = self.group_size
+        out["checksums"] = self.checksums
         return out
 
     def close(self) -> None:
         """Release every mapping (the store is unusable afterwards)."""
-        maps, self._maps = self._maps, {}
-        for view in maps.values():
+        self._maps = {}
+        self._io.close()
+
+
+class ReplicatedShardStore(_ShardStoreBase):
+    """Layout-v3 store over R replica roots with checksum-driven failover.
+
+    Every group exists as ``replica/<r>/groups/<g>.pack`` for each
+    replica ``r``; the store maps one replica per group and, because v3
+    packs are fully checksummed, runs :func:`verify_pack` over the whole
+    group *at map time* — so a corrupt or truncated replica is rejected
+    before a single entry is served from it, and the store fails over to
+    the next replica.  A replica that fails (missing file, short map,
+    checksum mismatch, persistent I/O error) is **quarantined** for that
+    group: subsequent maps skip it until :meth:`repair` rewrites it from
+    a healthy copy.  Transient I/O errors (EIO/EAGAIN) are retried with
+    backoff before counting as a replica failure.  If every replica of a
+    group is bad, :class:`ReplicaExhaustedError` reports each replica's
+    individual cause — the operator's starting point for manual
+    recovery.
+
+    Full-group verification at map time costs O(group) once per mapped
+    group (amortised to nothing over a warm serving run) and buys a hard
+    guarantee the chaos suite asserts: no corrupted table is ever
+    silently decoded, and every injected corruption produces exactly one
+    observable failover.
+    """
+
+    layout = "packed"
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        max_resident: Optional[int] = None,
+        manifest: Optional[Dict[str, Any]] = None,
+        io: Optional[DirectIO] = None,
+        retry_budget: int = DEFAULT_RETRY_BUDGET,
+        backoff_s: float = DEFAULT_BACKOFF_S,
+    ):
+        if manifest is None:
+            manifest = _load_manifest(path)
+        if (
+            manifest.get("version") != CHECKSUM_FORMAT_VERSION
+            or manifest.get("layout") != "packed"
+            or int(manifest.get("replicas", 1)) < 2
+        ):
+            raise ValueError(
+                f"unsupported shard layout "
+                f"version={manifest.get('version')!r} "
+                f"layout={manifest.get('layout')!r} "
+                f"replicas={manifest.get('replicas')!r} (replicated "
+                f"store needs version {CHECKSUM_FORMAT_VERSION}, "
+                f"layout 'packed', replicas >= 2)"
+            )
+        super().__init__(
+            path, manifest, max_resident, io, retry_budget, backoff_s
+        )
+        self.group_size = int(manifest["group_size"])
+        self.checksums = True
+        self.replicas = int(manifest["replicas"])
+        self._maps: Dict[int, memoryview] = {}
+        self._map_replica: Dict[int, int] = {}
+        # group -> set of quarantined replica indices
+        self._quarantined: Dict[int, set] = {}
+
+    # -- paths ---------------------------------------------------------
+    def group_path(self, g: int, r: int = 0) -> str:
+        return group_path(replica_root(self.path, r), g)
+
+    def group_of(self, v: int) -> int:
+        return v // self.group_size
+
+    def group_count(self) -> int:
+        return (self.n + self.group_size - 1) // self.group_size
+
+    @property
+    def groups_mapped(self) -> int:
+        return len(self._maps)
+
+    def quarantined(self) -> Dict[int, Tuple[int, ...]]:
+        """``{group: (replica, ...)}`` of currently quarantined copies."""
+        return {
+            g: tuple(sorted(rs))
+            for g, rs in self._quarantined.items()
+            if rs
+        }
+
+    # -- failover core -------------------------------------------------
+    def _map_verified(self, g: int, r: int) -> memoryview:
+        """Map replica ``r`` of group ``g`` and verify it end to end."""
+        target = self.group_path(g, r)
+        view = self._with_retries(
+            lambda: self._io.map_group(target), target
+        )
+        try:
+            verify_pack(view)
+        except ShardCodecError:
             view.release()
-        mmaps, self._mmaps = self._mmaps, []
-        for mapped in mmaps:
-            mapped.close()
+            raise
+        return view
+
+    def _group_view(self, g: int) -> memoryview:
+        view = self._maps.get(g)
+        if view is not None:
+            return view
+        bad = self._quarantined.setdefault(g, set())
+        causes: Dict[int, Exception] = {}
+        for r in range(self.replicas):
+            if r in bad:
+                causes[r] = ReplicaExhaustedError(
+                    "quarantined earlier this session", {}
+                )
+                continue
+            try:
+                view = self._map_verified(g, r)
+            except (OSError, ShardCodecError) as exc:
+                # strip the traceback before keeping the exception: its
+                # frames hold memoryview slices of the just-released
+                # map in a reference cycle, which would keep the mmap
+                # un-closeable until a gc pass
+                causes[r] = exc.with_traceback(None)
+                bad.add(r)
+                if isinstance(exc, ChecksumError):
+                    self.checksum_failures += 1
+                self.failovers += 1
+                continue
+            self._maps[g] = view
+            self._map_replica[g] = r
+            return view
+        raise ReplicaExhaustedError(
+            f"every replica of group {g} is unavailable or corrupt "
+            f"(root {self.path})",
+            causes,
+        )
+
+    def _quarantine_mapping(self, g: int) -> None:
+        """Quarantine the *currently mapped* replica of group ``g`` and
+        drop the mapping, so the next access fails over."""
+        view = self._maps.pop(g, None)
+        if view is not None:
+            view.release()
+        r = self._map_replica.pop(g, None)
+        if r is not None:
+            self._quarantined.setdefault(g, set()).add(r)
+
+    def _read_shard(self, v: int) -> memoryview:
+        g = self.group_of(v)
+        view = self._group_view(g)
+        found = find_pack_entry(view, v)
+        if found is None:
+            # The mapped replica passed verify_pack, so its index is
+            # structurally sound and checksummed — a miss for an
+            # in-range vertex means this replica's pack is incomplete.
+            # Quarantine it and fail over.
+            self._quarantine_mapping(g)
+            self.failovers += 1
+            view = self._group_view(g)
+            found = find_pack_entry(view, v)
+            if found is None:
+                self._quarantine_mapping(g)
+                raise ShardIntegrityError(
+                    f"no replica of group {g} holds vertex {v}, which "
+                    f"the manifest covers — the packs are incomplete"
+                )
+        offset, length, crc = found
+        if crc is not None and zlib.crc32(
+            view[offset:offset + length]
+        ) != crc:
+            # verify_pack passed at map time, so the bytes rotted
+            # *after* mapping (or the medium is flaky) — quarantine
+            # and fail over once.
+            self.checksum_failures += 1
+            self._quarantine_mapping(g)
+            self.failovers += 1
+            return self._read_shard(v)
+        return view[offset:offset + length]
+
+    def _diagnose(self, v: int) -> None:
+        check_pack(self._group_view(self.group_of(v)))
+
+    # -- sweeps --------------------------------------------------------
+    def verify(self) -> int:
+        """Validate every replica of every group; returns the number of
+        groups checked.  Raises on the first corrupt copy — use
+        :meth:`verify_report` for the full picture."""
+        groups = self.group_count()
+        for g in range(groups):
+            for r in range(self.replicas):
+                verify_pack(self._io.map_group(self.group_path(g, r)))
+        return groups
+
+    def verify_report(self) -> Dict[str, str]:
+        """Per-``(group, replica)`` map of ``"ok"`` or the error."""
+        report: Dict[str, str] = {}
+        for g in range(self.group_count()):
+            for r in range(self.replicas):
+                name = f"group {g:04x} replica {r}"
+                try:
+                    verify_pack(
+                        self._io.map_group(self.group_path(g, r))
+                    )
+                    report[name] = "ok"
+                except (ShardCodecError, OSError) as exc:
+                    report[name] = f"{type(exc).__name__}: {exc}"
+        return report
+
+    def repair(self) -> Dict[str, int]:
+        """Rewrite every bad replica copy from a healthy one.
+
+        Sweeps all ``(group, replica)`` pairs on the real filesystem
+        (deliberately *not* through the store's I/O seam — repair is an
+        administrative operation, and running it through a fault
+        injector would let the chaos schedule corrupt the repair
+        itself), rewriting any copy that is missing or fails
+        :func:`verify_pack` from the first healthy copy of the same
+        group, via tmp + ``os.replace`` so a crash mid-repair never
+        leaves a torn pack.  Quarantined replicas that turn out healthy
+        on disk (e.g. a transient error burned their budget) are simply
+        requalified.  Returns counters; raises
+        :class:`ReplicaExhaustedError` if some group has no healthy
+        copy at all.
+        """
+        repaired = 0
+        requalified = 0
+        admin = DirectIO()
+        try:
+            for g in range(self.group_count()):
+                healthy: Optional[int] = None
+                bad: List[int] = []
+                causes: Dict[int, Exception] = {}
+                for r in range(self.replicas):
+                    try:
+                        verify_pack(
+                            admin.read_bytes(self.group_path(g, r))
+                        )
+                    except (OSError, ShardCodecError) as exc:
+                        bad.append(r)
+                        causes[r] = exc.with_traceback(None)
+                    else:
+                        if healthy is None:
+                            healthy = r
+                if healthy is None:
+                    raise ReplicaExhaustedError(
+                        f"group {g} has no healthy replica to repair "
+                        f"from (root {self.path})",
+                        causes,
+                    )
+                if bad:
+                    blob = admin.read_bytes(self.group_path(g, healthy))
+                    for r in bad:
+                        target = self.group_path(g, r)
+                        os.makedirs(
+                            os.path.dirname(target), exist_ok=True
+                        )
+                        tmp = target + ".tmp"
+                        with open(tmp, "wb") as fh:
+                            fh.write(blob)
+                        os.replace(tmp, target)
+                        repaired += 1
+                        self.repairs += 1
+                # every copy of g is now healthy on disk: lift the
+                # quarantine and drop any mapping of a replaced file
+                quarantined = self._quarantined.pop(g, set())
+                requalified += len(quarantined - set(bad))
+                if g in self._maps and self._map_replica.get(g) in bad:
+                    view = self._maps.pop(g)
+                    view.release()
+                    self._map_replica.pop(g, None)
+        finally:
+            admin.close()
+        return {"repaired": repaired, "requalified": requalified}
+
+    def stats(self) -> Dict[str, Any]:
+        out = super().stats()
+        out["groups_mapped"] = self.groups_mapped
+        out["group_size"] = self.group_size
+        out["checksums"] = True
+        out["replicas"] = self.replicas
+        out["quarantined"] = sum(
+            len(rs) for rs in self._quarantined.values()
+        )
+        return out
+
+    def health(self) -> Dict[str, Any]:
+        out = super().health()
+        quarantined = sum(len(rs) for rs in self._quarantined.values())
+        out["quarantined"] = quarantined
+        if quarantined:
+            out["status"] = "degraded"
+        return out
+
+    def close(self) -> None:
+        self._maps = {}
+        self._map_replica = {}
+        self._io.close()
 
 
 def open_store(
-    path: str, *, max_resident: Optional[int] = None
+    path: str,
+    *,
+    max_resident: Optional[int] = None,
+    io: Optional[DirectIO] = None,
+    retry_budget: int = DEFAULT_RETRY_BUDGET,
+    backoff_s: float = DEFAULT_BACKOFF_S,
 ) -> _ShardStoreBase:
     """Open a shard directory with the store matching its manifest.
 
     Layout dispatch lives here (and only here): per-file v1 manifests
-    get a :class:`ShardStore`, packed v2 manifests a
-    :class:`PackedShardStore`; anything else fails loudly instead of
-    being misread by the wrong backend.
+    get a :class:`ShardStore`, packed v2 and single-copy v3 manifests a
+    :class:`PackedShardStore`, replicated v3 manifests a
+    :class:`ReplicatedShardStore`; anything else fails loudly instead
+    of being misread by the wrong backend.
     """
     manifest = _load_manifest(path)
     version = manifest.get("version")
     if version == FORMAT_VERSION:
         return ShardStore(
-            path, max_resident=max_resident, manifest=manifest
+            path,
+            max_resident=max_resident,
+            manifest=manifest,
+            io=io,
+            retry_budget=retry_budget,
+            backoff_s=backoff_s,
         )
-    if version == PACKED_FORMAT_VERSION:
-        return PackedShardStore(
-            path, max_resident=max_resident, manifest=manifest
+    if version in (PACKED_FORMAT_VERSION, CHECKSUM_FORMAT_VERSION):
+        cls = (
+            ReplicatedShardStore
+            if int(manifest.get("replicas", 1)) > 1
+            else PackedShardStore
+        )
+        return cls(
+            path,
+            max_resident=max_resident,
+            manifest=manifest,
+            io=io,
+            retry_budget=retry_budget,
+            backoff_s=backoff_s,
         )
     raise ValueError(f"unsupported shard layout version {version!r}")
+
+
+def verify_shard_dir(path: str) -> Dict[str, str]:
+    """Offline integrity sweep of a shard directory, any layout.
+
+    Returns a ``{unit: "ok" | "<Error>: <detail>"}`` report — per group
+    for packed layouts (per group *and replica* when replicated), per
+    shard file for the v1 per-file layout.  Never raises on corruption
+    (only on an unreadable/invalid manifest): operators want the whole
+    picture in one sweep.
+    """
+    manifest = _load_manifest(path)
+    if manifest.get("version") == FORMAT_VERSION:
+        report: Dict[str, str] = {}
+        store = ShardStore(path, manifest=manifest)
+        try:
+            for v in range(store.n):
+                try:
+                    store.node(v)
+                except (ShardCodecError, OSError) as exc:
+                    report[f"shard {v}"] = f"{type(exc).__name__}: {exc}"
+                else:
+                    report[f"shard {v}"] = "ok"
+        finally:
+            store.close()
+        return report
+    store = open_store(path)
+    try:
+        return store.verify_report()
+    finally:
+        store.close()
 
 
 def _contains_bool(header: Any) -> bool:

@@ -36,6 +36,8 @@ from .model import CompactRoutingScheme, Deliver, Forward, words_of
 
 __all__ = [
     "RouteResult",
+    "RoutingLoopError",
+    "MisdeliveryError",
     "route",
     "SchemeEngine",
     "as_engine",
@@ -45,12 +47,64 @@ __all__ = [
 
 
 class RoutingLoopError(RuntimeError):
-    """The message exceeded its hop budget without being delivered."""
+    """The message exceeded its hop budget without being delivered.
+
+    Carries the evidence a fault-mode diagnosis needs — no re-run with
+    prints required: :attr:`partial_path` is every vertex the message
+    visited (in order) and :attr:`last_header` the header attached when
+    the budget ran out.  :attr:`result` packages the same trace as a
+    failed :class:`RouteResult`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        partial_path: Optional[List[int]] = None,
+        last_header: Any = None,
+        result: Optional["RouteResult"] = None,
+    ):
+        super().__init__(message)
+        self.partial_path: List[int] = (
+            list(partial_path) if partial_path is not None else []
+        )
+        self.last_header = last_header
+        self.result = result
+
+
+class MisdeliveryError(RuntimeError):
+    """The scheme delivered at the wrong vertex — worse than looping.
+
+    Like :class:`RoutingLoopError`, carries :attr:`partial_path`,
+    :attr:`last_header` and a failed :attr:`result` for diagnostics.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        partial_path: Optional[List[int]] = None,
+        last_header: Any = None,
+        result: Optional["RouteResult"] = None,
+    ):
+        super().__init__(message)
+        self.partial_path: List[int] = (
+            list(partial_path) if partial_path is not None else []
+        )
+        self.last_header = last_header
+        self.result = result
 
 
 @dataclass
 class RouteResult:
-    """Outcome of routing one message."""
+    """Outcome of routing one message.
+
+    A *failed* result (``failed=True``, produced when :func:`route`
+    raises and attaches the trace to the exception) holds the partial
+    path walked before the failure plus the failure reason; its
+    ``delivered`` is always ``False`` even if the walk happened to end
+    at the target vertex.
+    """
 
     source: int
     target: int
@@ -60,10 +114,16 @@ class RouteResult:
     max_header_words: int
     #: hops per routing phase (header tag), e.g. {"ball": 3, "t2": 7}
     phase_hops: dict = None  # type: ignore[assignment]
+    #: the route did not complete; ``path`` is the partial walk
+    failed: bool = False
+    #: short failure reason ("" when the route completed)
+    error: str = ""
+    #: header attached at the failure point (None when completed)
+    last_header: Any = None
 
     @property
     def delivered(self) -> bool:
-        return self.path[-1] == self.target
+        return not self.failed and self.path[-1] == self.target
 
 
 class SchemeEngine:
@@ -121,12 +181,32 @@ def route(
     length = 0.0
     max_header_words = 0
     phase_hops: dict = {}
+    def _failed(reason: str) -> RouteResult:
+        return RouteResult(
+            source=source,
+            target=target,
+            path=path,
+            length=length,
+            hops=len(path) - 1,
+            max_header_words=max_header_words,
+            phase_hops=phase_hops,
+            failed=True,
+            error=reason,
+            last_header=header,
+        )
+
     for _ in range(max_hops + 1):
         action = engine.step(current, header, dest_label)
         if isinstance(action, Deliver):
             if current != target:
-                raise RuntimeError(
+                reason = (
                     f"scheme delivered at {current}, expected {target}"
+                )
+                raise MisdeliveryError(
+                    reason,
+                    partial_path=path,
+                    last_header=header,
+                    result=_failed(reason),
                 )
             return RouteResult(
                 source=source,
@@ -150,9 +230,15 @@ def route(
         )
         phase_hops[phase] = phase_hops.get(phase, 0) + 1
         current = nxt
+    reason = (
+        f"message {source}->{target} not delivered within {max_hops} "
+        f"hops; path prefix: {path[:20]}..."
+    )
     raise RoutingLoopError(
-        f"message {source}->{target} not delivered within {max_hops} hops; "
-        f"path prefix: {path[:20]}..."
+        reason,
+        partial_path=path,
+        last_header=header,
+        result=_failed(reason),
     )
 
 

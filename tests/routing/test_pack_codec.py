@@ -14,13 +14,17 @@ import pytest
 
 from repro.routing.shard_codec import (
     PACK_VERSION,
+    PACK_VERSION_CRC,
+    ChecksumError,
     ShardCodecError,
     check_pack,
     decode_node_table,
     encode_node_table,
     encode_pack,
     find_in_pack,
+    find_pack_entry,
     iter_pack_entries,
+    verify_pack,
 )
 from repro.routing.tables import NodeTable
 
@@ -89,7 +93,7 @@ class TestRejection:
 
     def test_future_version(self):
         buf = bytearray(_pack([1, 2]))
-        buf[4] = PACK_VERSION + 1
+        buf[4] = PACK_VERSION_CRC + 1
         with pytest.raises(ShardCodecError, match="version"):
             check_pack(bytes(buf))
 
@@ -136,3 +140,60 @@ class TestRejection:
         blob = encode_node_table(_record(3))
         with pytest.raises(ShardCodecError):
             decode_node_table(memoryview(blob)[: len(blob) - 2])
+
+
+def _pack_crc(vertices):
+    return encode_pack(
+        [(v, encode_node_table(_record(v))) for v in vertices],
+        checksums=True,
+    )
+
+
+class TestChecksummedPack:
+    """Layout-v3 packs: CRC32 per entry plus one over header+index."""
+
+    def test_round_trip_and_verify(self):
+        vertices = [3, 9, 17, 42, 1000]
+        buf = _pack_crc(vertices)
+        assert buf[4] == PACK_VERSION_CRC
+        assert check_pack(buf) == len(vertices)
+        assert verify_pack(buf) == len(vertices)
+        for v in vertices:
+            offset, length, crc = find_pack_entry(buf, v)
+            assert crc is not None
+            record = decode_node_table(
+                memoryview(buf)[offset:offset + length]
+            )
+            assert record == _record(v)
+
+    def test_plain_pack_entries_carry_no_crc(self):
+        buf = _pack([3, 9])
+        offset, length, crc = find_pack_entry(buf, 3)
+        assert crc is None
+
+    def test_empty_checksummed_pack(self):
+        buf = _pack_crc([])
+        assert check_pack(buf) == 0
+        assert verify_pack(buf) == 0
+
+    def test_index_bit_flip_raises_checksum_error(self):
+        buf = bytearray(_pack_crc([3, 9, 17]))
+        buf[12] ^= 0x01  # inside the first index entry
+        with pytest.raises(ChecksumError, match="index"):
+            check_pack(bytes(buf))
+
+    def test_payload_bit_flip_caught_by_verify(self):
+        buf = bytearray(_pack_crc([3, 9, 17]))
+        buf[-1] ^= 0x80  # last payload byte
+        assert check_pack(bytes(buf)) == 3  # index is still sound
+        with pytest.raises(ChecksumError, match="payload"):
+            verify_pack(bytes(buf))
+
+    def test_truncation_always_detected(self):
+        buf = _pack_crc([3, 9, 17])
+        for cut in (1, 2, 5, len(buf) // 2, len(buf) - 1):
+            with pytest.raises(ShardCodecError):
+                verify_pack(buf[:-cut])
+
+    def test_plain_pack_still_verifies_by_decode(self):
+        assert verify_pack(_pack([3, 9])) == 2

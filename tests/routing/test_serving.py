@@ -458,9 +458,13 @@ def test_packed_corrupt_index_fails_loudly(served_packed, tmp_path):
     group0.write_bytes(bytes(buf))
 
     store = PackedShardStore(str(target))
-    with pytest.raises(ShardCodecError, match="overlaps|past the payload"):
+    with pytest.raises(
+        ShardCodecError, match="overlaps|past the payload|checksum"
+    ):
         store.node(0)
-    with pytest.raises(ShardCodecError, match="overlaps|past the payload"):
+    with pytest.raises(
+        ShardCodecError, match="overlaps|past the payload|checksum"
+    ):
         PackedShardStore(str(target)).verify()
 
 
@@ -489,6 +493,143 @@ def test_interrupted_reshard_leaves_no_stale_manifest(served, tmp_path):
     assert not os.path.exists(target / "manifest.json")
     with pytest.raises((FileNotFoundError, ValueError)):
         load(str(target))
+
+
+def test_interrupted_manifest_write_leaves_no_tmp(served, tmp_path,
+                                                  monkeypatch):
+    """A crash *inside the manifest dump itself* (shards fully written)
+    must leave neither a manifest nor a half-written tmp file — the dir
+    reads as not-a-shard-dir, and a re-run starts clean."""
+    import json as json_module
+
+    from repro.routing import serving
+    from repro.routing.serving import write_shard_records
+
+    session, _ = served["tz2"]
+    target = tmp_path / "mcrash"
+
+    def exploding_dump(*args, **kwargs):
+        raise OSError("disk full during manifest dump")
+
+    monkeypatch.setattr(serving.json, "dump", exploding_dump)
+    with pytest.raises(OSError, match="manifest dump"):
+        write_shard_records(
+            session.scheme.compile_tables(), str(target),
+            identity={"spec": "tz2"}, packed=True,
+        )
+    monkeypatch.undo()
+    leftovers = [f for f in os.listdir(target) if "manifest" in f]
+    assert leftovers == [], leftovers
+    with pytest.raises((FileNotFoundError, ValueError)):
+        load(str(target))
+
+
+class TestManifestValidation:
+    """_load_manifest rejects malformed manifests with precise errors."""
+
+    def _write(self, tmp_path, manifest):
+        import json
+
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        return str(tmp_path)
+
+    def _valid(self, version=2):
+        base = {
+            "format": "repro.routing.shards", "version": version,
+            "layout": "packed" if version > 1 else "per-file",
+            "n": 10, "codec": 1, "spec": "tz2", "scheme": "X",
+        }
+        if version == 1:
+            base["fanout"] = 256
+        else:
+            base["group_size"] = 16
+        if version == 3:
+            base["checksums"] = True
+            base["replicas"] = 2
+        return base
+
+    def test_not_json(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{nope")
+        from repro.routing.serving import _load_manifest
+
+        with pytest.raises(ValueError, match="not valid JSON"):
+            _load_manifest(str(tmp_path))
+
+    @pytest.mark.parametrize("field", ["n", "spec", "scheme", "version"])
+    def test_missing_required_field(self, tmp_path, field):
+        from repro.routing.serving import _load_manifest
+
+        manifest = self._valid()
+        del manifest[field]
+        with pytest.raises(ValueError, match=f"missing required.*{field}"):
+            _load_manifest(self._write(tmp_path, manifest))
+
+    @pytest.mark.parametrize("field,value", [
+        ("n", -1), ("n", "ten"), ("n", True),
+        ("spec", ""), ("scheme", 7),
+    ])
+    def test_invalid_field_value(self, tmp_path, field, value):
+        from repro.routing.serving import _load_manifest
+
+        manifest = self._valid()
+        manifest[field] = value
+        with pytest.raises(ValueError, match=f"invalid {field}"):
+            _load_manifest(self._write(tmp_path, manifest))
+
+    def test_layout_params_checked_per_version(self, tmp_path):
+        from repro.routing.serving import _load_manifest
+
+        v2 = self._valid(2)
+        v2["group_size"] = 0
+        with pytest.raises(ValueError, match="invalid group_size"):
+            _load_manifest(self._write(tmp_path, v2))
+        v3 = self._valid(3)
+        v3["replicas"] = "two"
+        with pytest.raises(ValueError, match="invalid replicas"):
+            _load_manifest(self._write(tmp_path, v3))
+
+    def test_valid_manifests_pass(self, tmp_path):
+        from repro.routing.serving import _load_manifest
+
+        for version in (1, 2, 3):
+            loaded = _load_manifest(
+                self._write(tmp_path, self._valid(version))
+            )
+            assert loaded["version"] == version
+
+
+def test_packed_inrange_index_miss_is_integrity_error(served_packed,
+                                                      tmp_path):
+    """An in-range vertex absent from a structurally sound index is an
+    integrity failure, NOT FileNotFoundError: telling an operator the
+    'file is missing' for a vertex the manifest covers misleads them
+    into deleting a pack whose other entries are intact."""
+    from repro.routing.serving import ShardIntegrityError
+    from repro.routing.shard_codec import encode_pack, iter_pack_entries
+
+    target = tmp_path / "holey"
+    shutil.copytree(served_packed["tz2"], target)
+    group0 = target / "groups" / "0000.pack"
+    # re-encode group 0 WITHOUT vertex 0: a structurally sound,
+    # checksum-valid pack that simply lacks a vertex the manifest covers
+    # (a torn/incomplete write that finished cleanly)
+    buf = group0.read_bytes()
+    kept = [
+        (v, bytes(memoryview(buf)[off:off + length]))
+        for v, off, length in iter_pack_entries(buf)
+        if v != 0
+    ]
+    group0.write_bytes(encode_pack(kept, checksums=True))
+
+    store = PackedShardStore(str(target))
+    with pytest.raises(ShardIntegrityError, match="no entry for vertex 0"):
+        store.node(0)
+    with pytest.raises(FileNotFoundError):
+        # the FileNotFoundError contract still holds for what IS a
+        # missing file: a deleted group
+        os.remove(target / "groups" / "0001.pack")
+        store.node(GROUP_SIZE)
+    store.close()
 
 
 def test_packed_tampered_version_rejected_at_map(served_packed, tmp_path):

@@ -90,11 +90,41 @@ class TestRoute:
         with pytest.raises(RoutingLoopError):
             route(scheme, 0, 4)
 
+    def test_loop_error_carries_partial_trace(self):
+        """Fault diagnostics come off the exception, not a re-run."""
+        g = cycle(8)
+        scheme = _SpinScheme(g, PortAssignment(g))
+        with pytest.raises(RoutingLoopError) as info:
+            route(scheme, 0, 4, max_hops=10)
+        exc = info.value
+        assert len(exc.partial_path) == 11 + 1  # source + max_hops+1 moves
+        assert exc.partial_path[0] == 0
+        failed = exc.result
+        assert failed is not None and failed.failed
+        assert not failed.delivered
+        assert failed.path == exc.partial_path
+        assert failed.last_header == exc.last_header
+        assert "not delivered" in failed.error
+
     def test_wrong_delivery_detected(self):
         g = cycle(8)
         scheme = _WrongDeliveryScheme(g, PortAssignment(g))
         with pytest.raises(RuntimeError):
             route(scheme, 0, 4)
+
+    def test_wrong_delivery_carries_partial_trace(self):
+        from repro.routing.simulator import MisdeliveryError
+
+        g = cycle(8)
+        scheme = _WrongDeliveryScheme(g, PortAssignment(g))
+        with pytest.raises(MisdeliveryError) as info:
+            route(scheme, 0, 4)
+        exc = info.value
+        assert exc.partial_path[0] == 0
+        assert exc.result is not None and exc.result.failed
+        # a failed result never counts as delivered, even if the walk
+        # happens to end at the target
+        assert not exc.result.delivered
 
     def test_self_route_zero_hops(self, grid_scheme):
         scheme, _ = grid_scheme

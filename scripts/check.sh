@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# The standard gate: ruff -> mypy (strict allowlist) -> invariant linter
+# -> tier-1 pytest.  Every leg runs even when an earlier one fails, so
+# one invocation reports everything; the exit status is non-zero if any
+# leg failed.  ruff/mypy are optional dev dependencies (`pip install
+# -e .[dev]`) — when absent the leg is reported as skipped, and the
+# always-available legs (the repro.analysis linter + pytest) still gate.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+fail=0
+
+# -- ruff: style, import order, blanket excepts ------------------------
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests || fail=1
+elif python -c "import ruff" >/dev/null 2>&1; then
+    echo "== ruff (module) =="
+    python -m ruff check src tests || fail=1
+else
+    echo "== ruff: skipped (not installed; pip install -e .[dev]) =="
+fi
+
+# -- mypy: strict over the serving/kernel core allowlist ---------------
+# (the per-module strictness lives in pyproject.toml [tool.mypy])
+if python -c "import mypy" >/dev/null 2>&1; then
+    echo "== mypy (strict allowlist) =="
+    python -m mypy \
+        src/repro/routing/shard_codec.py \
+        src/repro/routing/serving.py \
+        src/repro/routing/faults.py \
+        src/repro/graph/csr.py \
+        src/repro/api/registry.py || fail=1
+else
+    echo "== mypy: skipped (not installed; pip install -e .[dev]) =="
+fi
+
+# -- the invariant linter (always available: stdlib only) --------------
+echo "== repro.analysis =="
+python -m repro.analysis src/repro || fail=1
+
+# -- tier-1 tests ------------------------------------------------------
+echo "== pytest =="
+python -m pytest -x -q || fail=1
+
+exit "$fail"

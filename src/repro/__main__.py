@@ -16,7 +16,9 @@ Subcommands (all scheme names resolve through the ``repro.api`` registry):
   per vertex (same payloads, ``O(n / group_size)`` files — the
   ``n >= 10^5`` shape),
 * ``load`` — restore a saved scheme (no preprocessing) and serve it;
-  accepts both the JSON blob and a shard directory.
+  accepts both the JSON blob and a shard directory,
+* ``check`` — run the static invariant linter (``repro.analysis``) over
+  the source tree; ``--json`` emits machine-readable findings.
 
 Build-style subcommands accept ``--preset`` to apply the scheme's
 workload-aware parameter preset for a graph family (see
@@ -347,6 +349,19 @@ def _verify_shard_dir(path: str) -> int:
     return 1 if bad else 0
 
 
+def cmd_check(args) -> int:
+    from .analysis.__main__ import run as run_analysis
+
+    forwarded = list(args.paths)
+    if args.json:
+        forwarded.append("--json")
+    for rule_id in args.select or ():
+        forwarded.extend(["--select", rule_id])
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return run_analysis(forwarded)
+
+
 def cmd_load(args) -> int:
     try:
         session = load_session(args.path)
@@ -484,6 +499,28 @@ def main(argv=None) -> int:
              "existing shard directory (exit 1 if any unit is corrupt)",
     )
     p_shard.set_defaults(func=cmd_shard)
+
+    p_check = sub.add_parser(
+        "check",
+        help="run the static invariant linter (repro.analysis rules)",
+    )
+    p_check.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to scan (default: src/repro)",
+    )
+    p_check.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="run only this rule id (repeatable)",
+    )
+    p_check.add_argument(
+        "--json", action="store_true",
+        help="emit findings as JSON objects (file, line, col, rule, message)",
+    )
+    p_check.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit",
+    )
+    p_check.set_defaults(func=cmd_check)
 
     p_load = sub.add_parser(
         "load", help="restore a saved scheme and serve it"

@@ -1,0 +1,58 @@
+"""Static invariant analysis for the serving/kernel core.
+
+The runtime layers already enforce this repository's load-bearing
+contracts — compile-time category refusal (:mod:`repro.routing.tables`),
+seeded-RNG discipline behind the bit-identical differential tests, the
+typed :class:`~repro.routing.serving.ServingError` hierarchy, the
+ResourceWarning escalation in ``pytest.ini``.  This package makes the
+same contracts *statically* checkable: a small AST-visitor framework
+(:mod:`repro.analysis.framework`) dispatches a registry of domain rules
+(:mod:`repro.analysis.rules`) over source files, with ``# repro: noqa
+RULE`` suppressions and both human and machine-readable output.
+
+Run it as ``python -m repro.analysis src/repro`` or via the CLI
+subcommand ``python -m repro check``; ``--json`` emits findings as
+``{file, line, rule, message}`` objects for CI diffing.
+
+The rules (see README "Static analysis & invariants" for the full
+table):
+
+========  ============================================================
+LK001     serving-path code reads only declared ``shard_categories()``
+DET001    no unseeded module-level RNG, wall-clock, or bare-set
+          iteration order in algorithmic code
+ERR001    raises (and broad excepts) in the serving/codec modules stay
+          inside the typed error hierarchy
+RES001    every ``open()``/``mmap`` in ``routing/`` is owned by a
+          ``with`` block or a ``close()``-bearing class
+GEN001    identity-keyed caches consult generation/version stamps; no
+          ``lru_cache`` on methods
+CODEC001  struct formats and magic/version constants match the single
+          declared layout table (:mod:`repro.analysis.layouts`)
+========  ============================================================
+"""
+
+from .framework import (
+    AnalysisError,
+    Finding,
+    Rule,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    format_findings,
+    iter_python_files,
+    rule,
+)
+from . import rules as _rules  # noqa: F401 - imported for registration
+
+__all__ = [
+    "AnalysisError",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "format_findings",
+    "iter_python_files",
+    "rule",
+]

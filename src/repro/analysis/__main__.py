@@ -1,0 +1,70 @@
+"""CLI for the invariant linter: ``python -m repro.analysis [paths]``.
+
+Exit status 0 means zero unsuppressed findings; 1 means findings; 2
+means the invocation itself was wrong (unknown rule, missing path).
+``--json`` emits the machine-readable findings list for CI diffing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .framework import AnalysisError, all_rules, analyze_paths, format_findings
+
+DEFAULT_PATHS = ("src/repro",)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only this rule id (repeatable)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a JSON list of {file, line, col, rule, message}",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser
+
+
+def run(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, instance in all_rules().items():
+            print(f"{rule_id}: {instance.title}")
+        return 0
+    try:
+        reports = analyze_paths(args.paths, select=args.select)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    findings: List = [f for report in reports for f in report.findings]
+    if args.json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        print(format_findings(reports))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run())

@@ -1,0 +1,311 @@
+"""Rule registry, per-file dispatch, suppressions and finding output.
+
+A *rule* is a named checker over one parsed module: it receives the AST,
+the source text and a repository-relative path, and returns
+:class:`Finding` objects.  The framework owns everything rules should
+not reimplement:
+
+* **registration** — subclass :class:`Rule` and decorate with
+  :func:`rule`; the registry is what the CLI's ``--select`` filters and
+  ``--list-rules`` prints,
+* **scoping** — a rule declares path prefixes/suffixes
+  (:attr:`Rule.paths`) and :meth:`Rule.applies_to` keeps it off modules
+  it was never written for,
+* **suppressions** — a finding whose source line carries ``# repro:
+  noqa`` (all rules) or ``# repro: noqa LK001`` / ``LK001,DET001``
+  (specific rules) is dropped, and the framework records how many were
+  suppressed so a self-scan can assert "zero *unsuppressed* findings"
+  honestly,
+* **output** — :func:`format_findings` renders the human report;
+  ``Finding.to_dict()`` is the machine shape (``file, line, col, rule,
+  message``) the ``--json`` mode emits for CI diffing.
+
+Rules never crash a run: a file that fails to parse becomes a single
+``PARSE`` finding, and everything else keeps scanning.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+__all__ = [
+    "AnalysisError",
+    "Finding",
+    "Rule",
+    "rule",
+    "all_rules",
+    "analyze_source",
+    "analyze_paths",
+    "iter_python_files",
+    "format_findings",
+]
+
+
+class AnalysisError(ValueError):
+    """Misuse of the analysis framework itself (unknown rule, bad path)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """The machine-readable shape ``--json`` emits."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class Rule:
+    """Base class every checker extends.
+
+    Class attributes:
+
+    ``id``
+        Stable rule identifier (``LK001`` ...), what suppressions and
+        ``--select`` name.
+    ``title``
+        One-line invariant statement for ``--list-rules``.
+    ``paths``
+        Path fragments scoping the rule: a fragment ending in ``/``
+        matches any file under that package directory, anything else
+        must match the file's repo-relative suffix exactly.  Empty
+        means "every file".
+    """
+
+    id: str = "RULE"
+    title: str = ""
+    paths: Tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if not self.paths:
+            return True
+        norm = relpath.replace(os.sep, "/")
+        for fragment in self.paths:
+            if fragment.endswith("/"):
+                if f"/{fragment}" in f"/{norm}" or norm.startswith(fragment):
+                    return True
+            elif norm == fragment or norm.endswith("/" + fragment):
+                return True
+        return False
+
+    def check(
+        self, tree: ast.Module, source: str, relpath: str
+    ) -> List[Finding]:
+        raise NotImplementedError
+
+    # -- helpers shared by concrete rules ------------------------------
+    def finding(
+        self, relpath: str, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            file=relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator registering a :class:`Rule` subclass."""
+    instance = cls()
+    if not instance.id or instance.id in _REGISTRY:
+        raise AnalysisError(
+            f"rule id {instance.id!r} is empty or already registered"
+        )
+    _REGISTRY[instance.id] = instance
+    return cls
+
+
+def all_rules() -> Dict[str, Rule]:
+    """The registry, id -> rule instance (insertion-ordered)."""
+    return dict(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+#: ``# repro: noqa`` or ``# repro: noqa LK001`` / ``LK001,DET001``
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:\s+(?P<rules>[A-Z0-9_,\s]+?))?\s*(?:#|—|-|$)"
+)
+
+
+def suppressions_for(source: str) -> Dict[int, Optional[frozenset]]:
+    """``{line: suppressed rule ids or None meaning all}`` for a module."""
+    out: Dict[int, Optional[frozenset]] = {}
+    for i, text in enumerate(source.splitlines(), start=1):
+        if "repro:" not in text:
+            continue
+        match = _NOQA.search(text)
+        if match is None:
+            continue
+        names = match.group("rules")
+        if names is None:
+            out[i] = None
+        else:
+            ids = frozenset(
+                name.strip() for name in names.split(",") if name.strip()
+            )
+            out[i] = ids if ids else None
+    return out
+
+
+def _suppressed(
+    finding: Finding, table: Dict[int, Optional[frozenset]]
+) -> bool:
+    ids = table.get(finding.line, frozenset())
+    if ids is None:  # bare noqa: every rule
+        return True
+    return finding.rule in ids
+
+
+@dataclass
+class FileReport:
+    """Per-file outcome: surviving findings + suppression accounting."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+
+
+def _select_rules(select: Optional[Sequence[str]]) -> List[Rule]:
+    if select is None:
+        return list(_REGISTRY.values())
+    chosen = []
+    for rule_id in select:
+        instance = _REGISTRY.get(rule_id)
+        if instance is None:
+            raise AnalysisError(
+                f"unknown rule {rule_id!r} "
+                f"(known: {', '.join(sorted(_REGISTRY))})"
+            )
+        chosen.append(instance)
+    return chosen
+
+
+def analyze_source(
+    source: str,
+    relpath: str,
+    *,
+    select: Optional[Sequence[str]] = None,
+) -> FileReport:
+    """Run every applicable rule over one module's source text."""
+    report = FileReport(path=relpath)
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        report.findings.append(
+            Finding(
+                file=relpath,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule="PARSE",
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return report
+    table = suppressions_for(source)
+    for instance in _select_rules(select):
+        if not instance.applies_to(relpath):
+            continue
+        for finding in instance.check(tree, source, relpath):
+            if _suppressed(finding, table):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return report
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Every ``.py`` file under ``paths`` (files pass through as-is)."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs.sort()
+                dirs[:] = [
+                    d for d in dirs
+                    if not d.startswith(".") and d != "__pycache__"
+                ]
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        else:
+            raise AnalysisError(f"no such file or directory: {path!r}")
+
+
+def _relpath_of(path: str) -> str:
+    """Repo-relative path rules match against.
+
+    Rules are scoped by package-relative fragments (``routing/``,
+    ``repro/schemes/``); anchoring at the last ``repro`` component makes
+    ``src/repro/routing/serving.py``, an installed tree, and a test's
+    temporary copy all resolve to the same rule scope.
+    """
+    norm = os.path.normpath(path).replace(os.sep, "/")
+    parts = norm.split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return norm
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    *,
+    select: Optional[Sequence[str]] = None,
+) -> List[FileReport]:
+    """Analyze every Python file under ``paths``; one report per file."""
+    reports = []
+    for path in iter_python_files(paths):
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        report = analyze_source(
+            source, _relpath_of(path), select=select
+        )
+        report.path = _relpath_of(path)
+        reports.append(report)
+    return reports
+
+
+def format_findings(reports: Iterable[FileReport]) -> str:
+    """The human report: one line per finding plus a summary."""
+    lines = []
+    total = 0
+    suppressed = 0
+    files = 0
+    for report in reports:
+        files += 1
+        suppressed += report.suppressed
+        for finding in report.findings:
+            lines.append(finding.render())
+            total += 1
+    lines.append(
+        f"{total} finding{'s' if total != 1 else ''} in {files} files"
+        + (f" ({suppressed} suppressed)" if suppressed else "")
+    )
+    return "\n".join(lines)

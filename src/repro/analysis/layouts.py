@@ -1,0 +1,80 @@
+"""The single declared layout table the CODEC001 rule cross-checks.
+
+Every magic byte string, format-version integer and ``struct`` format
+the on-disk codecs commit to is declared here, once.  CODEC001 parses
+the codec modules and verifies that each module-level constant still
+holds exactly its declared value, and that no *undeclared* struct
+format string appears in a ``struct`` call — so changing a wire layout
+without updating this table (or vice versa) fails the static gate
+instead of silently forking the format.
+
+This is deliberately data, not imports: importing the codec modules and
+reading the live values would make the check a tautology.  The table is
+the reviewable, diffable statement of the wire contract; the modules
+are the implementation under test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+__all__ = ["DECLARED_LAYOUTS"]
+
+#: per-module layout contract: ``constants`` are module-level names with
+#: their exact values (bytes, int or str), ``structs`` are names bound
+#: to ``struct.Struct(<format>)`` with the exact format string.
+LayoutTable = Dict[str, Dict[str, Dict[str, Union[bytes, int, str]]]]
+
+DECLARED_LAYOUTS: LayoutTable = {
+    "repro/routing/shard_codec.py": {
+        "constants": {
+            # shard payload header (layout v1 payloads, all pack versions)
+            "MAGIC": b"RT",
+            "CODEC_VERSION": 1,
+            # packed group files
+            "PACK_MAGIC": b"RTPK",
+            "PACK_VERSION": 1,
+            "PACK_VERSION_CRC": 2,
+            # weight-layout flag bits in the shard payload header
+            "_FLAG_UNIT_WEIGHTS": 0x01,
+            # value tag bytes of the self-describing payload encoding
+            "_T_NONE": 0x00,
+            "_T_FALSE": 0x01,
+            "_T_TRUE": 0x02,
+            "_T_INT": 0x03,
+            "_T_FLOAT": 0x04,
+            "_T_STR": 0x05,
+            "_T_TUPLE": 0x06,
+            "_T_LIST": 0x07,
+            "_T_DICT": 0x08,
+        },
+        "structs": {
+            "_PACK_ENTRY": "<IQI",
+            "_PACK_ENTRY_CRC": "<IQII",
+            "_INDEX_CRC": "<I",
+            "_PACK_HEADER": "<4sBBI",
+            "_DOUBLE": "<d",
+        },
+    },
+    "repro/routing/header_codec.py": {
+        "constants": {
+            "_TAG_NONE": 0,
+            "_TAG_INT": 1,
+            "_TAG_STR": 2,
+            "_TAG_TUPLE": 3,
+            "_TAG_BOOL_TRUE": 4,
+            "_TAG_BOOL_FALSE": 5,
+        },
+        "structs": {},
+    },
+    "repro/routing/serving.py": {
+        "constants": {
+            "MANIFEST_NAME": "manifest.json",
+            "FORMAT": "repro.routing.shards",
+            "FORMAT_VERSION": 1,
+            "PACKED_FORMAT_VERSION": 2,
+            "CHECKSUM_FORMAT_VERSION": 3,
+        },
+        "structs": {},
+    },
+}

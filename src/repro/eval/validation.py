@@ -14,10 +14,25 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..graph.metric import MetricView
 from ..routing.model import CompactRoutingScheme, words_of
-from ..routing.simulator import route
+from ..routing.serving import ServingError
+from ..routing.shard_codec import ShardCodecError
+from ..routing.simulator import RoutingLoopError, route
 from .workloads import sample_pairs
 
 __all__ = ["ValidationResult", "validate_scheme"]
+
+#: the failures a scheme under validation is *expected* to be able to
+#: produce — the typed serving/codec hierarchy plus the routing-layer
+#: loop guard and API-misuse errors.  Anything outside this tuple is a
+#: bug in the scheme, and the checklist re-reports it as "unexpected"
+#: rather than letting it escape (validate_scheme never raises).
+EXPECTED_SCHEME_ERRORS = (
+    ServingError,
+    ShardCodecError,
+    RoutingLoopError,
+    ValueError,
+    KeyError,
+)
 
 
 @dataclass
@@ -70,8 +85,11 @@ def validate_scheme(
     for v in scheme.graph.vertices():
         try:
             label = scheme.label_of(v)
-        except Exception as exc:  # noqa: BLE001 - reported, not raised
+        except EXPECTED_SCHEME_ERRORS as exc:
             problems.append(f"label_of({v}) raised: {exc!r}")
+            continue
+        except Exception as exc:  # repro: noqa ERR001 — never-raises contract: re-reported as unexpected, not swallowed
+            problems.append(f"label_of({v}) raised unexpected: {exc!r}")
             continue
         lw = words_of(label)
         max_label = max(max_label, lw)
@@ -91,8 +109,11 @@ def validate_scheme(
     for s, t in pairs:
         try:
             result = route(scheme, s, t)
-        except Exception as exc:  # noqa: BLE001
+        except EXPECTED_SCHEME_ERRORS as exc:
             problems.append(f"routing {s}->{t} raised: {exc!r}")
+            continue
+        except Exception as exc:  # repro: noqa ERR001 — never-raises contract: re-reported as unexpected, not swallowed
+            problems.append(f"routing {s}->{t} raised unexpected: {exc!r}")
             continue
         d = metric.d(s, t)
         checked += 1

@@ -72,7 +72,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -241,7 +241,7 @@ class CSRGraph:
             ]
         return self._adj
 
-    def _scipy_matrix(self):
+    def _scipy_matrix(self) -> Optional[Any]:
         """The scipy CSR adjacency (copied arrays so scipy cannot reorder ours)."""
         if not _HAVE_SCIPY:
             return None
@@ -608,7 +608,7 @@ class CSRGraph:
         """Sources per delta batch so both buffers stay ~``batch_bytes``."""
         return max(1, min(self.n, batch_bytes // max(1, 16 * self.n)))
 
-    def _ds_csr_arrays(self):
+    def _ds_csr_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Int32 CSR mirrors for the engine (half the gather traffic).
 
         Flattened ``(batch, vertex)`` ids stay below ``batch * n``, which
@@ -980,11 +980,11 @@ class CSRGraph:
     def bounded_rows(
         self,
         sources: Sequence[int],
-        limits,
+        limits: Union[float, Sequence[float], np.ndarray],
         *,
         delta: Optional[float] = None,
         batch_bytes: int = _DS_BATCH_BYTES,
-    ):
+    ) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
         """Yield ``(source, verts, dists)`` with ``d(source, v) < limit``.
 
         ``limits`` is a scalar or per-source array; ``verts`` ascends by id

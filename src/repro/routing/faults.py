@@ -66,7 +66,7 @@ FAULT_KINDS = ("missing", "truncate", "bitflip", "transient")
 class TransientIOError(OSError):
     """Injected ``EIO``: fails once, succeeds when retried."""
 
-    def __init__(self, path: str):
+    def __init__(self, path: str) -> None:
         super().__init__(
             errno.EIO, "injected transient I/O error", path
         )
@@ -89,7 +89,7 @@ class FaultInjector:
         *,
         seed: int = 0,
         rates: Optional[Dict[str, float]] = None,
-    ):
+    ) -> None:
         rates = dict(rates or {})
         unknown = set(rates) - set(FAULT_KINDS)
         if unknown:
@@ -147,7 +147,10 @@ class FaultInjector:
         if kind is None:
             return None
         if kind == "missing":
-            raise FileNotFoundError(
+            # The injected fault *is* the raw OS-level failure the typed
+            # hierarchy must be proven to translate — raising it typed
+            # would make the fault-tolerance tests test nothing.
+            raise FileNotFoundError(  # repro: noqa ERR001 — injected raw fault under test
                 errno.ENOENT, "injected missing file", path
             )
         if kind == "transient":

@@ -56,7 +56,21 @@ import shutil
 import time
 import zlib
 from collections import OrderedDict
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # import cycle: ports imports graph helpers
+    from .ports import PortAssignment
 
 from ..graph.core import Graph
 from . import header_codec
@@ -80,6 +94,8 @@ __all__ = [
     "ShardUnavailableError",
     "ShardIntegrityError",
     "ReplicaExhaustedError",
+    "WireContractError",
+    "ShardAccountingError",
     "DirectIO",
     "ShardStore",
     "PackedShardStore",
@@ -133,10 +149,19 @@ class ShardIntegrityError(ServingError, ShardCodecError):
     manifest-covered vertex missing from a structurally valid index."""
 
 
+class WireContractError(ServingError):
+    """A header violates the wire codec's contract (bool leaves, or a
+    value that does not survive an encode/decode round trip)."""
+
+
+class ShardAccountingError(ServingError):
+    """Compiled shard bytes disagree with the scheme's word accounting."""
+
+
 class ReplicaExhaustedError(ServingError):
     """Every replica of a group failed; carries the per-replica causes."""
 
-    def __init__(self, message: str, causes: Dict[int, Exception]):
+    def __init__(self, message: str, causes: Dict[int, Exception]) -> None:
         super().__init__(message)
         #: replica index -> the exception that disqualified it
         self.causes = causes
@@ -444,7 +469,7 @@ def write_shards(
     stats = scheme.stats()
     total_words = sum(r.table_words() for r in records)
     if total_words != stats.total_table_words:
-        raise RuntimeError(
+        raise ShardAccountingError(
             f"compiled shards hold {total_words} table words, scheme "
             f"reports {stats.total_table_words} — accounting drift"
         )
@@ -551,7 +576,9 @@ def _load_manifest(path: str) -> Dict[str, Any]:
         with open(manifest_path) as fh:
             manifest = json.load(fh)
     except FileNotFoundError:
-        raise FileNotFoundError(
+        # ShardUnavailableError multiple-inherits FileNotFoundError, so
+        # callers keyed on the legacy type keep working.
+        raise ShardUnavailableError(
             f"{path!r} is not a shard directory (no {MANIFEST_NAME})"
         ) from None
     except json.JSONDecodeError as exc:
@@ -603,7 +630,7 @@ class _ShardStoreBase:
         self.failovers = 0
         self.repairs = 0
 
-    def _with_retries(self, op, describe: str):
+    def _with_retries(self, op: Callable[[], Any], describe: str) -> Any:
         """Run ``op()`` retrying transient IO errors (EIO/EAGAIN).
 
         A NAS hiccup or an injected transient fault is not corruption:
@@ -629,7 +656,7 @@ class _ShardStoreBase:
                 attempt += 1
 
     # -- layout hooks --------------------------------------------------
-    def _read_shard(self, v: int):
+    def _read_shard(self, v: int) -> Union[bytes, memoryview]:
         raise NotImplementedError
 
     def _diagnose(self, v: int) -> None:
@@ -750,7 +777,7 @@ class ShardStore(_ShardStoreBase):
         io: Optional[DirectIO] = None,
         retry_budget: int = DEFAULT_RETRY_BUDGET,
         backoff_s: float = DEFAULT_BACKOFF_S,
-    ):
+    ) -> None:
         # ``manifest`` lets open_store hand over the parse it already
         # did — cold-open reads the file once, not per-dispatch-step.
         if manifest is None:
@@ -815,7 +842,7 @@ class PackedShardStore(_ShardStoreBase):
         io: Optional[DirectIO] = None,
         retry_budget: int = DEFAULT_RETRY_BUDGET,
         backoff_s: float = DEFAULT_BACKOFF_S,
-    ):
+    ) -> None:
         if manifest is None:
             manifest = _load_manifest(path)
         version = manifest.get("version")
@@ -1007,7 +1034,7 @@ class ReplicatedShardStore(_ShardStoreBase):
         io: Optional[DirectIO] = None,
         retry_budget: int = DEFAULT_RETRY_BUDGET,
         backoff_s: float = DEFAULT_BACKOFF_S,
-    ):
+    ) -> None:
         if manifest is None:
             manifest = _load_manifest(path)
         if (
@@ -1381,7 +1408,7 @@ class _ShardTables:
         self._store = store
         self._sized: Dict[int, Any] = {}
 
-    def __getitem__(self, v: int):
+    def __getitem__(self, v: int) -> Any:
         table = self._sized.get(v)
         if table is None:
             table = self._store.node(v).sized_table()
@@ -1400,7 +1427,7 @@ class _ShardLabels:
     def __init__(self, store: _ShardStoreBase) -> None:
         self._store = store
 
-    def __getitem__(self, v: int):
+    def __getitem__(self, v: int) -> Any:
         return self._store.node(v).label
 
 
@@ -1485,7 +1512,7 @@ class LocalRouter:
         length = self._wire_cache.get(header)
         if length is None:
             if _contains_bool(header):
-                raise RuntimeError(
+                raise WireContractError(
                     f"header {header!r} carries a bool leaf; the "
                     f"serving engine's wire-length cache cannot tell "
                     f"True/False from 1/0 (Python value equality) — "
@@ -1493,7 +1520,7 @@ class LocalRouter:
                 )
             wire = header_codec.encode(header)
             if header_codec.decode(wire) != header:
-                raise RuntimeError(
+                raise WireContractError(
                     f"header {header!r} does not survive the wire codec"
                 )
             length = len(wire)
@@ -1529,10 +1556,10 @@ class LocalRouter:
         }
 
     # -- scheme-compatible surface (measurement/accounting) ------------
-    def table_of(self, v: int):
+    def table_of(self, v: int) -> Any:
         return self._stepper.table_of(v)
 
-    def stretch_bound(self):
+    def stretch_bound(self) -> Any:
         return self._stepper.stretch_bound()
 
     def routing_params(self) -> Dict[str, Any]:
@@ -1556,7 +1583,7 @@ class LocalRouter:
         return self._graph
 
     @property
-    def ports(self):
+    def ports(self) -> "PortAssignment":
         """The global port numbering reassembled from the shards.
 
         Like :attr:`graph`, a full-scan convenience for re-export and

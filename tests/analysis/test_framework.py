@@ -1,0 +1,124 @@
+"""Framework mechanics: registry, scoping, suppressions, output."""
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    format_findings,
+    iter_python_files,
+)
+from repro.analysis.framework import Rule, suppressions_for
+
+
+EXPECTED_RULES = {
+    "LK001", "DET001", "ERR001", "RES001", "GEN001", "CODEC001",
+}
+
+
+def test_registry_holds_the_six_domain_rules():
+    rules = all_rules()
+    assert EXPECTED_RULES <= set(rules)
+    for rule_id, instance in rules.items():
+        assert instance.id == rule_id
+        assert instance.title, f"{rule_id} must have a one-line title"
+
+
+def test_applies_to_scoping():
+    class Scoped(Rule):
+        id = "X001"
+        paths = ("repro/routing/", "eval/validation.py")
+
+    r = Scoped()
+    assert r.applies_to("repro/routing/serving.py")
+    assert r.applies_to("repro/routing/deep/nested.py")
+    assert r.applies_to("repro/eval/validation.py")
+    assert not r.applies_to("repro/eval/harness.py")
+    assert not r.applies_to("repro/schemes/warmup3.py")
+
+    class Everywhere(Rule):
+        id = "X002"
+
+    assert Everywhere().applies_to("anything/at/all.py")
+
+
+def test_suppression_parsing():
+    source = textwrap.dedent(
+        """\
+        x = 1  # repro: noqa
+        y = 2  # repro: noqa ERR001
+        z = 3  # repro: noqa ERR001, DET001 — injected fault under test
+        w = 4  # a normal comment
+        """
+    )
+    table = suppressions_for(source)
+    assert table[1] is None  # bare noqa: all rules
+    assert table[2] == frozenset({"ERR001"})
+    assert table[3] == frozenset({"ERR001", "DET001"})
+    assert 4 not in table
+
+
+def test_syntax_error_becomes_parse_finding():
+    report = analyze_source("def broken(:\n", "repro/routing/x.py")
+    assert len(report.findings) == 1
+    assert report.findings[0].rule == "PARSE"
+
+
+def test_unknown_rule_select_raises():
+    with pytest.raises(AnalysisError, match="NOPE"):
+        analyze_source("x = 1\n", "repro/x.py", select=["NOPE"])
+
+
+def test_findings_sorted_and_rendered(tmp_path):
+    bad = tmp_path / "repro" / "routing" / "faults.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "fh = open('x', 'rb')\n"
+        "raise RuntimeError('boom')\n"
+    )
+    reports = analyze_paths([str(tmp_path)])
+    findings = [f for r in reports for f in r.findings]
+    assert [f.line for f in findings] == sorted(f.line for f in findings)
+    rendered = format_findings(reports)
+    assert "repro/routing/faults.py:1" in rendered
+    assert rendered.rsplit("\n", 1)[-1].startswith("2 findings")
+    payload = [f.to_dict() for f in findings]
+    round_tripped = json.loads(json.dumps(payload))
+    assert {"file", "line", "col", "rule", "message"} <= set(
+        round_tripped[0]
+    )
+
+
+def test_iter_python_files_skips_caches_and_dotdirs(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "a.cpython-311.pyc").write_text("")
+    (tmp_path / ".git").mkdir()
+    (tmp_path / ".git" / "hook.py").write_text("x = 1\n")
+    (tmp_path / "notes.txt").write_text("not python")
+    found = [
+        os.path.relpath(p, tmp_path)
+        for p in iter_python_files([str(tmp_path)])
+    ]
+    assert found == [os.path.join("pkg", "a.py")]
+
+
+def test_iter_python_files_missing_path_raises():
+    with pytest.raises(AnalysisError, match="no such file"):
+        list(iter_python_files(["/definitely/not/here"]))
+
+
+def test_suppressed_findings_are_counted_not_dropped_silently():
+    source = "raise RuntimeError('x')  # repro: noqa ERR001 — fixture\n"
+    report = analyze_source(
+        source, "repro/routing/serving.py", select=["ERR001"]
+    )
+    assert report.findings == []
+    assert report.suppressed == 1

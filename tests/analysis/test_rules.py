@@ -1,0 +1,380 @@
+"""Per-rule fixtures: every bad snippet flags, every good snippet passes,
+suppression comments are honored."""
+
+import textwrap
+
+from repro.analysis import analyze_source
+
+
+def check(source, relpath, rule_id):
+    """Rule ids of the findings ``rule_id`` produces on ``source``."""
+    report = analyze_source(
+        textwrap.dedent(source), relpath, select=[rule_id]
+    )
+    return report
+
+
+def rules_fired(source, relpath, rule_id):
+    return [f.rule for f in check(source, relpath, rule_id).findings]
+
+
+# ----------------------------------------------------------------------
+# LK001 — local knowledge
+# ----------------------------------------------------------------------
+LK_BAD = """\
+    class FakeScheme:
+        def shard_categories(self):
+            return ("ball", f"ctree{0}")
+
+        def step(self, v, header, target):
+            table = self.table_of(v)
+            return table.get("radius", v)
+    """
+
+LK_GOOD = """\
+    class FakeScheme:
+        def shard_categories(self):
+            return ("ball", f"ctree{0}")
+
+        def step(self, v, header, target, lvl=0):
+            table = self.table_of(v)
+            if table.has("ball", target):
+                return table.get("ball", target)
+            return table.get(f"ctree{lvl}", target)
+
+        def _helper(self, table, root):
+            return table.get("ball", root)
+    """
+
+
+def test_lk001_flags_undeclared_category_read():
+    fired = rules_fired(LK_BAD, "repro/schemes/fake.py", "LK001")
+    assert fired == ["LK001"]
+    finding = check(LK_BAD, "repro/schemes/fake.py", "LK001").findings[0]
+    assert "radius" in finding.message
+
+
+def test_lk001_passes_declared_literals_and_fstring_prefixes():
+    assert rules_fired(LK_GOOD, "repro/schemes/fake.py", "LK001") == []
+
+
+def test_lk001_ignores_build_time_and_out_of_scope_code():
+    # __init__ may read anything (it runs at build time), and modules
+    # outside schemes/baselines are not scoped.
+    source = """\
+        class FakeScheme:
+            def __init__(self):
+                table = self.table_of(0)
+                table.get("scratch", 0)
+
+            def shard_categories(self):
+                return ("ball",)
+
+            def step(self, v, header, target):
+                table = self.table_of(v)
+                return table.get("ball", target)
+        """
+    assert rules_fired(source, "repro/schemes/fake.py", "LK001") == []
+    assert rules_fired(LK_BAD, "repro/eval/fake.py", "LK001") == []
+
+
+def test_lk001_suppression():
+    suppressed = LK_BAD.replace(
+        'table.get("radius", v)',
+        'table.get("radius", v)  # repro: noqa LK001 — fixture',
+    )
+    report = check(suppressed, "repro/schemes/fake.py", "LK001")
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# DET001 — determinism
+# ----------------------------------------------------------------------
+def test_det001_flags_global_rng():
+    source = """\
+        import random
+        x = random.randrange(10)
+        """
+    assert rules_fired(source, "repro/structures/fake.py", "DET001") == [
+        "DET001"
+    ]
+
+
+def test_det001_flags_unseeded_random_instance():
+    source = """\
+        import random
+        rng = random.Random()
+        """
+    assert rules_fired(source, "repro/structures/fake.py", "DET001") == [
+        "DET001"
+    ]
+
+
+def test_det001_flags_wall_clock():
+    source = """\
+        import time
+        stamp = time.time()
+        """
+    assert rules_fired(source, "repro/eval/fake.py", "DET001") == [
+        "DET001"
+    ]
+
+
+def test_det001_flags_bare_set_iteration():
+    source = """\
+        def order(items):
+            out = []
+            for x in set(items):
+                out.append(x)
+            return out + [y for y in {1, 2}]
+        """
+    assert rules_fired(source, "repro/core/fake.py", "DET001") == [
+        "DET001",
+        "DET001",
+    ]
+
+
+def test_det001_good_patterns_pass():
+    source = """\
+        import random
+        import time
+        from numpy.random import default_rng
+
+        def run(items, seed):
+            rng = random.Random(seed)
+            gen = default_rng(seed)
+            t0 = time.perf_counter()
+            ordered = [x for x in sorted(set(items))]
+            return rng.randrange(10), time.perf_counter() - t0, ordered
+        """
+    assert rules_fired(source, "repro/core/fake.py", "DET001") == []
+
+
+def test_det001_resolves_import_aliases():
+    source = """\
+        from random import randrange
+        x = randrange(10)
+        """
+    assert rules_fired(source, "repro/core/fake.py", "DET001") == [
+        "DET001"
+    ]
+
+
+# ----------------------------------------------------------------------
+# ERR001 — error taxonomy
+# ----------------------------------------------------------------------
+def test_err001_flags_untyped_raise():
+    source = "raise RuntimeError('boom')\n"
+    assert rules_fired(source, "repro/routing/serving.py", "ERR001") == [
+        "ERR001"
+    ]
+
+
+def test_err001_flags_swallowing_broad_except():
+    source = """\
+        try:
+            work()
+        except Exception:
+            pass
+        """
+    assert rules_fired(source, "repro/routing/serving.py", "ERR001") == [
+        "ERR001"
+    ]
+
+
+def test_err001_allows_typed_raises_and_reraising_excepts():
+    source = """\
+        class LocalTypedError(ValueError):
+            pass
+
+        def a():
+            raise LocalTypedError("typed")
+
+        def b():
+            raise ValueError("api misuse stays legal")
+
+        def c():
+            try:
+                work()
+            except BaseException:
+                cleanup()
+                raise
+        """
+    assert rules_fired(source, "repro/routing/serving.py", "ERR001") == []
+
+
+def test_err001_out_of_scope_module_is_ignored():
+    source = "raise RuntimeError('boom')\n"
+    assert rules_fired(source, "repro/schemes/fake.py", "ERR001") == []
+
+
+def test_err001_suppression():
+    source = (
+        "raise FileNotFoundError('x')"
+        "  # repro: noqa ERR001 — injected fault\n"
+    )
+    report = check(source, "repro/routing/faults.py", "ERR001")
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# RES001 — resource hygiene
+# ----------------------------------------------------------------------
+def test_res001_flags_unowned_open():
+    source = """\
+        def peek(path):
+            fh = open(path, "rb")
+            return fh.read(2)
+        """
+    assert rules_fired(source, "repro/routing/fake.py", "RES001") == [
+        "RES001"
+    ]
+
+
+def test_res001_flags_unowned_mmap():
+    source = """\
+        import mmap
+
+        class NoClose:
+            def load(self, fh):
+                self.m = mmap.mmap(fh.fileno(), 0)
+        """
+    assert rules_fired(source, "repro/routing/fake.py", "RES001") == [
+        "RES001"
+    ]
+
+
+def test_res001_allows_with_blocks_and_close_bearing_classes():
+    source = """\
+        import mmap
+
+        def peek(path):
+            with open(path, "rb") as fh:
+                return fh.read(2)
+
+        class OwnedIO:
+            def load(self, path):
+                with open(path, "rb") as fh:
+                    self.m = mmap.mmap(fh.fileno(), 0)
+                self.fh = open(path, "rb")
+
+            def close(self):
+                self.m.close()
+                self.fh.close()
+        """
+    assert rules_fired(source, "repro/routing/fake.py", "RES001") == []
+
+
+def test_res001_only_scopes_routing():
+    source = "fh = open('x', 'rb')\n"
+    assert rules_fired(source, "repro/eval/fake.py", "RES001") == []
+
+
+# ----------------------------------------------------------------------
+# GEN001 — stamp discipline
+# ----------------------------------------------------------------------
+def test_gen001_flags_lru_cache_on_method():
+    source = """\
+        import functools
+
+        class Substrate:
+            @functools.lru_cache(maxsize=None)
+            def balls(self):
+                return compute(self)
+        """
+    assert rules_fired(source, "repro/api/fake.py", "GEN001") == [
+        "GEN001"
+    ]
+
+
+def test_gen001_flags_id_keyed_cache_without_stamp():
+    source = """\
+        def cached(cache, graph):
+            hit = cache.get(id(graph))
+            if hit is None:
+                hit = build(graph)
+                cache[id(graph)] = hit
+            return hit
+        """
+    assert rules_fired(source, "repro/api/fake.py", "GEN001") == [
+        "GEN001"
+    ]
+
+
+def test_gen001_allows_stamped_id_cache_and_module_level_lru():
+    source = """\
+        import functools
+
+        @functools.lru_cache(maxsize=None)
+        def pure(n):
+            return n * n
+
+        def cached(cache, graph):
+            version = getattr(graph, "_version", 0)
+            entry = cache.get(id(graph))
+            if entry is not None and entry[0] == version:
+                return entry[1]
+            built = build(graph)
+            cache[id(graph)] = (version, built)
+            return built
+        """
+    assert rules_fired(source, "repro/api/fake.py", "GEN001") == []
+
+
+# ----------------------------------------------------------------------
+# CODEC001 — codec layout audit
+# ----------------------------------------------------------------------
+def test_codec001_flags_constant_drift():
+    source = """\
+        _TAG_NONE = 9
+        _TAG_INT = 1
+        _TAG_STR = 2
+        _TAG_TUPLE = 3
+        _TAG_BOOL_TRUE = 4
+        _TAG_BOOL_FALSE = 5
+        """
+    report = check(source, "repro/routing/header_codec.py", "CODEC001")
+    assert [f.rule for f in report.findings] == ["CODEC001"]
+    assert "_TAG_NONE" in report.findings[0].message
+
+
+def test_codec001_flags_missing_declared_constant():
+    source = "_TAG_NONE = 0\n"
+    report = check(source, "repro/routing/header_codec.py", "CODEC001")
+    missing = {
+        f.message.split()[3] for f in report.findings
+    }  # "declared layout constant NAME has no ..."
+    assert "_TAG_INT" in missing
+
+
+def test_codec001_flags_undeclared_struct_format():
+    source = """\
+        import struct
+        _TAG_NONE = 0
+        _TAG_INT = 1
+        _TAG_STR = 2
+        _TAG_TUPLE = 3
+        _TAG_BOOL_TRUE = 4
+        _TAG_BOOL_FALSE = 5
+        _ROGUE = struct.Struct("<QQ")
+        """
+    report = check(source, "repro/routing/header_codec.py", "CODEC001")
+    assert any("<QQ" in f.message for f in report.findings)
+
+
+def test_codec001_real_codecs_match_declared_layouts():
+    import repro.routing.header_codec as header_codec
+    import repro.routing.shard_codec as shard_codec
+
+    for mod, relpath in (
+        (shard_codec, "repro/routing/shard_codec.py"),
+        (header_codec, "repro/routing/header_codec.py"),
+    ):
+        with open(mod.__file__, encoding="utf-8") as fh:
+            source = fh.read()
+        report = analyze_source(source, relpath, select=["CODEC001"])
+        assert report.findings == [], [
+            f.render() for f in report.findings
+        ]

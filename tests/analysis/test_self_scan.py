@@ -1,0 +1,80 @@
+"""The gate applied to itself: HEAD is clean, and the CLI surfaces it."""
+
+import json
+import os
+
+from repro.analysis import analyze_paths
+from repro.analysis.__main__ import run as run_analysis
+from repro.__main__ import main as repro_main
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def test_whole_repo_has_zero_unsuppressed_findings():
+    reports = analyze_paths([SRC_REPRO])
+    findings = [f for r in reports for f in r.findings]
+    assert findings == [], "\n".join(f.render() for f in findings)
+    # the suppression budget is part of the contract: every noqa is a
+    # deliberate, commented exception — if this number creeps up,
+    # someone is silencing instead of fixing
+    assert sum(r.suppressed for r in reports) <= 5
+
+
+def test_cli_exits_zero_on_clean_tree(capsys):
+    assert run_analysis([SRC_REPRO]) == 0
+    out = capsys.readouterr().out
+    assert out.strip().endswith("suppressed)") or "0 findings" in out
+
+
+def test_cli_exits_one_on_findings_and_emits_json(tmp_path, capsys):
+    bad = tmp_path / "repro" / "routing" / "faults.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("raise RuntimeError('boom')\n")
+    assert run_analysis([str(bad), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 1
+    finding = payload[0]
+    assert finding["rule"] == "ERR001"
+    assert finding["file"] == "repro/routing/faults.py"
+    assert finding["line"] == 1
+    assert {"file", "line", "col", "rule", "message"} <= set(finding)
+
+
+def test_cli_select_filters_rules(tmp_path, capsys):
+    bad = tmp_path / "repro" / "routing" / "faults.py"
+    bad.parent.mkdir(parents=True)
+    # ERR001 (untyped raise) + RES001 (unowned open) in one file
+    bad.write_text("fh = open('x', 'rb')\nraise RuntimeError('boom')\n")
+    assert run_analysis([str(bad), "--select", "RES001", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [f["rule"] for f in payload] == ["RES001"]
+
+
+def test_cli_unknown_rule_exits_two(capsys):
+    assert run_analysis(["--select", "NOPE", SRC_REPRO]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert run_analysis(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "LK001", "DET001", "ERR001", "RES001", "GEN001", "CODEC001",
+    ):
+        assert rule_id in out
+
+
+def test_repro_check_subcommand_forwards(tmp_path, capsys):
+    assert repro_main(["check", SRC_REPRO]) == 0
+    capsys.readouterr()
+    bad = tmp_path / "repro" / "routing" / "faults.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("raise RuntimeError('boom')\n")
+    assert repro_main(["check", str(bad), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["rule"] == "ERR001"
+    assert repro_main(["check", "--list-rules"]) == 0
+    assert "CODEC001" in capsys.readouterr().out

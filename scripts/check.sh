@@ -44,4 +44,8 @@ python -m repro.analysis src/repro || fail=1
 echo "== pytest =="
 python -m pytest -x -q || fail=1
 
+# -- cluster smoke: fleet vs single-process, kill-a-worker -------------
+echo "== bench_cluster (smoke) =="
+REPRO_BENCH_SMOKE=1 python benchmarks/bench_cluster.py || fail=1
+
 exit "$fail"

@@ -18,7 +18,13 @@ Subcommands (all scheme names resolve through the ``repro.api`` registry):
 * ``load`` — restore a saved scheme (no preprocessing) and serve it;
   accepts both the JSON blob and a shard directory,
 * ``check`` — run the static invariant linter (``repro.analysis``) over
-  the source tree; ``--json`` emits machine-readable findings.
+  the source tree; ``--json`` emits machine-readable findings,
+* ``cluster`` — multi-process serving over a packed shard directory
+  (``repro.cluster``): ``cluster serve`` starts a worker fleet and
+  writes a ``cluster.json`` reconnect spec, ``cluster route`` routes
+  through a fleet (ephemeral ``--shards``/``--workers`` or a running
+  one via ``--cluster``) printing the same hop lines as ``route``,
+  ``cluster status`` prints fleet health and aggregated serve counters.
 
 Build-style subcommands accept ``--preset`` to apply the scheme's
 workload-aware parameter preset for a graph family (see
@@ -132,10 +138,19 @@ def _print_route(session, source: int, target: int) -> None:
 
 
 def cmd_route(args) -> int:
+    if args.max_resident is not None and not args.shards:
+        raise SystemExit(
+            "--max-resident bounds the shard LRU of a served directory; "
+            "it requires --shards"
+        )
     if args.shards:
+        from .api import RoutingSession
+
         _reject_build_flags_with_shards(args)
         try:
-            session = load_session(args.shards)
+            session = RoutingSession.from_shards(
+                args.shards, max_resident=args.max_resident
+            )
         except (OSError, ValueError, KeyError) as exc:
             raise SystemExit(
                 f"cannot serve from {args.shards!r}: {exc}"
@@ -362,6 +377,159 @@ def cmd_check(args) -> int:
     return run_analysis(forwarded)
 
 
+def _print_cluster_routes(session, args) -> int:
+    """Route through a cluster-backed session, printing the canonical
+    hop lines (byte-identical to single-process ``route --shards``)."""
+    router = session.scheme
+    n = router.n
+    if args.pairs:
+        pairs = [
+            _wrap_pair(s, t, n)
+            for s, t in sample_pairs(n, args.pairs, seed=args.seed)
+        ]
+    else:
+        pairs = [_wrap_pair(args.source, args.target, n)]
+    print(session.describe())
+    results = router.route_batch(pairs)
+    for (s, t), result in zip(pairs, results):
+        print(_hop_line(s, t, result))
+    stats = session.serve_stats()
+    print(
+        f"{stats['routes']} routes, {stats['total_hops']} hops over "
+        f"{stats['rpcs']} RPCs ({stats['wire']['frame_header_bytes']} "
+        f"frame-header bytes, "
+        f"{stats['wire']['payload_bytes_sent'] + stats['wire']['payload_bytes_received']} "
+        f"payload bytes)"
+    )
+    print(
+        f"fleet stores: {stats['store']['loads']} shard loads "
+        f"({stats['store']['bytes_read']} bytes), failovers "
+        f"{stats['failovers']}"
+    )
+    health = session.health()
+    print(
+        f"health: {health['status']} (serving: {health['serving']}, "
+        f"dead workers: {health['dead_workers']})"
+    )
+    return 0
+
+
+def cmd_cluster_serve(args) -> int:
+    import signal
+    import threading
+
+    from .cluster import save_cluster_spec, start_cluster
+    from .routing.serving import ServingError
+
+    try:
+        handle = start_cluster(
+            args.shards,
+            workers=args.workers,
+            max_resident=args.max_resident,
+            host=args.host,
+        )
+    except (OSError, ValueError, ServingError) as exc:
+        raise SystemExit(
+            f"cannot serve {args.shards!r}: {exc}"
+        ) from None
+    with handle:
+        save_cluster_spec(args.out, handle.spec())
+        print(
+            f"cluster up: {handle.placement.workers} workers "
+            f"x{handle.placement.replicas} replicas over {args.shards}"
+        )
+        for w, (host, port) in sorted(handle.addresses.items()):
+            print(f"  worker {w}: {host}:{port}")
+        print(f"spec written to {args.out}; SIGINT/SIGTERM stops")
+        stop = threading.Event()
+
+        def _stop(signum, frame):
+            stop.set()
+
+        signal.signal(signal.SIGINT, _stop)
+        signal.signal(signal.SIGTERM, _stop)
+        stop.wait()
+        print("stopping cluster")
+    return 0
+
+
+def cmd_cluster_route(args) -> int:
+    from .api import RoutingSession
+    from .cluster import start_cluster
+    from .routing.serving import ServingError
+
+    if (args.cluster is None) == (args.shards is None):
+        raise SystemExit(
+            "cluster route: pass exactly one of --cluster SPEC "
+            "(a running fleet) or --shards DIR (ephemeral fleet)"
+        )
+    if args.cluster is not None:
+        try:
+            session = RoutingSession.connect(args.cluster)
+        except (OSError, ValueError, ServingError) as exc:
+            raise SystemExit(
+                f"cannot connect to {args.cluster!r}: {exc}"
+            ) from None
+        with session.scheme:
+            return _print_cluster_routes(session, args)
+    try:
+        handle = start_cluster(
+            args.shards,
+            workers=args.workers,
+            max_resident=args.max_resident,
+        )
+    except (OSError, ValueError, ServingError) as exc:
+        raise SystemExit(
+            f"cannot serve {args.shards!r}: {exc}"
+        ) from None
+    with handle:
+        with handle.router() as router:
+            session = RoutingSession(
+                router,
+                spec_name=router.spec_name or "?",
+                loaded=True,
+            )
+            return _print_cluster_routes(session, args)
+
+
+def cmd_cluster_status(args) -> int:
+    from .api import RoutingSession
+    from .routing.serving import ServingError
+
+    try:
+        session = RoutingSession.connect(args.cluster)
+    except (OSError, ValueError, ServingError) as exc:
+        raise SystemExit(
+            f"cannot connect to {args.cluster!r}: {exc}"
+        ) from None
+    with session.scheme as router:
+        print(session.describe())
+        health = router.health()
+        stats = router.cluster_stats()
+        print(
+            f"health: {health['status']} (serving: {health['serving']})"
+        )
+        for w in sorted(stats["per_worker"]):
+            status = stats["per_worker"][w]
+            if status is None:
+                print(f"  worker {w}: DEAD")
+                continue
+            store = status["store"]
+            print(
+                f"  worker {w}: {len(status['owned_groups'] or ())} "
+                f"groups, {store['loads']} loads, "
+                f"{store['bytes_read']} bytes read, "
+                f"{sum(status['requests'].values())} requests"
+            )
+        print(
+            f"fleet: {stats['store']['loads']} loads, "
+            f"{stats['store']['bytes_read']} bytes read, "
+            f"checksum failures {stats['store']['checksum_failures']}, "
+            f"store failovers {stats['store']['failovers']}"
+        )
+    return 0
+
+
 def cmd_load(args) -> int:
     try:
         session = load_session(args.path)
@@ -444,6 +612,11 @@ def main(argv=None) -> int:
         help="serve from a shard directory written by `shard` instead "
              "of building (loads only the shards the route visits)",
     )
+    p_route.add_argument(
+        "--max-resident", type=int, default=None, metavar="K",
+        help="with --shards: keep at most K decoded shards resident "
+             "(the serving node's memory budget)",
+    )
     p_route.set_defaults(func=cmd_route)
 
     p_val = sub.add_parser("validate", help="structural validation")
@@ -521,6 +694,67 @@ def main(argv=None) -> int:
         help="print the rule registry and exit",
     )
     p_check.set_defaults(func=cmd_check)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="multi-process serving over packed shards (repro.cluster)",
+    )
+    cluster_sub = p_cluster.add_subparsers(
+        dest="cluster_command", required=True
+    )
+
+    p_cserve = cluster_sub.add_parser(
+        "serve", help="start a worker fleet and block until signalled"
+    )
+    p_cserve.add_argument(
+        "--shards", required=True, metavar="DIR",
+        help="packed shard directory (`shard --pack [--replicas R]`)",
+    )
+    p_cserve.add_argument("--workers", type=int, default=4)
+    p_cserve.add_argument(
+        "--max-resident", type=int, default=None, metavar="K",
+        help="per-worker decoded-shard LRU bound",
+    )
+    p_cserve.add_argument("--host", default="127.0.0.1")
+    p_cserve.add_argument(
+        "--out", default="cluster.json", metavar="PATH",
+        help="where to write the reconnect spec (default cluster.json)",
+    )
+    p_cserve.set_defaults(func=cmd_cluster_serve)
+
+    p_croute = cluster_sub.add_parser(
+        "route", help="route messages through a worker fleet"
+    )
+    p_croute.add_argument(
+        "--cluster", default=None, metavar="SPEC",
+        help="cluster.json of a running fleet (from `cluster serve`)",
+    )
+    p_croute.add_argument(
+        "--shards", default=None, metavar="DIR",
+        help="start an ephemeral fleet over this shard directory",
+    )
+    p_croute.add_argument("--workers", type=int, default=4)
+    p_croute.add_argument(
+        "--max-resident", type=int, default=None, metavar="K",
+        help="per-worker decoded-shard LRU bound (ephemeral fleet)",
+    )
+    p_croute.add_argument("--source", type=int, default=0)
+    p_croute.add_argument("--target", type=int, default=42)
+    p_croute.add_argument(
+        "--pairs", type=int, default=0, metavar="P",
+        help="route P seeded sampled pairs instead of --source/--target",
+    )
+    p_croute.add_argument("--seed", type=int, default=0)
+    p_croute.set_defaults(func=cmd_cluster_route)
+
+    p_cstatus = cluster_sub.add_parser(
+        "status", help="fleet health and aggregated serve counters"
+    )
+    p_cstatus.add_argument(
+        "--cluster", required=True, metavar="SPEC",
+        help="cluster.json of the running fleet",
+    )
+    p_cstatus.set_defaults(func=cmd_cluster_status)
 
     p_load = sub.add_parser(
         "load", help="restore a saved scheme and serve it"

@@ -77,4 +77,24 @@ DECLARED_LAYOUTS: LayoutTable = {
         },
         "structs": {},
     },
+    "repro/cluster/wire.py": {
+        "constants": {
+            # RPC frame header: magic, version, msg type, payload length
+            "WIRE_MAGIC": b"RC",
+            "WIRE_VERSION": 1,
+            "FRAME_BYTES": 8,
+            "MAX_PAYLOAD": 67108864,
+            # message / reply type bytes
+            "MSG_STATUS": 1,
+            "MSG_LABEL": 2,
+            "MSG_LOOKUP": 3,
+            "MSG_FORWARD": 4,
+            "MSG_SHUTDOWN": 5,
+            "REPLY_OK": 32,
+            "REPLY_ERROR": 33,
+        },
+        "structs": {
+            "_FRAME": "<2sBBI",
+        },
+    },
 }

@@ -126,7 +126,17 @@ class RoutingSession:
     # ------------------------------------------------------------------
     def route(self, source: int, target: int,
               max_hops: Optional[int] = None) -> RouteResult:
-        """Route one message through the fixed-port simulator."""
+        """Route one message through the fixed-port simulator.
+
+        An engine that routes *itself* — e.g. a
+        :class:`~repro.cluster.router.ClusterRouter`, whose hop loop
+        runs worker-side across processes — is delegated to directly;
+        it returns the same :class:`RouteResult` shape (the cluster
+        parity tests pin it hop-for-hop against the simulator loop).
+        """
+        own = getattr(self.scheme, "route", None)
+        if callable(own):
+            return own(source, target, max_hops=max_hops)
         return route(self.scheme, source, target, max_hops=max_hops)
 
     def measure(
@@ -302,9 +312,15 @@ class RoutingSession:
 
         Includes the engine's wire-header accounting (headers encoded,
         total/max header bytes) when the scheme is a serving engine.
-        ``None`` means the session is whole-object in-memory — there is
-        no lazy loading to account for.
+        For a cluster-backed session this is the router's
+        ``cluster_stats()`` — per-worker store/header counters summed
+        across the live fleet plus RPC, wire-byte and latency
+        accounting.  ``None`` means the session is whole-object
+        in-memory — there is no lazy loading to account for.
         """
+        cluster_stats = getattr(self.scheme, "cluster_stats", None)
+        if callable(cluster_stats):
+            return cluster_stats()
         store = getattr(self.scheme, "store", None)
         if store is None:
             return None
@@ -321,15 +337,59 @@ class RoutingSession:
         the store retried, failed over, detected a checksum mismatch or
         currently quarantines a replica; routes still complete (that is
         the point of the fault-tolerance layer), but an operator should
-        look at the counters and consider ``repair()``.
+        look at the counters and consider ``repair()``.  Cluster-backed
+        sessions report the router's fleet-wide ``health()`` (dead
+        workers, quarantined copies, per-worker store health).
         """
         store = getattr(self.scheme, "store", None)
-        if store is None:
-            return None
-        return store.health()
+        if store is not None:
+            return store.health()
+        own = getattr(self.scheme, "health", None)
+        if callable(own):
+            return own()
+        return None
+
+    @classmethod
+    def connect(
+        cls, spec: Any, **kwargs: Any
+    ) -> "RoutingSession":
+        """A session over an already-running serving cluster.
+
+        ``spec`` is a reconnect spec dict (:meth:`ClusterHandle.spec`)
+        or the path of a ``cluster.json`` the ``repro cluster serve``
+        CLI wrote; extra keyword arguments reach the
+        :class:`~repro.cluster.router.ClusterRouter` (``timeout_s``...).
+
+        A connected session routes (``route`` / ``serve_stats`` /
+        ``health`` / ``describe``) but holds no graph or metric — the
+        data lives in the workers' shards — so ``measure`` and
+        ``validate`` are unavailable; run those against the
+        single-process session over the same shard directory (the
+        cluster serves hop-identical routes, which the parity tests
+        assert).
+        """
+        from ..cluster import connect_cluster, load_cluster_spec
+
+        if isinstance(spec, str):
+            spec = load_cluster_spec(spec)
+        router = connect_cluster(spec, **kwargs)
+        return cls(
+            router,
+            spec_name=router.spec_name or "?",
+            params={},
+            seed=0,
+            loaded=True,
+        )
 
     def describe(self) -> str:
         """One human-readable summary line."""
+        placement = getattr(self.scheme, "placement", None)
+        if placement is not None:
+            return (
+                f"{self.name} [{self.spec_name}] — cluster of "
+                f"{placement.workers} workers x{placement.replicas} "
+                f"replicas serving {self.scheme.n} vertices"
+            )
         if self.serve_stats() is not None:
             return (
                 f"{self.name} [{self.spec_name}] — serving "

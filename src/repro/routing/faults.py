@@ -157,11 +157,34 @@ class FaultInjector:
             raise TransientIOError(path)
         return self._corrupted(kind, path)
 
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "FaultInjector":
+        """Build an injector from a plain-dict spec: ``{"seed": int,
+        "rates": {kind: probability}}``.
+
+        The cluster driver sends fault schedules to worker processes as
+        JSON-able dicts (a live injector holds an RNG and an open
+        ``DirectIO`` — not something to ship across ``fork``/a wire);
+        each worker rebuilds its own injector from the spec, so a chaos
+        run's schedule is reproducible per worker from ``(seed, rates)``
+        alone.
+        """
+        unknown = set(spec) - {"seed", "rates"}
+        if unknown:
+            raise ValueError(
+                f"unknown fault-spec keys {sorted(unknown)!r} "
+                f"(known: seed, rates)"
+            )
+        return cls(
+            seed=int(spec.get("seed", 0)),
+            rates=spec.get("rates") or {},
+        )
+
     # -- DirectIO protocol --------------------------------------------
-    def map_group(self, path: str) -> memoryview:
+    def map_group(self, path: str, *, sequential: bool = False) -> memoryview:
         faulted = self._serve(self._draw(path, "map"), path)
         if faulted is None:
-            return self._io.map_group(path)
+            return self._io.map_group(path, sequential=sequential)
         return memoryview(faulted)
 
     def read_bytes(self, path: str) -> bytes:

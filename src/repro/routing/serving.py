@@ -181,10 +181,24 @@ class DirectIO:
         self._views: List[memoryview] = []
         self._mmaps: List[mmap.mmap] = []
 
-    def map_group(self, path: str) -> memoryview:
-        """Map ``path`` read-only; the view stays valid until close()."""
+    def map_group(self, path: str, *, sequential: bool = False) -> memoryview:
+        """Map ``path`` read-only; the view stays valid until close().
+
+        ``sequential=True`` advises the kernel the map will be scanned
+        front to back (``MADV_SEQUENTIAL`` readahead) — the verify
+        sweeps touch every byte of every pack exactly once, which is the
+        opposite of the random-access pattern serving exhibits.  Advice
+        only: platforms without ``mmap.madvise`` (or without the flag)
+        serve identical bytes, just without the readahead hint.
+        """
         with open(path, "rb") as fh:
             mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        if (
+            sequential
+            and hasattr(mapped, "madvise")
+            and hasattr(mmap, "MADV_SEQUENTIAL")
+        ):
+            mapped.madvise(mmap.MADV_SEQUENTIAL)
         view = memoryview(mapped)
         self._views.append(view)
         self._mmaps.append(mapped)
@@ -829,6 +843,18 @@ class PackedShardStore(_ShardStoreBase):
     miss, a decode failure, an owner mismatch — so corruption still
     fails loudly with the codec's precise error, and eagerly (including
     every payload checksum) via :meth:`verify`.
+
+    ``group_paths`` restricts the store to an explicit
+    ``{group: pack path}`` assignment: only those groups are servable
+    (any other raises :class:`ShardUnavailableError` — the precise
+    failure a cluster worker must report when handed a vertex it does
+    not own) and each group's pack is read from the given path rather
+    than the default ``groups/<g>.pack``.  This is how a cluster worker
+    (:mod:`repro.cluster.worker`) serves its owned slice of a
+    replicated (v3) layout — each owned group mapped from one specific
+    ``replica/<r>/groups/<g>.pack`` — which is also why the
+    replicated-manifest refusal is lifted when an assignment is given:
+    the placement, not this store, decides which copy serves.
     """
 
     layout = "packed"
@@ -842,6 +868,7 @@ class PackedShardStore(_ShardStoreBase):
         io: Optional[DirectIO] = None,
         retry_budget: int = DEFAULT_RETRY_BUDGET,
         backoff_s: float = DEFAULT_BACKOFF_S,
+        group_paths: Optional[Dict[int, str]] = None,
     ) -> None:
         if manifest is None:
             manifest = _load_manifest(path)
@@ -856,7 +883,7 @@ class PackedShardStore(_ShardStoreBase):
                 f"versions {PACKED_FORMAT_VERSION} and "
                 f"{CHECKSUM_FORMAT_VERSION}, layout 'packed')"
             )
-        if int(manifest.get("replicas", 1)) > 1:
+        if int(manifest.get("replicas", 1)) > 1 and group_paths is None:
             raise ValueError(
                 f"shard directory {path!r} is replicated "
                 f"(replicas={manifest['replicas']}); use "
@@ -868,9 +895,36 @@ class PackedShardStore(_ShardStoreBase):
         self.group_size = int(manifest["group_size"])
         self.checksums = bool(manifest.get("checksums", False))
         self._maps: Dict[int, memoryview] = {}
+        self._group_paths = (
+            None if group_paths is None else dict(group_paths)
+        )
 
     def group_path(self, g: int) -> str:
+        if self._group_paths is not None:
+            target = self._group_paths.get(g)
+            if target is None:
+                raise ShardUnavailableError(
+                    f"group {g} is not in this store's assignment "
+                    f"({len(self._group_paths)} owned groups under "
+                    f"{self.path!r}) — route the lookup to the group's "
+                    f"owner"
+                )
+            return target
         return group_path(self.path, g)
+
+    def owns(self, v: int) -> bool:
+        """Whether vertex ``v``'s shard is servable from this store."""
+        if not 0 <= v < self.n:
+            return False
+        if self._group_paths is None:
+            return True
+        return self.group_of(v) in self._group_paths
+
+    def owned_groups(self) -> Optional[Tuple[int, ...]]:
+        """Sorted assignment groups, or ``None`` when unrestricted."""
+        if self._group_paths is None:
+            return None
+        return tuple(sorted(self._group_paths))
 
     def group_of(self, v: int) -> int:
         return v // self.group_size
@@ -879,10 +933,13 @@ class PackedShardStore(_ShardStoreBase):
     def groups_mapped(self) -> int:
         return len(self._maps)
 
-    def _map_group_file(self, target: str, g: int) -> memoryview:
+    def _map_group_file(
+        self, target: str, g: int, *, sequential: bool = False
+    ) -> memoryview:
         try:
             view = self._with_retries(
-                lambda: self._io.map_group(target), target
+                lambda: self._io.map_group(target, sequential=sequential),
+                target,
             )
         except FileNotFoundError:
             raise ShardUnavailableError(
@@ -898,10 +955,12 @@ class PackedShardStore(_ShardStoreBase):
         parse_pack_header(view)
         return view
 
-    def _group_view(self, g: int) -> memoryview:
+    def _group_view(self, g: int, *, sequential: bool = False) -> memoryview:
         view = self._maps.get(g)
         if view is None:
-            view = self._map_group_file(self.group_path(g), g)
+            view = self._map_group_file(
+                self.group_path(g), g, sequential=sequential
+            )
             self._maps[g] = view
         return view
 
@@ -959,15 +1018,23 @@ class PackedShardStore(_ShardStoreBase):
     def group_count(self) -> int:
         return (self.n + self.group_size - 1) // self.group_size
 
+    def _sweep_groups(self) -> List[int]:
+        """Groups a verify sweep covers: the assignment when restricted,
+        every group of the layout otherwise."""
+        if self._group_paths is not None:
+            return sorted(self._group_paths)
+        return list(range(self.group_count()))
+
     def verify(self) -> int:
         """Eagerly validate every group — full index check plus every
         payload checksum (v3) or structural decode (v2); returns the
         number of groups checked.  Offline tooling / release checks —
-        serving itself validates lazily."""
-        groups = self.group_count()
-        for g in range(groups):
-            verify_pack(self._group_view(g))
-        return groups
+        serving itself validates lazily.  Sweep mappings are made with
+        sequential readahead advice (the scan touches every byte once)."""
+        groups = self._sweep_groups()
+        for g in groups:
+            verify_pack(self._group_view(g, sequential=True))
+        return len(groups)
 
     def verify_report(self) -> Dict[str, str]:
         """Non-raising :meth:`verify`: per-group ``"ok"`` or the error.
@@ -976,10 +1043,10 @@ class PackedShardStore(_ShardStoreBase):
         whole corruption picture, not the first bad group.
         """
         report: Dict[str, str] = {}
-        for g in range(self.group_count()):
+        for g in self._sweep_groups():
             name = f"group {g:04x}"
             try:
-                verify_pack(self._group_view(g))
+                verify_pack(self._group_view(g, sequential=True))
                 report[name] = "ok"
             except (ShardCodecError, OSError) as exc:
                 self._quarantine_mapping(g)
@@ -1084,12 +1151,42 @@ class ReplicatedShardStore(_ShardStoreBase):
         }
 
     # -- failover core -------------------------------------------------
-    def _map_verified(self, g: int, r: int) -> memoryview:
+    def _replica_unavailable(
+        self, g: int, r: int, target: str
+    ) -> ShardUnavailableError:
+        """Typed translation of a missing replica file.
+
+        Names the replica (the operator's unit of repair) and detects
+        the partially-written case — a ``replica/<r>`` directory whose
+        ``groups/`` subdir never landed (an interrupted ``write_shards``
+        or a botched copy) — instead of letting a raw
+        ``FileNotFoundError`` cross the store (or, one layer up, the
+        cluster RPC) boundary untyped.
+        """
+        groups_dir = os.path.join(replica_root(self.path, r), "groups")
+        if not os.path.isdir(groups_dir):
+            return ShardUnavailableError(
+                f"replica {r} of {self.path!r} is partially written: "
+                f"its groups/ directory is missing ({groups_dir}) — "
+                f"the replica never finished landing; repair() can "
+                f"rewrite it from a healthy replica"
+            )
+        return ShardUnavailableError(
+            f"replica {r} of group {g} is missing ({target})"
+        )
+
+    def _map_verified(
+        self, g: int, r: int, *, sequential: bool = False
+    ) -> memoryview:
         """Map replica ``r`` of group ``g`` and verify it end to end."""
         target = self.group_path(g, r)
-        view = self._with_retries(
-            lambda: self._io.map_group(target), target
-        )
+        try:
+            view = self._with_retries(
+                lambda: self._io.map_group(target, sequential=sequential),
+                target,
+            )
+        except FileNotFoundError as exc:
+            raise self._replica_unavailable(g, r, target) from exc
         try:
             verify_pack(view)
         except ShardCodecError:
@@ -1177,6 +1274,16 @@ class ReplicatedShardStore(_ShardStoreBase):
         check_pack(self._group_view(self.group_of(v)))
 
     # -- sweeps --------------------------------------------------------
+    def _map_for_sweep(self, g: int, r: int) -> memoryview:
+        """Map one replica copy for a verify sweep: sequential readahead
+        (the sweep scans every byte once), missing files translated to
+        the typed :class:`ShardUnavailableError` naming the replica."""
+        target = self.group_path(g, r)
+        try:
+            return self._io.map_group(target, sequential=True)
+        except FileNotFoundError as exc:
+            raise self._replica_unavailable(g, r, target) from exc
+
     def verify(self) -> int:
         """Validate every replica of every group; returns the number of
         groups checked.  Raises on the first corrupt copy — use
@@ -1184,7 +1291,7 @@ class ReplicatedShardStore(_ShardStoreBase):
         groups = self.group_count()
         for g in range(groups):
             for r in range(self.replicas):
-                verify_pack(self._io.map_group(self.group_path(g, r)))
+                verify_pack(self._map_for_sweep(g, r))
         return groups
 
     def verify_report(self) -> Dict[str, str]:
@@ -1194,9 +1301,7 @@ class ReplicatedShardStore(_ShardStoreBase):
             for r in range(self.replicas):
                 name = f"group {g:04x} replica {r}"
                 try:
-                    verify_pack(
-                        self._io.map_group(self.group_path(g, r))
-                    )
+                    verify_pack(self._map_for_sweep(g, r))
                     report[name] = "ok"
                 except (ShardCodecError, OSError) as exc:
                     report[name] = f"{type(exc).__name__}: {exc}"
@@ -1228,9 +1333,16 @@ class ReplicatedShardStore(_ShardStoreBase):
                 causes: Dict[int, Exception] = {}
                 for r in range(self.replicas):
                     try:
-                        verify_pack(
-                            admin.read_bytes(self.group_path(g, r))
-                        )
+                        try:
+                            blob = admin.read_bytes(self.group_path(g, r))
+                        except FileNotFoundError as exc:
+                            # typed, replica-named cause — a partially
+                            # written replica (missing groups/ subdir)
+                            # says so, instead of a raw OSError
+                            raise self._replica_unavailable(
+                                g, r, self.group_path(g, r)
+                            ) from exc
+                        verify_pack(blob)
                     except (OSError, ShardCodecError) as exc:
                         bad.append(r)
                         causes[r] = exc.with_traceback(None)

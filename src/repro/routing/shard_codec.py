@@ -90,6 +90,8 @@ __all__ = [
     "encode_node_table",
     "decode_node_table",
     "encoded_size",
+    "encode_value",
+    "decode_value",
     "encode_pack",
     "parse_pack_header",
     "check_pack",
@@ -371,6 +373,31 @@ def decode_node_table(data: Buffer) -> NodeTable:
 def encoded_size(record: NodeTable) -> int:
     """Exact on-disk byte cost of ``record``."""
     return len(encode_node_table(record))
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one value with the codec's self-describing tag scheme.
+
+    The public face of the tagged value encoding the shard payloads use
+    internally (``None``/bool/int/float/str/tuple/list/dict, nested
+    arbitrarily) — the cluster wire protocol
+    (:mod:`repro.cluster.wire`) frames every RPC body with it, so
+    headers, labels and status dicts cross the wire in the exact format
+    the shards already commit to (and CODEC001 already audits).
+    """
+    out: List[bytes] = []
+    _write_value(out, value)
+    return b"".join(out)
+
+
+def decode_value(data: Buffer) -> Any:
+    """Inverse of :func:`encode_value`; rejects trailing bytes."""
+    value, pos = _read_value(data, 0)
+    if pos != len(data):
+        raise ShardCodecError(
+            f"{len(data) - pos} trailing bytes after encoded value"
+        )
+    return value
 
 
 # ----------------------------------------------------------------------

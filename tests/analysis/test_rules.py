@@ -3,6 +3,8 @@ suppression comments are honored."""
 
 import textwrap
 
+import pytest
+
 from repro.analysis import analyze_source
 
 
@@ -217,6 +219,48 @@ def test_err001_suppression():
     report = check(source, "repro/routing/faults.py", "ERR001")
     assert report.findings == []
     assert report.suppressed == 1
+
+
+# every cluster module crosses the RPC boundary, so the whole package
+# is in ERR001's scope — untyped raises there could never be re-raised
+# typed client-side
+ERR_CLUSTER_BAD = """\
+    import socket
+
+    def pump(sock):
+        try:
+            sock.sendall(b"x")
+        except OSError:
+            raise RuntimeError("worker gone")
+    """
+
+ERR_CLUSTER_GOOD = """\
+    import socket
+
+    class WorkerUnavailableError(ConnectionError):
+        pass
+
+    def pump(sock):
+        try:
+            sock.sendall(b"x")
+        except OSError as exc:
+            raise WorkerUnavailableError(f"worker gone: {exc}") from exc
+    """
+
+
+@pytest.mark.parametrize(
+    "relpath",
+    [
+        "repro/cluster/wire.py",
+        "repro/cluster/worker.py",
+        "repro/cluster/router.py",
+        "repro/cluster/driver.py",
+        "repro/cluster/placement.py",
+    ],
+)
+def test_err001_covers_every_cluster_module(relpath):
+    assert rules_fired(ERR_CLUSTER_BAD, relpath, "ERR001") == ["ERR001"]
+    assert rules_fired(ERR_CLUSTER_GOOD, relpath, "ERR001") == []
 
 
 # ----------------------------------------------------------------------

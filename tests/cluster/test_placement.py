@@ -1,0 +1,76 @@
+"""Placement units: replica-distinct ownership, full coverage, manifest
+validation."""
+
+import pytest
+
+from repro.cluster.placement import Placement
+
+
+def test_every_group_owned_by_distinct_workers():
+    p = Placement(n=220, group_size=16, workers=4, replicas=2)
+    for g in range(p.groups):
+        owners = p.owners(g)
+        assert len(owners) == 2
+        assert len(set(owners)) == 2  # a kill never takes every copy
+        assert owners[0] == p.primary(g)
+
+
+def test_assignments_cover_every_copy_exactly_once():
+    p = Placement(n=220, group_size=16, workers=4, replicas=2)
+    seen = {}
+    for w in range(p.workers):
+        for g, k in p.assignment(w).items():
+            assert p.owners(g)[k] == w
+            seen.setdefault(g, set()).add(k)
+    # across all workers, every group's copies 0..R-1 each land once
+    assert set(seen) == set(range(p.groups))
+    assert all(copies == {0, 1} for copies in seen.values())
+
+
+def test_primary_ranges_are_contiguous_and_balanced():
+    p = Placement(n=1000, group_size=10, workers=4, replicas=1)
+    primaries = [p.primary(g) for g in range(p.groups)]
+    assert primaries == sorted(primaries)  # contiguous ranges
+    counts = {w: primaries.count(w) for w in range(4)}
+    assert max(counts.values()) - min(counts.values()) <= 1
+
+
+def test_group_of_range_checked():
+    p = Placement(n=100, group_size=16, workers=2)
+    assert p.group_of(0) == 0
+    assert p.group_of(99) == 99 // 16
+    with pytest.raises(ValueError, match="outside"):
+        p.group_of(100)
+    with pytest.raises(ValueError, match="outside"):
+        p.primary(p.groups)
+    with pytest.raises(ValueError, match="outside"):
+        p.assignment(2)
+
+
+def test_fewer_workers_than_replicas_refused():
+    with pytest.raises(ValueError, match="start at least 3 workers"):
+        Placement(n=100, group_size=16, workers=2, replicas=3)
+
+
+def test_single_worker_single_replica_owns_everything():
+    p = Placement(n=100, group_size=16, workers=1, replicas=1)
+    assert p.assignment(0) == {g: 0 for g in range(p.groups)}
+
+
+def test_from_manifest_requires_packed_layout():
+    packed = {
+        "version": 3, "layout": "packed",
+        "n": 220, "group_size": 16, "replicas": 2,
+    }
+    p = Placement.from_manifest(packed, workers=4)
+    assert (p.n, p.group_size, p.replicas) == (220, 16, 2)
+
+    with pytest.raises(ValueError, match="packed=True"):
+        Placement.from_manifest(
+            {"version": 1, "layout": "files", "n": 220}, workers=4
+        )
+
+
+def test_spec_round_trip():
+    p = Placement(n=220, group_size=16, workers=4, replicas=2)
+    assert Placement(**p.spec()) == p

@@ -1,0 +1,197 @@
+"""Wire protocol units: framing, validation, typed error transport."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.cluster.wire import (
+    FRAME_BYTES,
+    MAX_PAYLOAD,
+    MSG_FORWARD,
+    MSG_LABEL,
+    MSG_STATUS,
+    REPLY_ERROR,
+    ClusterError,
+    NotOwnerError,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    WireProtocolError,
+    WorkerUnavailableError,
+    decode_error,
+    error_payload,
+    msg_name,
+    raise_remote,
+    recv_frame,
+    send_frame,
+    send_value,
+)
+from repro.routing.serving import (
+    ReplicaExhaustedError,
+    ServingError,
+    ShardIntegrityError,
+    ShardUnavailableError,
+)
+from repro.routing.shard_codec import (
+    ChecksumError,
+    ShardCodecError,
+    decode_value,
+)
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+def test_frame_round_trip(pair):
+    a, b = pair
+    written = send_frame(a, MSG_LABEL, b"payload")
+    assert written == FRAME_BYTES + len(b"payload")
+    assert recv_frame(b) == (MSG_LABEL, b"payload")
+
+
+def test_empty_payload_round_trip(pair):
+    a, b = pair
+    send_frame(a, MSG_STATUS, b"")
+    assert recv_frame(b) == (MSG_STATUS, b"")
+
+
+def test_value_round_trip(pair):
+    a, b = pair
+    value = ([3, (1, 2.5, "x")], {"k": None})
+    send_value(a, MSG_FORWARD, value)
+    msg, payload = recv_frame(b)
+    assert msg == MSG_FORWARD
+    assert decode_value(payload) == value
+
+
+def test_clean_close_is_none(pair):
+    a, b = pair
+    a.close()
+    assert recv_frame(b) is None
+
+
+def test_mid_frame_close_is_torn_frame(pair):
+    a, b = pair
+    a.sendall(b"RC\x01")  # half a header, then gone
+    a.close()
+    with pytest.raises(WireProtocolError, match="mid-frame"):
+        recv_frame(b)
+
+
+def test_close_before_payload_is_torn_frame(pair):
+    a, b = pair
+    frame = struct.Struct("<2sBBI").pack(
+        WIRE_MAGIC, WIRE_VERSION, MSG_LABEL, 100
+    )
+    a.sendall(frame + b"short")
+    a.close()
+    with pytest.raises(WireProtocolError):
+        recv_frame(b)
+
+
+def test_bad_magic_rejected(pair):
+    a, b = pair
+    a.sendall(struct.Struct("<2sBBI").pack(b"XX", WIRE_VERSION, 1, 0))
+    with pytest.raises(WireProtocolError, match="magic"):
+        recv_frame(b)
+
+
+def test_unknown_version_rejected(pair):
+    a, b = pair
+    a.sendall(
+        struct.Struct("<2sBBI").pack(WIRE_MAGIC, WIRE_VERSION + 1, 1, 0)
+    )
+    with pytest.raises(WireProtocolError, match="version"):
+        recv_frame(b)
+
+
+def test_oversized_declared_length_rejected(pair):
+    a, b = pair
+    a.sendall(
+        struct.Struct("<2sBBI").pack(
+            WIRE_MAGIC, WIRE_VERSION, 1, MAX_PAYLOAD + 1
+        )
+    )
+    with pytest.raises(WireProtocolError, match="refusing to allocate"):
+        recv_frame(b)
+
+
+def test_oversized_send_rejected_before_writing(pair):
+    a, b = pair
+    with pytest.raises(WireProtocolError, match="frame limit"):
+        send_frame(a, MSG_LABEL, b"x" * (MAX_PAYLOAD + 1))
+
+
+def test_send_to_dead_peer_is_worker_unavailable(pair):
+    a, b = pair
+    b.close()
+    with pytest.raises(WorkerUnavailableError):
+        # the first send may land in the buffer; flood until EPIPE
+        for _ in range(64):
+            send_frame(a, MSG_LABEL, b"x" * 65536)
+
+
+def test_error_payload_round_trip():
+    exc = ShardUnavailableError("group 3 is gone")
+    assert decode_error(error_payload(exc)) == (
+        "ShardUnavailableError",
+        "group 3 is gone",
+    )
+
+
+def test_malformed_error_payload_rejected():
+    from repro.routing.shard_codec import encode_value
+
+    with pytest.raises(WireProtocolError, match="malformed"):
+        decode_error(encode_value([1, 2, 3]))
+
+
+@pytest.mark.parametrize(
+    "cls",
+    [
+        ServingError,
+        ShardUnavailableError,
+        ShardIntegrityError,
+        ShardCodecError,
+        ChecksumError,
+        ClusterError,
+        WireProtocolError,
+        NotOwnerError,
+    ],
+)
+def test_raise_remote_rebuilds_each_type(cls):
+    with pytest.raises(cls) as info:
+        raise_remote(cls.__name__, "boom", worker=2)
+    assert type(info.value) is cls
+    assert str(info.value) == "[worker 2] boom"
+
+
+def test_raise_remote_replica_exhausted_special_case():
+    with pytest.raises(ReplicaExhaustedError) as info:
+        raise_remote("ReplicaExhaustedError", "all copies bad")
+    assert "all copies bad" in str(info.value)
+
+
+def test_raise_remote_unknown_name_degrades_to_cluster_error():
+    with pytest.raises(ClusterError, match="SomethingNew: boom"):
+        raise_remote("SomethingNew", "boom", worker=0)
+
+
+def test_remote_errors_stay_serving_errors():
+    # degraded-mode callers keyed on ServingError keep working across
+    # the RPC boundary
+    assert issubclass(ClusterError, ServingError)
+    assert issubclass(WorkerUnavailableError, ConnectionError)
+    with pytest.raises(ServingError):
+        raise_remote("NotOwnerError", "wrong worker")
+
+
+def test_msg_name_covers_registered_and_unknown():
+    assert msg_name(MSG_STATUS) == "STATUS"
+    assert msg_name(REPLY_ERROR) == "ERROR"
+    assert msg_name(0x7F) == "msg 0x7f"

@@ -48,4 +48,9 @@ python -m pytest -x -q || fail=1
 echo "== bench_cluster (smoke) =="
 REPRO_BENCH_SMOKE=1 python benchmarks/bench_cluster.py || fail=1
 
+# -- parallel smoke: pool on, bit-identity asserted at every point -----
+echo "== bench_parallel (smoke, REPRO_PARALLEL=2) =="
+REPRO_PARALLEL=2 REPRO_BENCH_SMOKE=1 python benchmarks/bench_parallel.py \
+    || fail=1
+
 exit "$fail"

@@ -484,21 +484,41 @@ class ErrorTaxonomyRule(Rule):
 # ----------------------------------------------------------------------
 @rule
 class ResourceHygieneRule(Rule):
-    """Every ``open()``/``mmap.mmap()`` in ``routing/`` has an owner.
+    """Every raw OS resource in ``routing/`` / ``graph/parallel.py`` has
+    an owner.
 
     The static face of the ``pytest.ini`` ResourceWarning escalation:
-    a raw handle is legal only when (a) it is the context expression of
-    a ``with`` block, or (b) it is created inside a class that defines
-    ``close()`` (the ``DirectIO`` discipline — something owns the
-    handle's lifetime and the leak tests can see it).
+    a raw handle — ``open()``, ``mmap.mmap()``, and since the parallel
+    tier also ``multiprocessing.shared_memory.SharedMemory`` segments
+    and process pools (``ProcessPoolExecutor`` / ``Pool``) — is legal
+    only when (a) it is the context expression of a ``with`` block, or
+    (b) it is created inside a class that defines ``close()`` (the
+    ``DirectIO``/``SharedCSR`` discipline — something owns the
+    resource's lifetime and the leak tests can see it).  Shared-memory
+    segments leak *kernel* objects in ``/dev/shm``, not just fds, so an
+    unowned one outlives the process.
     """
 
     id = "RES001"
     title = (
-        "open()/mmap in routing/ is owned by a with-block or a "
-        "close()-bearing class"
+        "open()/mmap/SharedMemory/pools in routing/ and graph/parallel "
+        "are owned by a with-block or a close()-bearing class"
     )
-    paths = ("repro/routing/",)
+    paths = ("repro/routing/", "repro/graph/parallel.py")
+
+    #: dotted spellings of calls that create a raw OS resource
+    _TARGETS = (
+        "open",
+        "mmap.mmap",
+        "SharedMemory",
+        "shared_memory.SharedMemory",
+        "multiprocessing.shared_memory.SharedMemory",
+        "Pool",
+        "multiprocessing.Pool",
+        "ProcessPoolExecutor",
+        "concurrent.futures.ProcessPoolExecutor",
+        "futures.ProcessPoolExecutor",
+    )
 
     def check(
         self, tree: ast.Module, source: str, relpath: str
@@ -531,7 +551,7 @@ class ResourceHygieneRule(Rule):
                 )
             if isinstance(child, ast.Call):
                 target = _dotted_name(child.func)
-                if target in ("open", "mmap.mmap") and not (
+                if target in self._TARGETS and not (
                     id(child) in in_with or owns
                 ):
                     out.append(
@@ -540,8 +560,8 @@ class ResourceHygieneRule(Rule):
                             child,
                             f"{target}() outside a with-block in a class "
                             f"without close() — nothing owns this "
-                            f"handle's lifetime (the DirectIO seam or a "
-                            f"context manager must)",
+                            f"resource's lifetime (the DirectIO/"
+                            f"SharedCSR seam or a context manager must)",
                         )
                     )
             self._scan(child, relpath, in_with, owns, out)

@@ -100,6 +100,16 @@ _CHUNK_BYTES = 1 << 22
 #: the batch-position sort key at extraction — stay comfortably narrow.
 _DS_BATCH_BYTES = 1 << 24
 
+#: cap on the flattened (source, vertex) gather expansion inside one
+#: delta-stepping relaxation round.  Frontiers on large batches can hold
+#: millions of entries; blocking the ragged gather keeps every transient
+#: (eidx/nd/tgt) array cache-sized and bounds per-worker peak memory in
+#: the parallel tier.  Blocking never changes results: later blocks see
+#: earlier blocks' dist scatters, which only filters candidates that are
+#: superseded (or equal-valued duplicates whose minimum holder is already
+#: queued) — the settled sets and least-fixpoint distances are identical.
+_GATHER_BLOCK = 1 << 18
+
 
 def _argsort_with_id_ties(keys: np.ndarray, ids: np.ndarray) -> np.ndarray:
     """Argsort by ``(keys, ids)`` without a stable float sort.
@@ -177,6 +187,8 @@ class CSRGraph:
         "_ds_delta",
         "_ds_csr32",
         "_ds_arange",
+        "_parallel",
+        "__weakref__",
     )
 
     def __init__(
@@ -208,6 +220,9 @@ class CSRGraph:
         self._ds_delta: Optional[float] = None
         self._ds_csr32 = None
         self._ds_arange: Optional[np.ndarray] = None
+        # The published multiprocess engine (repro.graph.parallel),
+        # cached so one graph publishes its shared segments once.
+        self._parallel: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -506,6 +521,77 @@ class CSRGraph:
             out[i] = self.dijkstra(s)[0]
         return out
 
+    def _spt_pred_rows(self, roots: Sequence[int]) -> np.ndarray:
+        """scipy predecessor rows for ``roots`` (scipy required).
+
+        One row per root; negative entries mark the root itself and
+        unreachable vertices.  Each row is a single-source computation,
+        so batching and chunking leave every row bit-identical.
+        """
+        mat = self._scipy_matrix()
+        _, pred = _scipy_dijkstra(
+            mat,
+            directed=False,
+            indices=list(roots),
+            return_predecessors=True,
+        )
+        return np.atleast_2d(pred)
+
+    def spt_pred_rows(self, roots: Sequence[int]) -> Optional[np.ndarray]:
+        """Batched SPT predecessor rows, or ``None`` when unavailable.
+
+        The landmark/hub-tree build primitive: one scipy C Dijkstra call
+        (fanned out over the parallel tier when enabled) replaces a
+        per-root python SSSP.  Returns ``None`` without scipy or on an
+        edgeless graph — callers fall back to their per-root path.
+        """
+        roots = list(roots)
+        if not _HAVE_SCIPY or self.m == 0 or not roots:
+            return None
+        from . import parallel
+
+        eng = parallel.engine_for(
+            self, len(roots), floor=parallel._MIN_PARALLEL_TREES
+        )
+        if eng is not None:
+            return np.vstack(eng.pred_rows(roots))
+        return self._spt_pred_rows(roots)
+
+    def _resolve_ball_engine(
+        self, engine: Optional[str], *, tol: float, prefer_scipy: bool
+    ) -> str:
+        """Resolve the ``all_balls`` engine name to a concrete choice.
+
+        Same semantics the dispatch in :meth:`all_balls` always had —
+        auto picks BFS on unit weights and delta otherwise, an explicit
+        ``scipy`` raises rather than silently timing a different engine
+        (benchmarks race engines by name), and an edgeless graph demotes
+        scipy to the flat loop.  Factored out so the parallel tier ships
+        workers a concrete engine, never the auto rule.
+        """
+        if engine is None:
+            if self.is_unweighted() and tol < 0.5:
+                # Unit weights: distances are exact integer levels and a
+                # level set ordered by id IS the (dist, id) order, so a
+                # vectorized level-BFS reproduces the Dijkstra balls.
+                return "bfs"
+            return "delta"
+        if engine == "bfs":
+            if not (self.is_unweighted() and tol < 0.5):
+                raise ValueError("bfs engine requires unit weights")
+            return "bfs"
+        if engine == "delta":
+            return "delta"
+        if engine == "scipy":
+            if not _HAVE_SCIPY or not prefer_scipy:
+                raise ValueError("scipy engine requested but unavailable")
+            if self.m == 0:
+                return "flat"  # edgeless graph: nothing for scipy to do
+            return "scipy"
+        if engine != "flat":
+            raise ValueError(f"unknown all_balls engine {engine!r}")
+        return "flat"
+
     def all_balls(
         self,
         ell: int,
@@ -514,14 +600,19 @@ class CSRGraph:
         with_radii: bool = False,
         prefer_scipy: bool = True,
         chunk_bytes: int = _CHUNK_BYTES,
+        batch_bytes: int = _DS_BATCH_BYTES,
         engine: Optional[str] = None,
-    ) -> Tuple[List[List[int]], Optional[List[float]]]:
+        as_arrays: bool = False,
+    ) -> Union[
+        Tuple[List[List[int]], Optional[List[float]]],
+        Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]],
+    ]:
         """``B(u, ell)`` for every vertex ``u``, in ``(dist, id)`` order.
 
         ``engine`` picks the batched implementation:
 
         * ``None`` (auto) — vectorized level BFS on unit-weight graphs,
-          the delta-stepping engine (:meth:`_all_balls_delta`) otherwise.
+          the delta-stepping engine otherwise.
         * ``"delta"`` — force the delta-stepping engine.
         * ``"scipy"`` — the chunked scipy ``limit=`` path with exact-redo
           safety net (the pre-delta implementation, kept for benchmarks
@@ -530,51 +621,123 @@ class CSRGraph:
         * ``"flat"`` — loop the generation-stamped scalar kernel.
         * ``"bfs"`` — the unit-weight level sweep (unit weights only).
 
+        When ``REPRO_PARALLEL`` enables the multiprocess tier (see
+        :mod:`repro.graph.parallel`) the source range is fanned out over
+        shared-memory workers each running the very same engine; results
+        are spliced back in source order and are bit-identical to the
+        serial sweep for every engine.
+
+        ``as_arrays=True`` returns the compact ``(bounds, verts, radii)``
+        arrays instead of Python lists — ``verts[bounds[u]:bounds[u+1]]``
+        is ``B(u, ell)`` — which is what 10^5+-vertex builds want (the
+        list-of-lists materialization dwarfs the compute there).
+
         Every engine returns exactly the pure-path balls and radii.
         """
         n = self.n
         ell = min(ell, n)
         if n == 0 or ell <= 0:
-            return [[] for _ in range(n)], ([0.0] * n if with_radii else None)
-        if engine is None:
-            if self.is_unweighted() and tol < 0.5:
-                # Unit weights: distances are exact integer levels and a
-                # level set ordered by id IS the (dist, id) order, so a
-                # vectorized level-BFS reproduces the Dijkstra balls.
-                engine = "bfs"
-            else:
-                engine = "delta"
-        if engine == "bfs":
-            if not (self.is_unweighted() and tol < 0.5):
-                raise ValueError("bfs engine requires unit weights")
-            return self._all_balls_bfs(ell, with_radii=with_radii)
-        if engine == "delta":
-            return self._all_balls_delta(ell, tol=tol, with_radii=with_radii)
-        if engine == "scipy":
-            if not _HAVE_SCIPY or not prefer_scipy:
-                # An explicitly requested engine must not silently time a
-                # different one (benchmarks race engines by name).
-                raise ValueError("scipy engine requested but unavailable")
-            if self.m > 0:
-                return self._all_balls_scipy(
-                    ell,
-                    tol=tol,
-                    with_radii=with_radii,
-                    chunk_bytes=chunk_bytes,
+            if as_arrays:
+                return (
+                    np.zeros(n + 1, dtype=np.int64),
+                    np.empty(0, dtype=np.int32),
+                    np.zeros(n) if with_radii else None,
                 )
-            engine = "flat"  # edgeless graph: nothing for scipy to do
-        if engine != "flat":
-            raise ValueError(f"unknown all_balls engine {engine!r}")
-        balls: List[List[int]] = []
-        radii: Optional[List[float]] = [] if with_radii else None
-        for u in range(n):
-            if with_radii:
+            return [[] for _ in range(n)], ([0.0] * n if with_radii else None)
+        resolved = self._resolve_ball_engine(
+            engine, tol=tol, prefer_scipy=prefer_scipy
+        )
+        from . import parallel
+
+        eng = parallel.engine_for(self, n)
+        if eng is not None:
+            bounds, verts, radii_arr = eng.ball_arrays(
+                n,
+                ell,
+                tol=tol,
+                with_radii=with_radii,
+                engine=resolved,
+                chunk_bytes=chunk_bytes,
+                batch_bytes=batch_bytes,
+            )
+        else:
+            bounds, verts, radii_arr = self._ball_chunk_arrays(
+                0,
+                n,
+                ell,
+                tol=tol,
+                with_radii=with_radii,
+                engine=resolved,
+                chunk_bytes=chunk_bytes,
+                batch_bytes=batch_bytes,
+            )
+        if as_arrays:
+            return bounds, verts, radii_arr
+        balls = [
+            verts[bounds[u] : bounds[u + 1]].tolist() for u in range(n)
+        ]
+        radii = radii_arr.tolist() if radii_arr is not None else None
+        return balls, radii
+
+    def _ball_chunk_arrays(
+        self,
+        lo: int,
+        hi: int,
+        ell: int,
+        *,
+        tol: float,
+        with_radii: bool,
+        engine: str,
+        chunk_bytes: int = _CHUNK_BYTES,
+        batch_bytes: int = _DS_BATCH_BYTES,
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Balls for the source range ``[lo, hi)`` as compact arrays.
+
+        The unit of work the parallel tier ships to a worker: returns
+        ``(bounds, verts, radii)`` with ``bounds`` of length
+        ``hi - lo + 1`` and ``verts[bounds[i]:bounds[i+1]]`` the ball of
+        source ``lo + i``.  ``engine`` must already be resolved.
+        """
+        if engine == "bfs":
+            return self._ball_chunk_bfs(lo, hi, ell, with_radii=with_radii)
+        if engine == "delta":
+            return self._ball_chunk_delta(
+                lo, hi, ell, tol=tol, with_radii=with_radii,
+                batch_bytes=batch_bytes,
+            )
+        if engine == "scipy":
+            return self._ball_chunk_scipy(
+                lo, hi, ell, tol=tol, with_radii=with_radii,
+                chunk_bytes=chunk_bytes,
+            )
+        return self._ball_chunk_flat(lo, hi, ell, tol=tol,
+                                     with_radii=with_radii)
+
+    def _ball_chunk_flat(
+        self, lo: int, hi: int, ell: int, *, tol: float, with_radii: bool
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Balls for ``[lo, hi)`` by looping the scalar flat kernel."""
+        sizes = np.zeros(hi - lo, dtype=np.int64)
+        verts_parts: List[np.ndarray] = []
+        radii: Optional[np.ndarray] = (
+            np.zeros(hi - lo, dtype=np.float64) if with_radii else None
+        )
+        for u in range(lo, hi):
+            if radii is not None:
                 ball, _, radius = self.ball_with_radius(u, ell, tol)
-                radii.append(radius)
+                radii[u - lo] = radius
             else:
                 ball, _ = self.truncated_dijkstra(u, ell)
-            balls.append(ball)
-        return balls, radii
+            sizes[u - lo] = len(ball)
+            verts_parts.append(np.asarray(ball, dtype=np.int32))
+        bounds = np.zeros(hi - lo + 1, dtype=np.int64)
+        np.cumsum(sizes, out=bounds[1:])
+        verts = (
+            np.concatenate(verts_parts)
+            if verts_parts
+            else np.empty(0, dtype=np.int32)
+        )
+        return bounds, verts, radii
 
     def is_unweighted(self) -> bool:
         """True when every edge weight is exactly 1.0 (cached)."""
@@ -780,80 +943,130 @@ class CSRGraph:
                 d_u = d_s[head]
                 written.append(t_u)
                 # Generate the relaxation candidates of the just-settled
-                # vertices (their distances are in the open bucket).
-                v = t_u % n
-                cnt = degrees[v]
-                tot = int(cnt.sum())
-                if tot == 0:
+                # vertices (their distances are in the open bucket).  The
+                # ragged gather is *cache-blocked*: the flattened
+                # (source, vertex) expansion of a big frontier can reach
+                # many millions of entries, so it is cut into runs of
+                # ~_GATHER_BLOCK edges and each run does the full
+                # expand/cap/scatter/queue pass before the next starts.
+                # Blocking keeps every transient array cache-sized (and
+                # bounds per-worker peak memory in the parallel tier)
+                # without changing results: later blocks observe earlier
+                # blocks' dist scatters, which only drops candidates that
+                # are superseded — or equal-valued duplicates whose
+                # minimum holder is already queued — so the settled sets
+                # and least-fixpoint distances are identical.
+                v_all = t_u % n
+                cnt_all = degrees[v_all]
+                tot_all = int(cnt_all.sum())
+                if tot_all == 0:
                     break
-                cum = np.cumsum(cnt)
-                eidx = np.repeat(indptr[v] - (cum - cnt), cnt)
-                eidx += self._ds_arange_view(tot)
-                nd = np.repeat(d_u, cnt) + weights[eidx]
-                if has_cap:
-                    within = nd < np.repeat(cap[t_u // n], cnt)
-                    if not within.all():
-                        nd = nd[within]
-                        eidx = eidx[within]
-                        tgt = (
-                            np.repeat(t_u - v, cnt)[within] + indices[eidx]
-                        )
-                    else:
-                        tgt = np.repeat(t_u - v, cnt) + indices[eidx]
+                if tot_all <= _GATHER_BLOCK:
+                    edges = [0, t_u.size]
                 else:
-                    tgt = np.repeat(t_u - v, cnt) + indices[eidx]
-                # Keep only genuine improvements and scatter their
-                # minimum into the tentative buffer immediately: later,
-                # worse candidates for the same vertex then never enter
-                # the queues at all.
-                useful = nd < dist[tgt]
-                if not useful.all():
-                    nd = nd[useful]
-                    tgt = tgt[useful]
-                if nd.size == 0:
-                    break
-                np.minimum.at(dist, tgt, nd)
-                touched.append(tgt)
-                now = nd < t_high
-                if now.any():
-                    cand_t, cand_d = tgt[now], nd[now]
-                    later = ~now
-                    tgt, nd = tgt[later], nd[later]
-                else:
-                    cand_t = tgt[:0]
-                if nd.size:
-                    # Bucket keys must agree with the boundary *float
-                    # comparisons* (nd < (k+1)*delta at apply/seal time),
-                    # not just with floor(nd/delta): when nd sits one ulp
-                    # below k*delta the product nd*inv_delta can round up
-                    # to k, which would settle the candidate one bucket
-                    # late and let an exact distance tie span two buckets
-                    # — breaking the (dist, id) assembly invariant.  One
-                    # corrective compare pins k*delta <= nd; a too-low
-                    # key is healed by the spill guard.  (Truncation is
-                    # floor here: every quotient is non-negative.)  Keys
-                    # are then clamped into int16, a radix-friendly
-                    # two-byte sort key; the clamp re-arms the spill
-                    # guard.
-                    rel = (nd * inv_delta).astype(np.int32)
-                    rel -= nd < rel * delta
-                    rel -= b + 1
-                    if int(rel.min()) < 0 or int(rel.max()) > 32000:
-                        np.clip(rel, 0, 32000, out=rel)
-                        any_clipped = True
-                    rel = rel.astype(np.int16)
-                    order = np.argsort(rel, kind="stable")
-                    rel = rel[order]
-                    tgt = tgt[order]
-                    nd = nd[order]
-                    cuts = np.flatnonzero(
-                        np.concatenate(([True], rel[1:] != rel[:-1]))
+                    cum_all = np.cumsum(cnt_all)
+                    marks = np.searchsorted(
+                        cum_all,
+                        np.arange(_GATHER_BLOCK, tot_all, _GATHER_BLOCK),
+                        side="left",
                     )
-                    for j, lo in enumerate(cuts):
-                        hi = cuts[j + 1] if j + 1 < len(cuts) else rel.size
-                        pending.setdefault(b + 1 + int(rel[lo]), []).append(
-                            (tgt[lo:hi], nd[lo:hi])
+                    edges = [0]
+                    for e in (marks + 1).tolist():
+                        if edges[-1] < e < t_u.size:
+                            edges.append(e)
+                    edges.append(t_u.size)
+                now_t_parts: List[np.ndarray] = []
+                now_d_parts: List[np.ndarray] = []
+                for blo, bhi in zip(edges[:-1], edges[1:]):
+                    t_b = t_u[blo:bhi]
+                    d_b = d_u[blo:bhi]
+                    v = v_all[blo:bhi]
+                    cnt = cnt_all[blo:bhi]
+                    tot = int(cnt.sum())
+                    if tot == 0:
+                        continue
+                    cum = np.cumsum(cnt)
+                    eidx = np.repeat(indptr[v] - (cum - cnt), cnt)
+                    eidx += self._ds_arange_view(tot)
+                    nd = np.repeat(d_b, cnt) + weights[eidx]
+                    if has_cap:
+                        within = nd < np.repeat(cap[t_b // n], cnt)
+                        if not within.all():
+                            nd = nd[within]
+                            eidx = eidx[within]
+                            tgt = (
+                                np.repeat(t_b - v, cnt)[within]
+                                + indices[eidx]
+                            )
+                        else:
+                            tgt = np.repeat(t_b - v, cnt) + indices[eidx]
+                    else:
+                        tgt = np.repeat(t_b - v, cnt) + indices[eidx]
+                    # Keep only genuine improvements and scatter their
+                    # minimum into the tentative buffer immediately:
+                    # later, worse candidates for the same vertex then
+                    # never enter the queues at all.
+                    useful = nd < dist[tgt]
+                    if not useful.all():
+                        nd = nd[useful]
+                        tgt = tgt[useful]
+                    if nd.size == 0:
+                        continue
+                    np.minimum.at(dist, tgt, nd)
+                    touched.append(tgt)
+                    now = nd < t_high
+                    if now.any():
+                        now_t_parts.append(tgt[now])
+                        now_d_parts.append(nd[now])
+                        later = ~now
+                        tgt, nd = tgt[later], nd[later]
+                    if nd.size:
+                        # Bucket keys must agree with the boundary *float
+                        # comparisons* (nd < (k+1)*delta at apply/seal
+                        # time), not just with floor(nd/delta): when nd
+                        # sits one ulp below k*delta the product
+                        # nd*inv_delta can round up to k, which would
+                        # settle the candidate one bucket late and let an
+                        # exact distance tie span two buckets — breaking
+                        # the (dist, id) assembly invariant.  One
+                        # corrective compare pins k*delta <= nd; a
+                        # too-low key is healed by the spill guard.
+                        # (Truncation is floor here: every quotient is
+                        # non-negative.)  Keys are then clamped into
+                        # int16, a radix-friendly two-byte sort key; the
+                        # clamp re-arms the spill guard.
+                        rel = (nd * inv_delta).astype(np.int32)
+                        rel -= nd < rel * delta
+                        rel -= b + 1
+                        if int(rel.min()) < 0 or int(rel.max()) > 32000:
+                            np.clip(rel, 0, 32000, out=rel)
+                            any_clipped = True
+                        rel = rel.astype(np.int16)
+                        order = np.argsort(rel, kind="stable")
+                        rel = rel[order]
+                        tgt = tgt[order]
+                        nd = nd[order]
+                        cuts = np.flatnonzero(
+                            np.concatenate(([True], rel[1:] != rel[:-1]))
                         )
+                        for j, lo in enumerate(cuts):
+                            hi = (
+                                cuts[j + 1]
+                                if j + 1 < len(cuts)
+                                else rel.size
+                            )
+                            pending.setdefault(
+                                b + 1 + int(rel[lo]), []
+                            ).append((tgt[lo:hi], nd[lo:hi]))
+                if now_t_parts:
+                    if len(now_t_parts) == 1:
+                        cand_t = now_t_parts[0]
+                        cand_d = now_d_parts[0]
+                    else:
+                        cand_t = np.concatenate(now_t_parts)
+                        cand_d = np.concatenate(now_d_parts)
+                else:
+                    cand_t = t_u[:0]
             # Seal the bucket: everything written here is now final.
             if written:
                 if len(written) == 1:
@@ -928,54 +1141,67 @@ class CSRGraph:
         dist[np.concatenate(touched)] = _INF
         return bounds, verts, ds
 
-    def _all_balls_delta(
+    def _ball_chunk_delta(
         self,
+        lo: int,
+        hi: int,
         ell: int,
         *,
         tol: float,
         with_radii: bool,
         delta: Optional[float] = None,
         batch_bytes: int = _DS_BATCH_BYTES,
-    ) -> Tuple[List[List[int]], Optional[List[float]]]:
-        """Batched weighted balls via the delta-stepping engine.
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Weighted balls for ``[lo, hi)`` via the delta-stepping engine.
 
         Each source's search self-truncates: once its ball fills, its cap
         drops to the fill boundary plus ``tol``, so expansion never
         exceeds the ball region by more than one bucket.  Sources that
         run dry early (small components) yield their whole reachable set,
-        exactly like the scalar kernel.
+        exactly like the scalar kernel.  Per-source results depend only
+        on the CSR arrays and the (graph-global) bucket width, so any
+        partition of the source range is bit-identical.
         """
-        n = self.n
-        balls: List[Optional[List[int]]] = [None] * n
-        radii: Optional[List[float]] = [0.0] * n if with_radii else None
+        count = hi - lo
+        sizes = np.zeros(count, dtype=np.int64)
+        verts_parts: List[np.ndarray] = []
+        radii: Optional[np.ndarray] = (
+            np.zeros(count, dtype=np.float64) if with_radii else None
+        )
         batch = self._ds_batch_size(batch_bytes)
-        for start in range(0, n, batch):
-            srcs = range(start, min(start + batch, n))
+        for start in range(lo, hi, batch):
+            stop = min(start + batch, hi)
             bounds, verts, ds = self._delta_batch(
-                srcs, ell=ell, tol=tol, delta=delta
+                range(start, stop), ell=ell, tol=tol, delta=delta
             )
-            for i, s in enumerate(srcs):
-                lo, hi = int(bounds[i]), int(bounds[i + 1])
-                k = min(ell, hi - lo)
-                balls[s] = verts[lo : lo + k].tolist()
-                if not with_radii or k == 0:
+            for i in range(stop - start):
+                blo, bhi = int(bounds[i]), int(bounds[i + 1])
+                k = min(ell, bhi - blo)
+                sizes[start - lo + i] = k
+                verts_parts.append(verts[blo : blo + k])
+                if radii is None or k == 0:
                     continue
                 # Same rule as _radius_from_row, exploiting that each
                 # per-source segment is distance-sorted: the boundary
                 # level is complete iff nothing past the ball lies within
                 # tol of d_max.  Every vertex within tol of the boundary
                 # is settled (see _delta_batch), so the counts are exact.
-                seg = ds[lo:hi]
+                seg = ds[blo:bhi]
                 dmax = float(seg[k - 1])
                 band_lo = int(np.searchsorted(seg, dmax - tol, "left"))
                 band_hi = int(np.searchsorted(seg, dmax + tol, "right"))
                 if band_hi == k:
-                    radii[s] = dmax
+                    radii[start - lo + i] = dmax
                 elif band_lo > 0:
-                    radii[s] = float(seg[band_lo - 1])
-                else:
-                    radii[s] = 0.0
-        return balls, radii
+                    radii[start - lo + i] = float(seg[band_lo - 1])
+        out_bounds = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(sizes, out=out_bounds[1:])
+        out_verts = (
+            np.concatenate(verts_parts)
+            if verts_parts
+            else np.empty(0, dtype=np.int32)
+        )
+        return out_bounds, out_verts, radii
 
     def bounded_rows(
         self,
@@ -998,6 +1224,17 @@ class CSRGraph:
         lim = np.broadcast_to(
             np.asarray(limits, dtype=np.float64), (len(sources),)
         )
+        from . import parallel
+
+        eng = parallel.engine_for(self, len(sources))
+        if eng is not None:
+            for (bounds, verts, ds), chunk in eng.bounded_chunks(
+                sources, lim, delta, batch_bytes
+            ):
+                for i, s in enumerate(chunk):
+                    lo, hi = int(bounds[i]), int(bounds[i + 1])
+                    yield s, verts[lo:hi], ds[lo:hi]
+            return
         batch = self._ds_batch_size(batch_bytes)
         for start in range(0, len(sources), batch):
             chunk = sources[start : start + batch]
@@ -1008,23 +1245,71 @@ class CSRGraph:
                 lo, hi = int(bounds[i]), int(bounds[i + 1])
                 yield s, verts[lo:hi], ds[lo:hi]
 
-    def _all_balls_bfs(
-        self, ell: int, *, with_radii: bool
-    ) -> Tuple[List[List[int]], Optional[List[float]]]:
-        """Batched balls on unit-weight graphs via vectorized level BFS.
+    def _bounded_chunk_arrays(
+        self,
+        sources: Sequence[int],
+        limits: Union[Sequence[float], np.ndarray],
+        *,
+        delta: Optional[float] = None,
+        batch_bytes: int = _DS_BATCH_BYTES,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Bounded sweeps for an explicit source list, as compact arrays.
+
+        The worker-side unit of :meth:`bounded_rows`: runs the serial
+        batched engine over ``sources`` and splices the per-batch
+        ``(bounds, verts, ds)`` triples into one.  Per-source results
+        depend only on the CSR arrays and the per-source limit, so any
+        chunking is bit-identical to the serial generator.
+        """
+        sources = list(sources)
+        lim = np.asarray(limits, dtype=np.float64)
+        batch = self._ds_batch_size(batch_bytes)
+        sizes_parts: List[np.ndarray] = []
+        verts_parts: List[np.ndarray] = []
+        ds_parts: List[np.ndarray] = []
+        for start in range(0, len(sources), batch):
+            chunk = sources[start : start + batch]
+            bounds, verts, ds = self._delta_batch(
+                chunk, limits=lim[start : start + batch], delta=delta
+            )
+            sizes_parts.append(np.diff(bounds))
+            verts_parts.append(verts)
+            ds_parts.append(ds)
+        out_bounds = np.zeros(len(sources) + 1, dtype=np.int64)
+        if sizes_parts:
+            np.cumsum(np.concatenate(sizes_parts), out=out_bounds[1:])
+        out_verts = (
+            np.concatenate(verts_parts)
+            if verts_parts
+            else np.empty(0, dtype=np.int32)
+        )
+        out_ds = (
+            np.concatenate(ds_parts)
+            if ds_parts
+            else np.empty(0, dtype=np.float64)
+        )
+        return out_bounds, out_verts, out_ds
+
+    def _ball_chunk_bfs(
+        self, lo: int, hi: int, ell: int, *, with_radii: bool
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Balls for ``[lo, hi)`` on unit-weight graphs via level BFS.
 
         Per source, each BFS level is gathered with one ragged numpy
         indexing pass over the CSR arrays (no per-edge Python work) and
-        deduplicated with ``np.unique``, whose sorted output is exactly the
+        deduplicated with a sort, whose sorted output is exactly the
         within-level id order of the ``(dist, id)`` total order.  The
         visited array is generation-stamped — no per-source reallocation.
+        Each source's BFS is independent, so chunking is bit-identical.
         """
-        n = self.n
         indptr, indices, degrees = self.indptr, self.indices, self._degrees
         stamp = self._np_stamp
-        balls: List[List[int]] = []
-        radii: Optional[List[float]] = [] if with_radii else None
-        for u in range(n):
+        sizes = np.zeros(hi - lo, dtype=np.int64)
+        verts_parts: List[np.ndarray] = []
+        radii: Optional[np.ndarray] = (
+            np.zeros(hi - lo, dtype=np.float64) if with_radii else None
+        )
+        for u in range(lo, hi):
             self._gen += 1
             gen = self._gen
             frontier = np.array([u], dtype=np.int64)
@@ -1068,10 +1353,19 @@ class CSRGraph:
                     size = ell
                     dmax = depth
                     complete = False
-            balls.append(np.concatenate(parts).tolist())
-            if with_radii:
-                radii.append(float(dmax if complete else dmax - 1))
-        return balls, radii
+            ball = np.concatenate(parts)
+            sizes[u - lo] = ball.size
+            verts_parts.append(ball)
+            if radii is not None:
+                radii[u - lo] = float(dmax if complete else dmax - 1)
+        bounds = np.zeros(hi - lo + 1, dtype=np.int64)
+        np.cumsum(sizes, out=bounds[1:])
+        verts = (
+            np.concatenate(verts_parts).astype(np.int32)
+            if verts_parts
+            else np.empty(0, dtype=np.int32)
+        )
+        return bounds, verts, radii
 
     def _estimate_ball_limit(self, ell: int, tol: float) -> float:
         """A distance limit expected to cover ``B(u, ell)`` for most ``u``.
@@ -1079,7 +1373,7 @@ class CSRGraph:
         Samples ~32 exact balls with the flat kernel and takes the largest
         boundary distance plus 5% headroom.  The limit only steers how much
         of each neighbourhood scipy expands; rows it cannot certify are
-        recomputed exactly (see :meth:`_all_balls_scipy`), so a bad
+        recomputed exactly (see :meth:`_ball_chunk_scipy`), so a bad
         estimate costs time, never correctness.
         """
         stride = max(1, self.n // 32)
@@ -1097,15 +1391,17 @@ class CSRGraph:
             return _INF
         return sample_max * 1.05 + tol
 
-    def _all_balls_scipy(
+    def _ball_chunk_scipy(
         self,
+        lo: int,
+        hi: int,
         ell: int,
         *,
         tol: float,
         with_radii: bool,
         chunk_bytes: int,
-    ) -> Tuple[List[List[int]], Optional[List[float]]]:
-        """Batched balls via scipy's C Dijkstra, truncated by a distance limit.
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Balls for ``[lo, hi)`` via scipy's limit-truncated C Dijkstra.
 
         A full SSSP per source wastes ~``n / ell`` of its work on vertices
         far outside the ball.  Passing ``limit`` makes scipy stop expanding
@@ -1115,17 +1411,22 @@ class CSRGraph:
         radii are requested, ``limit >= dmax + tol`` (so every vertex in
         the boundary tolerance band is visible).  Uncertified rows are
         recomputed without a limit — correctness never depends on the
-        estimate.
+        estimate.  The limit itself samples the *whole* graph, so every
+        source chunk derives the identical limit and certify/redo makes
+        results exact regardless — chunking is bit-identical.
         """
         n = self.n
+        count = hi - lo
         mat = self._scipy_matrix()
         limit = self._estimate_ball_limit(ell, tol)
         chunk = max(1, min(n, chunk_bytes // max(1, 8 * n)))
-        balls: List[Optional[List[int]]] = [None] * n
-        radii: Optional[List[float]] = [0.0] * n if with_radii else None
+        balls: List[Optional[List[int]]] = [None] * count
+        radii: Optional[np.ndarray] = (
+            np.zeros(count, dtype=np.float64) if with_radii else None
+        )
         redo: List[int] = []
-        for start in range(0, n, chunk):
-            srcs = list(range(start, min(start + chunk, n)))
+        for start in range(lo, hi, chunk):
+            srcs = list(range(start, min(start + chunk, hi)))
             dmat = np.atleast_2d(
                 _scipy_dijkstra(
                     mat, directed=False, indices=srcs, limit=limit
@@ -1133,7 +1434,8 @@ class CSRGraph:
             )
             for i, s in enumerate(srcs):
                 if not self._extract_ball(
-                    dmat[i], s, ell, tol, limit, with_radii, balls, radii
+                    dmat[i], s - lo, ell, tol, limit, with_radii,
+                    balls, radii,
                 ):
                     redo.append(s)
         for start in range(0, len(redo), chunk):
@@ -1143,25 +1445,39 @@ class CSRGraph:
             )
             for i, s in enumerate(srcs):
                 self._extract_ball(
-                    dmat[i], s, ell, tol, _INF, with_radii, balls, radii
+                    dmat[i], s - lo, ell, tol, _INF, with_radii,
+                    balls, radii,
                 )
-        return balls, radii
+        sizes = np.zeros(count, dtype=np.int64)
+        verts_parts: List[np.ndarray] = []
+        for i, ball in enumerate(balls):
+            members = ball if ball is not None else []
+            sizes[i] = len(members)
+            verts_parts.append(np.asarray(members, dtype=np.int32))
+        bounds = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(sizes, out=bounds[1:])
+        verts = (
+            np.concatenate(verts_parts)
+            if verts_parts
+            else np.empty(0, dtype=np.int32)
+        )
+        return bounds, verts, radii
 
     def _extract_ball(
         self,
         row: np.ndarray,
-        source: int,
+        slot: int,
         ell: int,
         tol: float,
         limit: float,
         with_radii: bool,
         balls: List[Optional[List[int]]],
-        radii: Optional[List[float]],
+        radii: Optional[np.ndarray],
     ) -> bool:
-        """Fill ``balls[source]`` from a (possibly limited) distance row.
+        """Fill ``balls[slot]`` from a (possibly limited) distance row.
 
         Returns ``False`` when the limit cannot certify the row (see
-        :meth:`_all_balls_scipy`); with ``limit == inf`` every row is
+        :meth:`_ball_chunk_scipy`); with ``limit == inf`` every row is
         certified.
         """
         finite_idx = np.flatnonzero(np.isfinite(row))
@@ -1176,8 +1492,8 @@ class CSRGraph:
             dmax = float(row[ball[-1]])
             if limit != _INF and limit < dmax + tol:
                 return False
-            radii[source] = _radius_from_row(row, ball, tol)
-        balls[source] = ball
+            radii[slot] = _radius_from_row(row, ball, tol)
+        balls[slot] = ball
         return True
 
 

@@ -30,6 +30,7 @@ from .core import Graph
 
 __all__ = [
     "erdos_renyi",
+    "random_sparse",
     "grid",
     "torus",
     "ring_with_chords",
@@ -79,6 +80,42 @@ def erdos_renyi(n: int, p: float, seed: int = 0, *, connected: bool = True) -> G
         for v in range(u + 1, n):
             if rng.random() < p:
                 g.add_edge(u, v)
+    if connected:
+        connect_components(g, seed=seed + 1)
+    return g
+
+
+def random_sparse(
+    n: int, m: int, seed: int = 0, *, connected: bool = True
+) -> Graph:
+    """Uniform random simple graph with ``min(m, n(n-1)/2)`` edges.
+
+    The large-``n`` companion to :func:`erdos_renyi`: pairs are
+    rejection-sampled in ``O(m)`` expected time instead of scanning all
+    ``O(n^2)`` pairs, which is what makes ``n = 10^5 .. 10^6``
+    benchmark graphs (``m ~ 4n``) constructible at all.  Intended for
+    sparse regimes — near-complete ``m`` makes rejection sampling slow;
+    use :func:`erdos_renyi` or :func:`complete` there.
+    """
+    if n < 1:
+        raise ValueError(f"graph needs at least one vertex, got n={n}")
+    limit = n * (n - 1) // 2
+    m = min(int(m), limit)
+    rng = _rng(seed)
+    g = Graph(n)
+    seen = set()
+    while len(seen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        if u > v:
+            u, v = v, u
+        key = u * n + v
+        if key in seen:
+            continue
+        seen.add(key)
+        g.add_edge(u, v)
     if connected:
         connect_components(g, seed=seed + 1)
     return g

@@ -74,6 +74,7 @@ from .shortest_paths import (
     subgraph_dijkstra,
     use_kernel,
 )
+from .trees import parents_from_pred_row
 
 __all__ = ["MetricView"]
 
@@ -137,6 +138,9 @@ class MetricView:
         self._diameter: Optional[float] = None
         self._stats: Optional[Tuple[bool, float, float]] = None
         self._next_hop: Optional[np.ndarray] = None
+        #: batched SPT predecessor rows staged by prefetch_spt_parents,
+        #: consumed (popped) by spt_parents.
+        self._pred_rows: Dict[int, np.ndarray] = {}
         #: auto-build the O(n^2)-memory next-hop cache below this size
         self._next_hop_auto_threshold = 4096
 
@@ -591,13 +595,46 @@ class MetricView:
             )
         return best[1]
 
+    def prefetch_spt_parents(self, roots: Sequence[int]) -> None:
+        """Stage predecessor rows for many roots in one batched sweep.
+
+        Runs the kernel's (possibly multiprocess, see
+        :mod:`repro.graph.parallel`) batched Dijkstra once over all
+        ``roots`` and caches one predecessor row per root;
+        :meth:`spt_parents` consumes the cache.  The rows come from the
+        same scipy matrix the per-root path would use, so the resulting
+        trees are bit-identical with or without prefetching.
+
+        No-op (the per-root path stays authoritative) in dense mode —
+        where ``spt_parents`` runs on the dense-precompute matrix, not
+        the kernel's — and whenever scipy or the kernel is unavailable.
+        """
+        if self._csr is not None or not self._use_scipy:
+            return
+        kernel = self._kernel()
+        if kernel is None:
+            return
+        missing = [r for r in dict.fromkeys(int(r) for r in roots)
+                   if r not in self._pred_rows]
+        if not missing:
+            return
+        rows = kernel.spt_pred_rows(missing)
+        if rows is None:
+            return
+        for r, row in zip(missing, rows):
+            self._pred_rows[r] = row
+
     def spt_parents(self, root: int) -> Dict[int, int]:
         """A shortest-path tree rooted at ``root`` as a child->parent map.
 
         Uses scipy's C Dijkstra when available (the hot path — schemes build
         hundreds of trees).  Any valid SPT serves tree routing; consistency
         with the distance oracle is guaranteed because distances agree.
+        Rows staged by :meth:`prefetch_spt_parents` are consumed first.
         """
+        staged = self._pred_rows.pop(root, None)
+        if staged is not None:
+            return parents_from_pred_row(root, staged)
         mat = self._csr
         if mat is None and self._use_scipy:
             kernel = self._kernel()

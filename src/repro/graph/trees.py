@@ -10,9 +10,27 @@ heavy-path decomposition performed by
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
-__all__ = ["RootedTree"]
+__all__ = ["RootedTree", "parents_from_pred_row"]
+
+
+def parents_from_pred_row(root: int, pred: Sequence[int]) -> Dict[int, int]:
+    """A ``child -> parent`` map from a scipy predecessor row.
+
+    ``pred`` is one row of ``csgraph.dijkstra(...,
+    return_predecessors=True)``: negative entries mark the root and
+    unreachable vertices.  Produces exactly the map
+    :meth:`repro.graph.metric.MetricView.spt_parents` builds from the
+    same row — batched SPT construction (the parallel tier's landmark
+    prefetch) and the per-root path share this one conversion so their
+    trees are identical.
+    """
+    parents = {root: root}
+    for v, p in enumerate(pred):
+        if v != root and p >= 0:
+            parents[v] = int(p)
+    return parents
 
 
 class RootedTree:

@@ -325,35 +325,61 @@ def _write_packed(
         os.makedirs(os.path.join(root, "groups"), exist_ok=True)
     groups_written = 0
 
-    def flush(g: int, entries: List[Tuple[int, bytes]]) -> None:
-        pack = encode_pack(entries, checksums=checksums)
+    # Groups are independent and encode_pack is a pure function of
+    # (entries, checksums), so under REPRO_PARALLEL the encoding farms
+    # out to the shared worker pool — FIFO, windowed, byte-identical
+    # output; see repro.graph.parallel.PackEncoder.  The graph tier is
+    # optional (pure-python installs have no numpy), hence the gate.
+    try:
+        from ..graph.parallel import pack_encoder
+    except ImportError:
+        encoder = None
+    else:
+        encoder = pack_encoder()
+
+    def write(g: int, pack: bytes) -> None:
+        nonlocal groups_written
         for root in roots:
             target = group_path(root, g)
             tmp = f"{target}.tmp.{os.getpid()}"
             with open(tmp, "wb") as fh:
                 fh.write(pack)
             os.replace(tmp, target)
-
-    current: Optional[int] = None
-    entries: List[Tuple[int, bytes]] = []
-    for v, blob in blobs:
-        g = v // group_size
-        if current is None:
-            current = g
-        elif g != current:
-            if g < current:
-                raise ValueError(
-                    f"packed layout needs records in nondecreasing "
-                    f"group order; got group {g} after {current} "
-                    f"(vertex {v})"
-                )
-            flush(current, entries)
-            groups_written += 1
-            current, entries = g, []
-        entries.append((v, blob))
-    if current is not None:
-        flush(current, entries)
         groups_written += 1
+
+    def flush(g: int, entries: List[Tuple[int, bytes]]) -> None:
+        if encoder is not None:
+            encoder.submit(g, entries, checksums)
+            for done_g, pack in encoder.ready():
+                write(done_g, pack)
+        else:
+            write(g, encode_pack(entries, checksums=checksums))
+
+    try:
+        current: Optional[int] = None
+        entries: List[Tuple[int, bytes]] = []
+        for v, blob in blobs:
+            g = v // group_size
+            if current is None:
+                current = g
+            elif g != current:
+                if g < current:
+                    raise ValueError(
+                        f"packed layout needs records in nondecreasing "
+                        f"group order; got group {g} after {current} "
+                        f"(vertex {v})"
+                    )
+                flush(current, entries)
+                current, entries = g, []
+            entries.append((v, blob))
+        if current is not None:
+            flush(current, entries)
+        if encoder is not None:
+            for done_g, pack in encoder.drain():
+                write(done_g, pack)
+    finally:
+        if encoder is not None:
+            encoder.close()
     return {
         "version": (
             CHECKSUM_FORMAT_VERSION if checksums else PACKED_FORMAT_VERSION

@@ -316,6 +316,64 @@ def test_res001_only_scopes_routing():
     assert rules_fired(source, "repro/eval/fake.py", "RES001") == []
 
 
+def test_res001_flags_unowned_shared_memory():
+    source = """\
+        from multiprocessing import shared_memory
+
+        def publish(nbytes):
+            shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            return shm.name
+        """
+    assert rules_fired(source, "repro/graph/parallel.py", "RES001") == [
+        "RES001"
+    ]
+
+
+def test_res001_flags_unowned_pool():
+    source = """\
+        from concurrent.futures import ProcessPoolExecutor
+
+        def fan_out(tasks):
+            ex = ProcessPoolExecutor(max_workers=4)
+            return [f.result() for f in map(ex.submit, tasks)]
+        """
+    assert rules_fired(source, "repro/graph/parallel.py", "RES001") == [
+        "RES001"
+    ]
+
+
+def test_res001_allows_owned_shared_memory_and_pools():
+    source = """\
+        from concurrent.futures import ProcessPoolExecutor
+        from multiprocessing import shared_memory
+
+        class SharedSegment:
+            def __init__(self, nbytes):
+                self.shm = shared_memory.SharedMemory(
+                    create=True, size=nbytes
+                )
+
+            def close(self):
+                self.shm.close()
+                self.shm.unlink()
+
+        def fan_out(tasks):
+            with ProcessPoolExecutor(max_workers=4) as ex:
+                return [f.result() for f in map(ex.submit, tasks)]
+        """
+    assert rules_fired(source, "repro/graph/parallel.py", "RES001") == []
+
+
+def test_res001_scopes_graph_to_parallel_module_only():
+    # graph/ outside parallel.py is out of scope (csr.py etc. hold no
+    # OS resources); parallel.py is in scope per the extended rule.
+    source = "shm = SharedMemory(create=True, size=64)\n"
+    assert rules_fired(source, "repro/graph/csr.py", "RES001") == []
+    assert rules_fired(source, "repro/graph/parallel.py", "RES001") == [
+        "RES001"
+    ]
+
+
 # ----------------------------------------------------------------------
 # GEN001 — stamp discipline
 # ----------------------------------------------------------------------

@@ -36,6 +36,23 @@ def _fresh_kernel_choice():
     reset_kernel_choice()
 
 
+@pytest.fixture(autouse=True)
+def _fresh_parallel_choice():
+    """Same discipline for the once-per-process REPRO_PARALLEL choice.
+
+    Imported lazily: the parallel tier needs numpy, and the pure-python
+    test environment must keep collecting without it.
+    """
+    try:
+        from repro.graph.parallel import reset_parallel_choice
+    except ImportError:
+        yield
+        return
+    reset_parallel_choice()
+    yield
+    reset_parallel_choice()
+
+
 @pytest.fixture(scope="session")
 def er_unweighted():
     """Connected Erdős–Rényi graph, 80 vertices, unweighted."""

@@ -14,10 +14,14 @@ The tentpole claim of the shared-memory parallel tier
   parity floor (the two workers timesharing one core must stay within
   3x of serial — the shm/IPC tax, not a speedup) and ``cores`` is
   recorded so readers can tell the two regimes apart.
-* **10^6 smoke** — behind ``REPRO_BENCH_HUGE=1`` (roughly ten minutes
-  of wall-clock): a parallel-only run at ``n = 10^6`` recording build
-  time, no serial baseline (it would double a run this size) and hence
-  no gate.
+* **10^6 smoke** — behind ``REPRO_BENCH_HUGE=1`` (tens of minutes of
+  wall-clock and tens of GB of RAM): the ROADMAP's combined target end
+  to end — the all-balls probe, then a **full Table-1 scheme build**
+  (``thm11`` through :func:`repro.api.build`) and a packed shard write
+  at ``n = 10^6``, under the resolved kernel (native preferred) and the
+  parallel worker pool.  Phase times, table-space stats and shard bytes
+  are recorded; no serial baseline (it would double a run this size)
+  and hence no gate.
 
 The ball size is ``ell = min(64, ceil(sqrt(n log2 n)))`` — the cap
 keeps the spliced result arrays (``n * ell`` vertex ids) bounded so the
@@ -112,24 +116,74 @@ def run_point(n: int, workers: int) -> dict:
     }
 
 
-def run_huge(workers: int) -> dict:
-    """n = 10^6 parallel-only build-time smoke (REPRO_BENCH_HUGE=1)."""
-    n = 1_000_000
-    csr = _build_csr(n)
+HUGE_SCHEME = "thm11"
+
+
+def run_huge(workers: int, n: int = 1_000_000) -> dict:
+    """Full Table-1 build + shard write at n = 10^6 (REPRO_BENCH_HUGE=1).
+
+    The ROADMAP's combined target, end to end on one machine: the
+    all-balls probe (the historical huge smoke, kept as a comparable
+    phase timing), then a complete ``thm11`` scheme build through
+    :func:`repro.api.build` and a packed shard write — all under the
+    session's resolved kernel (native preferred) and ``workers``
+    parallel workers.  Build-phase times, table-space stats and shard
+    bytes are recorded; no serial baseline (it would double a run this
+    size) and hence no gate.
+    """
+    import shutil
+    import tempfile
+
+    from repro.api import build
+    from repro.graph import shortest_paths as sp
+
+    g = with_random_weights(random_sparse(n, 4 * n, seed=97), seed=98)
+    csr = csr_graph(g)
     ell = 16  # build-time probe, not the curve's workload
     _set_parallel(str(workers))
     t0 = time.perf_counter()
     bounds, verts, _ = csr.all_balls(ell, tol=0.0, as_arrays=True)
-    parallel_s = time.perf_counter() - t0
+    probe_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    session = build(HUGE_SCHEME, g, seed=7)
+    build_s = time.perf_counter() - t0
+
+    workdir = tempfile.mkdtemp(prefix="repro-huge-bench-")
+    try:
+        shard_dir = os.path.join(workdir, "shards")
+        t0 = time.perf_counter()
+        session.save(shard_dir, shards=True, packed=True)
+        shard_s = time.perf_counter() - t0
+        shard_bytes = sum(
+            os.path.getsize(os.path.join(root, f))
+            for root, _, files in os.walk(shard_dir)
+            for f in files
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
     _set_parallel("off")
+
+    stats = session.stats()
     return {
         "n": n,
         "m": csr.m,
-        "ell": ell,
+        "scheme": HUGE_SCHEME,
         "workers": workers,
-        "parallel_s": round(parallel_s, 2),
-        "ball_entries": int(verts.size),
-        "note": "parallel-only smoke; no serial baseline, no gate",
+        "kernel": sp.kernel_mode(),
+        "probe_ell": ell,
+        "probe_s": round(probe_s, 2),
+        "probe_ball_entries": int(verts.size),
+        "build_s": round(build_s, 2),
+        "substrate_s": round(session.substrate_seconds, 2),
+        "shard_write_s": round(shard_s, 2),
+        "shard_bytes": shard_bytes,
+        "avg_table_words": round(stats.avg_table_words, 1),
+        "max_table_words": stats.max_table_words,
+        "note": (
+            "full Table-1 build + packed shard write; parallel-only, "
+            "no serial baseline, no gate"
+        ),
     }
 
 
@@ -184,8 +238,12 @@ def _report_lines(out: dict) -> list:
     if "huge" in out:
         h = out["huge"]
         lines.append(
-            f"huge smoke n={h['n']} m={h['m']} ell={h['ell']}: parallel "
-            f"{h['parallel_s']:.1f}s ({h['ball_entries']} ball entries)"
+            f"huge {h['scheme']} n={h['n']} m={h['m']} "
+            f"[kernel={h['kernel']}, {h['workers']} workers]: ball probe "
+            f"{h['probe_s']:.1f}s, build {h['build_s']:.1f}s "
+            f"(substrate {h['substrate_s']:.1f}s), shard write "
+            f"{h['shard_write_s']:.1f}s ({h['shard_bytes']} bytes, "
+            f"avg {h['avg_table_words']:.1f} table words)"
         )
     return lines
 

@@ -53,4 +53,11 @@ echo "== bench_parallel (smoke, REPRO_PARALLEL=2) =="
 REPRO_PARALLEL=2 REPRO_BENCH_SMOKE=1 python benchmarks/bench_parallel.py \
     || fail=1
 
+# -- native gate: C tier forced on, bit-identity asserted ---------------
+# bench_native self-skips with a named reason when no C compiler is
+# present, so this leg is a no-op on compiler-less hosts.
+echo "== bench_native (smoke, REPRO_KERNEL=native) =="
+REPRO_KERNEL=native REPRO_BENCH_SMOKE=1 python benchmarks/bench_native.py \
+    || fail=1
+
 exit "$fail"

@@ -111,6 +111,16 @@ class Rule:
     ) -> List[Finding]:
         raise NotImplementedError
 
+    def check_text(self, source: str, relpath: str) -> List[Finding]:
+        """Text-mode checker for non-Python sources (C files).
+
+        The framework routes ``.c`` files here instead of :meth:`check`
+        (there is no AST to hand over).  The default is "nothing to
+        say", so pure-AST rules are automatically inert on C sources;
+        a rule that audits C code overrides this.
+        """
+        return []
+
     # -- helpers shared by concrete rules ------------------------------
     def finding(
         self, relpath: str, node: ast.AST, message: str
@@ -146,9 +156,11 @@ def all_rules() -> Dict[str, Rule]:
 # ----------------------------------------------------------------------
 # suppressions
 # ----------------------------------------------------------------------
-#: ``# repro: noqa`` or ``# repro: noqa LK001`` / ``LK001,DET001``
+#: ``# repro: noqa`` or ``# repro: noqa LK001`` / ``LK001,DET001``;
+#: C sources spell the comment ``// repro: noqa ...``
 _NOQA = re.compile(
-    r"#\s*repro:\s*noqa(?:\s+(?P<rules>[A-Z0-9_,\s]+?))?\s*(?:#|—|-|$)"
+    r"(?:#|//)\s*repro:\s*noqa(?:\s+(?P<rules>[A-Z0-9_,\s]+?))?"
+    r"\s*(?:#|//|—|-|$)"
 )
 
 
@@ -211,8 +223,26 @@ def analyze_source(
     *,
     select: Optional[Sequence[str]] = None,
 ) -> FileReport:
-    """Run every applicable rule over one module's source text."""
+    """Run every applicable rule over one module's source text.
+
+    ``.c`` paths dispatch to each rule's :meth:`Rule.check_text` (no
+    AST); everything else parses as Python and dispatches to
+    :meth:`Rule.check`.  Suppression comments work identically in both
+    modes (``# repro: noqa`` / ``// repro: noqa``).
+    """
     report = FileReport(path=relpath)
+    if relpath.endswith(".c"):
+        table = suppressions_for(source)
+        for instance in _select_rules(select):
+            if not instance.applies_to(relpath):
+                continue
+            for finding in instance.check_text(source, relpath):
+                if _suppressed(finding, table):
+                    report.suppressed += 1
+                else:
+                    report.findings.append(finding)
+        report.findings.sort(key=lambda f: (f.line, f.col, f.rule))
+        return report
     try:
         tree = ast.parse(source, filename=relpath)
     except SyntaxError as exc:
@@ -240,7 +270,8 @@ def analyze_source(
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
-    """Every ``.py`` file under ``paths`` (files pass through as-is)."""
+    """Every ``.py`` and ``.c`` file under ``paths`` (files pass
+    through as-is; C sources go through the text-mode rule dispatch)."""
     for path in paths:
         if os.path.isfile(path):
             yield path
@@ -252,7 +283,7 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
                     if not d.startswith(".") and d != "__pycache__"
                 ]
                 for name in sorted(files):
-                    if name.endswith(".py"):
+                    if name.endswith((".py", ".c")):
                         yield os.path.join(root, name)
         else:
             raise AnalysisError(f"no such file or directory: {path!r}")

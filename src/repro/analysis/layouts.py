@@ -47,6 +47,10 @@ DECLARED_LAYOUTS: LayoutTable = {
             "_T_TUPLE": 0x06,
             "_T_LIST": 0x07,
             "_T_DICT": 0x08,
+            # native-scanner token-stream contract (decode_node_table_fast):
+            # mirrored by RT_T_COUNT / STR_OFFSET_BITS in _kernels.c
+            "_T_COUNT": 0xF1,
+            "_STR_OFFSET_BITS": 40,
         },
         "structs": {
             "_PACK_ENTRY": "<IQI",
@@ -55,6 +59,34 @@ DECLARED_LAYOUTS: LayoutTable = {
             "_PACK_HEADER": "<4sBBI",
             "_DOUBLE": "<d",
         },
+    },
+    # the native scanner's mirror of the shard_codec.py layout above:
+    # CODEC001's text mode parses these as `#define NAME VALUE` lines,
+    # so C-side drift from the committed wire format fails the gate the
+    # same way Python-side drift does (RT_MAGIC_0/1 are the bytes of
+    # MAGIC = b"RT"; the RT_T_* tags are the _T_* tag bytes)
+    "repro/native/_kernels.c": {
+        "constants": {
+            "RT_MAGIC_0": 0x52,
+            "RT_MAGIC_1": 0x54,
+            "RT_CODEC_VERSION": 1,
+            "RT_FLAG_UNIT_WEIGHTS": 0x01,
+            "RT_T_NONE": 0x00,
+            "RT_T_FALSE": 0x01,
+            "RT_T_TRUE": 0x02,
+            "RT_T_INT": 0x03,
+            "RT_T_FLOAT": 0x04,
+            "RT_T_STR": 0x05,
+            "RT_T_TUPLE": 0x06,
+            "RT_T_LIST": 0x07,
+            "RT_T_DICT": 0x08,
+            # pseudo-tag of the token stream (never in shard bytes) and
+            # the aux-word split of the string tokens — both halves of
+            # the scanner/assembler contract with shard_codec.py
+            "RT_T_COUNT": 0xF1,
+            "STR_OFFSET_BITS": 40,
+        },
+        "structs": {},
     },
     "repro/routing/header_codec.py": {
         "constants": {

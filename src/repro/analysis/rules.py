@@ -9,6 +9,7 @@ the invariant each one guards and the runtime check it mirrors.
 from __future__ import annotations
 
 import ast
+import re
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from .framework import Finding, Rule, rule
@@ -392,6 +393,10 @@ class ErrorTaxonomyRule(Rule):
         # every cluster module crosses the RPC boundary: untyped raises
         # there cannot be re-raised typed client-side
         "repro/cluster/",
+        # the native tier's load/build/execute failures must stay the
+        # NativeError hierarchy — REPRO_KERNEL=native surfaces them to
+        # callers who dispatch on the type
+        "repro/native/",
     )
 
     #: raising these crosses the boundary untyped
@@ -484,8 +489,8 @@ class ErrorTaxonomyRule(Rule):
 # ----------------------------------------------------------------------
 @rule
 class ResourceHygieneRule(Rule):
-    """Every raw OS resource in ``routing/`` / ``graph/parallel.py`` has
-    an owner.
+    """Every raw OS resource in ``routing/`` / ``graph/parallel.py`` /
+    ``native/`` has an owner.
 
     The static face of the ``pytest.ini`` ResourceWarning escalation:
     a raw handle — ``open()``, ``mmap.mmap()``, and since the parallel
@@ -496,15 +501,25 @@ class ResourceHygieneRule(Rule):
     ``DirectIO``/``SharedCSR`` discipline — something owns the
     resource's lifetime and the leak tests can see it).  Shared-memory
     segments leak *kernel* objects in ``/dev/shm``, not just fds, so an
-    unowned one outlives the process.
+    unowned one outlives the process.  The native tier adds two more
+    raw-resource kinds: ``ctypes.CDLL`` handles (a loaded library stays
+    mapped until the handle dies — ``NativeKernels`` owns it behind
+    ``close()``) and compile temporary directories
+    (``TemporaryDirectory``/``mkdtemp`` — an unowned one strands build
+    litter in the kernel cache dir on every crashed compile).
     """
 
     id = "RES001"
     title = (
-        "open()/mmap/SharedMemory/pools in routing/ and graph/parallel "
-        "are owned by a with-block or a close()-bearing class"
+        "open()/mmap/SharedMemory/pools/CDLL/tempdirs in routing/, "
+        "graph/parallel and native/ are owned by a with-block or a "
+        "close()-bearing class"
     )
-    paths = ("repro/routing/", "repro/graph/parallel.py")
+    paths = (
+        "repro/routing/",
+        "repro/graph/parallel.py",
+        "repro/native/",
+    )
 
     #: dotted spellings of calls that create a raw OS resource
     _TARGETS = (
@@ -518,6 +533,12 @@ class ResourceHygieneRule(Rule):
         "ProcessPoolExecutor",
         "concurrent.futures.ProcessPoolExecutor",
         "futures.ProcessPoolExecutor",
+        "CDLL",
+        "ctypes.CDLL",
+        "TemporaryDirectory",
+        "tempfile.TemporaryDirectory",
+        "mkdtemp",
+        "tempfile.mkdtemp",
     )
 
     def check(
@@ -703,6 +724,12 @@ class CodecLayoutRule(Rule):
     companion of the codec fuzz/rejection suites, which can only prove
     the implemented format is self-consistent, not that it is still the
     format we committed to.
+
+    The native C scanner mirrors the same wire layout, so the rule also
+    runs in text mode over declared ``.c`` files: every layout constant
+    must appear as a ``#define NAME <int>`` with exactly the declared
+    value — Python codec and C scanner can then only drift from the
+    committed format together with the reviewable table, never apart.
     """
 
     id = "CODEC001"
@@ -725,15 +752,72 @@ class CodecLayoutRule(Rule):
         }
     )
 
-    def check(
-        self, tree: ast.Module, source: str, relpath: str
-    ) -> List[Finding]:
-        layout = None
+    #: ``#define NAME <integer literal>`` (hex or decimal) in a C source
+    _C_DEFINE = re.compile(
+        r"^\s*#\s*define\s+(?P<name>\w+)\s+"
+        r"(?P<value>0[xX][0-9a-fA-F]+|\d+)\s*(?:/\*|//|$)"
+    )
+
+    def _layout_for(self, relpath: str) -> Optional[dict]:
         norm = relpath.replace("\\", "/")
         for key, declared in DECLARED_LAYOUTS.items():
             if norm == key or norm.endswith("/" + key):
-                layout = declared
-                break
+                return declared
+        return None
+
+    def check_text(self, source: str, relpath: str) -> List[Finding]:
+        """The C-file face of the rule: audit ``#define`` constants."""
+        layout = self._layout_for(relpath)
+        if layout is None:
+            return []
+        constants = dict(layout.get("constants", {}))
+        findings: List[Finding] = []
+        seen: Set[str] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = self._C_DEFINE.match(text)
+            if match is None:
+                continue
+            name = match.group("name")
+            if name not in constants:
+                continue
+            seen.add(name)
+            actual = int(match.group("value"), 0)
+            if actual != constants[name]:
+                findings.append(
+                    Finding(
+                        file=relpath,
+                        line=lineno,
+                        col=1,
+                        rule=self.id,
+                        message=(
+                            f"#define {name} {match.group('value')} "
+                            f"disagrees with the declared layout table "
+                            f"({constants[name]!r}) — update "
+                            f"repro/analysis/layouts.py in the same "
+                            f"change as the wire format, or revert"
+                        ),
+                    )
+                )
+        for name in sorted(set(constants) - seen):
+            findings.append(
+                Finding(
+                    file=relpath,
+                    line=1,
+                    col=1,
+                    rule=self.id,
+                    message=(
+                        f"declared layout constant {name} has no "
+                        f"#define in this C source — the layout table "
+                        f"and the native scanner have drifted apart"
+                    ),
+                )
+            )
+        return findings
+
+    def check(
+        self, tree: ast.Module, source: str, relpath: str
+    ) -> List[Finding]:
+        layout = self._layout_for(relpath)
         if layout is None:
             return []
         findings: List[Finding] = []

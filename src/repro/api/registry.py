@@ -231,21 +231,29 @@ def _family_presets(base_alpha: float) -> Dict[str, Dict[str, Any]]:
 
     The ball-size constant is the knob the topology actually moves
     (``q̃ = alpha·q·log n``; the ``q`` exponent itself is fixed by each
-    theorem).  Calibrated against the CLI families at reproduction
-    scale:
+    theorem).  Registered from the recorded frontier calibration
+    (``BENCH_kernel.json:preset_frontier`` — thm11, n=300, 150 pairs,
+    stretch-targeted sweep over alpha in [0.2, 1.5]):
 
-    * ``er`` — the calibration baseline; the registered default stands,
+    * ``er`` — the calibration baseline; the registered default stands
+      (calibrated 1.0x),
     * ``grid`` — large diameter, degree <= 4: balls meet few vertices
-      per radius step, so Lemma 6 colorings need fatter balls (1.5x),
-    * ``ba`` — preferential-attachment hubs put most vertices in every
-      ball; 0.75x keeps tables lean with coverage to spare,
-    * ``geo`` — locally dense but globally stringy (1.25x).
+      per radius step, so Lemma 6 colorings need fatter balls (1.5x,
+      confirmed by calibration),
+    * ``ba`` — preferential-attachment hubs crowd small balls with the
+      same high-degree vertices; the hand-tuned 0.75x starved the Lemma
+      6 coloring of distinct colors, and the frontier's stretch knee
+      sits at 1.25x (max stretch 2.53 -> 2.16 for ~20% more table
+      words),
+    * ``geo`` — locally dense, so balls fill cheaply: calibration walks
+      the hand-tuned 1.25x back to 0.75x with max stretch flat at 2.28
+      and ~20% fewer table words.
     """
     return {
         "er": {},
         "grid": {"alpha": round(base_alpha * 1.5, 6)},
-        "ba": {"alpha": round(base_alpha * 0.75, 6)},
-        "geo": {"alpha": round(base_alpha * 1.25, 6)},
+        "ba": {"alpha": round(base_alpha * 1.25, 6)},
+        "geo": {"alpha": round(base_alpha * 0.75, 6)},
     }
 
 

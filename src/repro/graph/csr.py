@@ -99,6 +99,7 @@ _CHUNK_BYTES = 1 << 22
 #: the rest).  Also caps batch*n at ~1M entries, so flattened ids — and
 #: the batch-position sort key at extraction — stay comfortably narrow.
 _DS_BATCH_BYTES = 1 << 24
+_DS_NATIVE_BATCH_BYTES = 1 << 21
 
 #: cap on the flattened (source, vertex) gather expansion inside one
 #: delta-stepping relaxation round.  Frontiers on large batches can hold
@@ -131,6 +132,73 @@ def _argsort_with_id_ties(keys: np.ndarray, ids: np.ndarray) -> np.ndarray:
         sub = order[pos]
         order[pos] = sub[np.lexsort((ids[sub], keys[sub]))]
     return order
+
+
+def _native_kernels():
+    """The loaded native kernels when the resolved mode is ``native``.
+
+    Resolved per call through the two process-level caches
+    (:func:`repro.graph.shortest_paths.kernel_mode` and
+    :func:`repro.native.try_kernels`), so tests flipping ``REPRO_KERNEL``
+    between session-scoped graph fixtures see the flip — nothing is
+    pinned on the graph object.
+    """
+    from .shortest_paths import kernel_mode
+
+    if kernel_mode() != "native":
+        return None
+    from ..native import load_kernels
+
+    return load_kernels()
+
+
+def _queue_later(
+    pending: Dict[int, List[Tuple[np.ndarray, np.ndarray]]],
+    b: int,
+    tgt: np.ndarray,
+    nd: np.ndarray,
+    delta: float,
+    inv_delta: float,
+) -> bool:
+    """Queue out-of-bucket candidates under their bucket keys.
+
+    Shared by the numpy and native engines (the native kernel returns its
+    later-bucket candidates in one flat array and queues them through the
+    exact same key pipeline).  Returns whether any key was int16-clamped,
+    which re-arms the caller's spill guard.
+
+    Bucket keys must agree with the boundary *float comparisons*
+    (``nd < (k+1)*delta`` at apply/seal time), not just with
+    ``floor(nd/delta)``: when ``nd`` sits one ulp below ``k*delta`` the
+    product ``nd*inv_delta`` can round up to ``k``, which would settle the
+    candidate one bucket late and let an exact distance tie span two
+    buckets — breaking the (dist, id) assembly invariant.  One corrective
+    compare pins ``k*delta <= nd``; a too-low key is healed by the spill
+    guard.  (Truncation is floor here: every quotient is non-negative.)
+    Keys are then clamped into int16, a radix-friendly two-byte sort key;
+    the clamp re-arms the spill guard.
+    """
+    clipped = False
+    rel = (nd * inv_delta).astype(np.int32)
+    rel -= nd < rel * delta
+    rel -= b + 1
+    if int(rel.min()) < 0 or int(rel.max()) > 32000:
+        np.clip(rel, 0, 32000, out=rel)
+        clipped = True
+    rel16 = rel.astype(np.int16)
+    order = np.argsort(rel16, kind="stable")
+    rel16 = rel16[order]
+    tgt = tgt[order]
+    nd = nd[order]
+    cuts = np.flatnonzero(
+        np.concatenate(([True], rel16[1:] != rel16[:-1]))
+    )
+    for j, lo in enumerate(cuts):
+        hi = cuts[j + 1] if j + 1 < len(cuts) else rel16.size
+        pending.setdefault(b + 1 + int(rel16[lo]), []).append(
+            (tgt[lo:hi], nd[lo:hi])
+        )
+    return clipped
 
 
 def csr_graph(g: Graph) -> "CSRGraph":
@@ -187,6 +255,9 @@ class CSRGraph:
         "_ds_delta",
         "_ds_csr32",
         "_ds_arange",
+        "_ds_stamp",
+        "_ds_gen",
+        "_ds_wmax",
         "_parallel",
         "__weakref__",
     )
@@ -220,6 +291,11 @@ class CSRGraph:
         self._ds_delta: Optional[float] = None
         self._ds_csr32 = None
         self._ds_arange: Optional[np.ndarray] = None
+        # Native-tier scratch: a generation-stamped expansion record the
+        # compiled bucket kernel uses instead of the numpy wave dedupe.
+        self._ds_stamp: Optional[np.ndarray] = None
+        self._ds_gen = 0
+        self._ds_wmax: Optional[float] = None
         # The published multiprocess engine (repro.graph.parallel),
         # cached so one graph publishes its shared segments once.
         self._parallel: Optional[Any] = None
@@ -768,8 +844,22 @@ class CSRGraph:
         return self._ds_delta
 
     def _ds_batch_size(self, batch_bytes: int = _DS_BATCH_BYTES) -> int:
-        """Sources per delta batch so both buffers stay ~``batch_bytes``."""
-        return max(1, min(self.n, batch_bytes // max(1, 16 * self.n)))
+        """Sources per delta batch so the scratch stays ~``batch_bytes``.
+
+        The native engine's scratch is a 24-byte per-vertex record that
+        its scalar hot loop revisits constantly, so it runs smaller,
+        cache-sized batches than the numpy engine's vectorised sweeps.
+        Per-source outputs are independent of the batch split (each
+        source's fixpoint and bookkeeping never read another source's
+        state), so the engines stay bit-identical while batching
+        differently.
+        """
+        if _native_kernels() is not None:
+            batch_bytes = min(batch_bytes, _DS_NATIVE_BATCH_BYTES)
+            per_source = 24 * self.n
+        else:
+            per_source = 16 * self.n
+        return max(1, min(self.n, batch_bytes // max(1, per_source)))
 
     def _ds_csr_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Int32 CSR mirrors for the engine (half the gather traffic).
@@ -797,6 +887,38 @@ class CSRGraph:
         if self._ds_dist is None or self._ds_dist.size < need:
             self._ds_dist = np.full(need, _INF)
         return self._ds_dist
+
+    def _ds_ring_size(self, delta: float) -> int:
+        """Bucket-ring slots for the native engine: ``wmax/delta`` + slop.
+
+        A candidate generated in bucket ``b`` has ``nd < (b+1)*delta +
+        wmax``, so its key lands within ``wmax/delta`` buckets ahead; the
+        slop covers the corrective-compare and requeue-one-ahead edges.
+        """
+        if self._ds_wmax is None:
+            self._ds_wmax = (
+                float(self.weights.max()) if self.weights.size else 0.0
+            )
+        return int(self._ds_wmax / delta) + 8
+
+    def _ds_native_vtx(self, batch: int) -> Tuple[np.ndarray, int]:
+        """Scratch for the native batch kernel: ``(vtx, gen)``.
+
+        ``vtx`` is ``batch * n`` interleaved 24-byte records ``{dist,
+        expanded, stamp}`` — one cache-line touch per vertex access in
+        the C hot loop.  A record is valid only while its stamp matches
+        the generation (the kernel reads untouched slots as ``+inf``),
+        so clearing all slots between kernel calls is one integer
+        increment; the buffer is zeroed once at allocation and the
+        generation starts at 1, so a zero stamp is never current (and
+        int64 never wraps).
+        """
+        need = 3 * batch * self.n
+        if self._ds_stamp is None or self._ds_stamp.size < need:
+            self._ds_stamp = np.zeros(need, dtype=np.int64)
+            self._ds_gen = 0
+        self._ds_gen += 1
+        return self._ds_stamp, self._ds_gen
 
     def _ds_arange_view(self, tot: int) -> np.ndarray:
         """A read-only ``arange(tot)`` view from a grown-on-demand buffer."""
@@ -856,7 +978,10 @@ class CSRGraph:
         if delta is None:
             delta = self.delta_width()
         if limits is not None:
-            lim = np.asarray(limits, dtype=np.float64)
+            # Contiguous materialisation matters: callers pass broadcast
+            # (zero-stride) views, and the native kernel walks the raw
+            # buffer — np.asarray would keep the strides.
+            lim = np.ascontiguousarray(limits, dtype=np.float64)
             # Bounded outputs are strict (d < limit), so the limit itself
             # is a valid per-source prune horizon.
             cap = np.minimum(np.full(nb, prune), lim)
@@ -864,11 +989,37 @@ class CSRGraph:
             cap = np.full(nb, prune)
         indptr, indices, degrees = self._ds_csr_arrays()
         weights = self.weights
-        dist = self._ds_buffers(nb)
-        inv_delta = 1.0 / delta
         start = np.arange(nb, dtype=np.int32) * np.int32(n) + srcs.astype(
             np.int32
         )
+        native = _native_kernels()
+        if native is not None:
+            # Compiled engine: one call runs the whole batch — bucket
+            # queue, apply/relax fixpoints, scatter-min, sealing and the
+            # per-source fill/finish bookkeeping all in C over zero-copy
+            # pointers into the CSR mirrors and the cap array (mutated
+            # in place, exactly like the loop below).  Settled ids come
+            # back in bucket order with their final distances: ball-mode
+            # chunks already (dist, id)-sorted — the concatenated
+            # per-chunk assembly the numpy path builds below — so the
+            # only work left is the shared per-source regrouping.
+            vtx, gen = self._ds_native_vtx(nb)
+            settled, settled_d = native.delta_batch(
+                indptr, indices, weights, n, nb, start, vtx, cap,
+                lim if limits is not None else None,
+                delta, self._ds_ring_size(delta), ell, tol, gen,
+            )
+            if limits is None:
+                all_t, ds = settled, settled_d
+            else:
+                order = np.argsort(settled)
+                all_t = settled[order]
+                ds = settled_d[order]
+            return self._ds_assemble(
+                all_t, ds, nb, lim if limits is not None else None
+            )
+        dist = self._ds_buffers(nb)
+        inv_delta = 1.0 / delta
         # Candidate bucket queue: pending[b] holds (target, dist) chunks
         # whose tentative distance lies in [b*delta, (b+1)*delta).
         # Candidates scatter their minimum into the dist buffer the
@@ -1021,43 +1172,10 @@ class CSRGraph:
                         later = ~now
                         tgt, nd = tgt[later], nd[later]
                     if nd.size:
-                        # Bucket keys must agree with the boundary *float
-                        # comparisons* (nd < (k+1)*delta at apply/seal
-                        # time), not just with floor(nd/delta): when nd
-                        # sits one ulp below k*delta the product
-                        # nd*inv_delta can round up to k, which would
-                        # settle the candidate one bucket late and let an
-                        # exact distance tie span two buckets — breaking
-                        # the (dist, id) assembly invariant.  One
-                        # corrective compare pins k*delta <= nd; a
-                        # too-low key is healed by the spill guard.
-                        # (Truncation is floor here: every quotient is
-                        # non-negative.)  Keys are then clamped into
-                        # int16, a radix-friendly two-byte sort key; the
-                        # clamp re-arms the spill guard.
-                        rel = (nd * inv_delta).astype(np.int32)
-                        rel -= nd < rel * delta
-                        rel -= b + 1
-                        if int(rel.min()) < 0 or int(rel.max()) > 32000:
-                            np.clip(rel, 0, 32000, out=rel)
+                        if _queue_later(
+                            pending, b, tgt, nd, delta, inv_delta
+                        ):
                             any_clipped = True
-                        rel = rel.astype(np.int16)
-                        order = np.argsort(rel, kind="stable")
-                        rel = rel[order]
-                        tgt = tgt[order]
-                        nd = nd[order]
-                        cuts = np.flatnonzero(
-                            np.concatenate(([True], rel[1:] != rel[:-1]))
-                        )
-                        for j, lo in enumerate(cuts):
-                            hi = (
-                                cuts[j + 1]
-                                if j + 1 < len(cuts)
-                                else rel.size
-                            )
-                            pending.setdefault(
-                                b + 1 + int(rel[lo]), []
-                            ).append((tgt[lo:hi], nd[lo:hi]))
                 if now_t_parts:
                     if len(now_t_parts) == 1:
                         cand_t = now_t_parts[0]
@@ -1123,9 +1241,31 @@ class CSRGraph:
             order = np.argsort(all_t)
             all_t = all_t[order]
             ds = dist[all_t]
+        # Sparse reset of every scattered tentative entry (duplicates are
+        # harmless) — the float analogue of the generation-stamp trick.
+        dist[np.concatenate(touched)] = _INF
+        return self._ds_assemble(
+            all_t, ds, nb, lim if limits is not None else None
+        )
+
+    def _ds_assemble(
+        self,
+        all_t: np.ndarray,
+        ds: np.ndarray,
+        nb: int,
+        lim: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Shared engine tail: regroup flattened settled ids per source.
+
+        ``all_t``/``ds`` arrive in global (dist, id)-within-bucket order
+        (ball mode, ``lim is None``) or ascending-id order (bounded
+        mode); both engines produce the identical arrays, so this split
+        is the bit-identity seam between them.
+        """
+        n = self.n
         bpos = all_t // n
         verts = all_t - bpos * n
-        if limits is None:
+        if lim is None:
             # Batch positions always fit int16 (batch * n is capped at
             # ~1M entries), where numpy's stable argsort is a radix sort.
             order = np.argsort(bpos.astype(np.int16), kind="stable")
@@ -1136,9 +1276,6 @@ class CSRGraph:
             sel = ds < lim[bpos]
             bpos, verts, ds = bpos[sel], verts[sel], ds[sel]
         bounds = np.searchsorted(bpos, np.arange(nb + 1))
-        # Sparse reset of every scattered tentative entry (duplicates are
-        # harmless) — the float analogue of the generation-stamp trick.
-        dist[np.concatenate(touched)] = _INF
         return bounds, verts, ds
 
     def _ball_chunk_delta(
@@ -1174,26 +1311,47 @@ class CSRGraph:
             bounds, verts, ds = self._delta_batch(
                 range(start, stop), ell=ell, tol=tol, delta=delta
             )
-            for i in range(stop - start):
-                blo, bhi = int(bounds[i]), int(bounds[i + 1])
-                k = min(ell, bhi - blo)
-                sizes[start - lo + i] = k
-                verts_parts.append(verts[blo : blo + k])
-                if radii is None or k == 0:
-                    continue
-                # Same rule as _radius_from_row, exploiting that each
-                # per-source segment is distance-sorted: the boundary
-                # level is complete iff nothing past the ball lies within
-                # tol of d_max.  Every vertex within tol of the boundary
-                # is settled (see _delta_batch), so the counts are exact.
-                seg = ds[blo:bhi]
-                dmax = float(seg[k - 1])
-                band_lo = int(np.searchsorted(seg, dmax - tol, "left"))
-                band_hi = int(np.searchsorted(seg, dmax + tol, "right"))
-                if band_hi == k:
-                    radii[start - lo + i] = dmax
-                elif band_lo > 0:
-                    radii[start - lo + i] = float(seg[band_lo - 1])
+            seg_lens = np.diff(bounds)
+            k_arr = np.minimum(ell, seg_lens)
+            sizes[start - lo : stop - lo] = k_arr
+            total = int(bounds[-1])
+            if total:
+                # Keep each segment's k-prefix: global position j of
+                # segment i survives iff j < bounds[i] + k_i.
+                keep = np.arange(total) < np.repeat(
+                    bounds[:-1] + k_arr, seg_lens
+                )
+                verts_parts.append(verts[keep])
+            if radii is None or total == 0:
+                continue
+            # Same rule as _radius_from_row, exploiting that each
+            # per-source segment is distance-sorted: the boundary level
+            # is complete iff nothing past the ball lies within tol of
+            # d_max.  Every vertex within tol of the boundary is settled
+            # (see _delta_batch), so the counts are exact.  Vectorised
+            # O(1)-per-source check: with tol >= 0 the level is complete
+            # iff the ball is the whole segment or the first vertex past
+            # it clears d_max + tol; the rare incomplete sources fall
+            # back to the two-searchsorted band scan.
+            nz = k_arr > 0
+            b0 = bounds[:-1]
+            dmax = ds[np.maximum(b0 + k_arr - 1, 0)]
+            past = ds[np.minimum(b0 + k_arr, total - 1)]
+            if tol >= 0.0:
+                complete = nz & (
+                    (k_arr == seg_lens) | (past > dmax + tol)
+                )
+            else:
+                complete = np.zeros(len(k_arr), dtype=bool)
+            batch_radii = np.where(complete, dmax, 0.0)
+            for i in np.flatnonzero(nz & ~complete):
+                seg = ds[bounds[i] : bounds[i + 1]]
+                band_lo = int(
+                    np.searchsorted(seg, float(dmax[i]) - tol, "left")
+                )
+                if band_lo > 0:
+                    batch_radii[i] = float(seg[band_lo - 1])
+            radii[start - lo : stop - lo] = batch_radii
         out_bounds = np.zeros(count + 1, dtype=np.int64)
         np.cumsum(sizes, out=out_bounds[1:])
         out_verts = (

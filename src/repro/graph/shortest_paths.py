@@ -14,19 +14,31 @@ repository go through :func:`truncated_dijkstra` / :func:`all_balls` or
 
 Kernel dispatch
 ---------------
-Each public function dispatches to the flat-array CSR kernel
-(:mod:`repro.graph.csr`) when numpy imports cleanly, and otherwise runs the
-pure-Python implementation.  The pure implementations stay exported under
-``*_py`` names as the differential-test reference; setting the environment
-variable ``REPRO_KERNEL=pure`` forces them everywhere.  Both paths produce
-*identical* results — same distances, same ``(dist, id)`` ball order, same
-deterministic parents — which ``tests/graph/test_csr.py`` asserts.
+``REPRO_KERNEL`` selects one of three engines, all producing *identical*
+results — same distances, same ``(dist, id)`` ball order, same
+deterministic parents — which the differential suites assert:
+
+* ``pure`` (aliases ``py``/``python``): the pure-Python reference
+  implementations, also exported under ``*_py`` names;
+* ``numpy`` (aliases ``np``/``kernel``): the flat-array CSR kernel
+  (:mod:`repro.graph.csr`) with its numpy delta-stepping batch engine;
+* ``native``: the numpy kernel with the compiled inner loops from
+  :mod:`repro.native` — *forced*, so a host without a compiler and
+  without a cached library raises the typed
+  :class:`repro.native.NativeUnavailableError`;
+* ``auto`` (or unset): prefers ``native`` when the library loads and
+  otherwise falls back to ``numpy`` recording why
+  (:func:`repro.native.fallback_reason`) — or to ``pure`` when numpy
+  itself is missing.
+
+Any other value raises :class:`KernelConfigError` rather than silently
+running a different engine than the caller asked for.
 
 The choice is resolved **once per process** on first use
-(:func:`use_kernel` caches it), so mutating the environment mid-run cannot
-silently mix kernel and pure results inside one structure build; tests that
-need to flip the switch call :func:`reset_kernel_choice` after changing the
-environment variable.
+(:func:`kernel_mode` caches it), so mutating the environment mid-run cannot
+silently mix engines inside one structure build; tests that need to flip
+the switch call :func:`reset_kernel_choice` after changing the environment
+variable.
 """
 
 from __future__ import annotations
@@ -54,49 +66,83 @@ __all__ = [
     "bounded_distance_py",
     "subgraph_dijkstra_py",
     "use_kernel",
+    "kernel_mode",
     "reset_kernel_choice",
+    "KernelConfigError",
 ]
 
 _INF = float("inf")
 
-#: cached kernel choice; None = not yet resolved (see use_kernel).
-_KERNEL_CHOICE: Optional[bool] = None
+#: cached kernel mode; None = not yet resolved (see kernel_mode).
+_KERNEL_MODE: Optional[str] = None
+
+_PURE_NAMES = ("pure", "py", "python")
+_NUMPY_NAMES = ("numpy", "np", "kernel")
+_AUTO_NAMES = ("", "auto")
 
 
-def use_kernel() -> bool:
-    """Whether the CSR kernel is active (numpy present, no env override).
+class KernelConfigError(ValueError):
+    """``REPRO_KERNEL`` named an engine the dispatch does not know."""
+
+
+def kernel_mode() -> str:
+    """The active engine: ``"pure"``, ``"numpy"`` or ``"native"``.
 
     Resolved once per process and cached: every dispatch in a run sees the
     same choice, so a mid-run mutation of ``REPRO_KERNEL`` cannot mix
-    kernel and pure results within one structure build.
+    engines within one structure build.
     """
-    global _KERNEL_CHOICE
-    if _KERNEL_CHOICE is None:
-        _KERNEL_CHOICE = _resolve_kernel_choice()
-    return _KERNEL_CHOICE
+    global _KERNEL_MODE
+    if _KERNEL_MODE is None:
+        _KERNEL_MODE = _resolve_kernel_mode()
+    return _KERNEL_MODE
+
+
+def use_kernel() -> bool:
+    """Whether the CSR kernel is active (i.e. the mode is not ``pure``)."""
+    return kernel_mode() != "pure"
 
 
 def reset_kernel_choice() -> None:
-    """Drop the cached :func:`use_kernel` resolution (test-only hook).
+    """Drop the cached :func:`kernel_mode` resolution (test-only hook).
 
     The next dispatch re-reads ``REPRO_KERNEL`` from the environment.
     """
-    global _KERNEL_CHOICE
-    _KERNEL_CHOICE = None
+    global _KERNEL_MODE
+    _KERNEL_MODE = None
 
 
-def _resolve_kernel_choice() -> bool:
-    if os.environ.get("REPRO_KERNEL", "").strip().lower() in (
-        "pure",
-        "py",
-        "python",
-    ):
-        return False
+def _resolve_kernel_mode() -> str:
+    raw = os.environ.get("REPRO_KERNEL", "").strip().lower()
+    if raw in _PURE_NAMES:
+        return "pure"
+    if raw != "native" and raw not in _NUMPY_NAMES + _AUTO_NAMES:
+        raise KernelConfigError(
+            f"REPRO_KERNEL={raw!r} is not a known engine; expected "
+            "pure (py/python), numpy (np/kernel), native, or auto"
+        )
     try:
         from . import csr  # noqa: F401
     except ImportError:
-        return False
-    return True
+        if raw == "native":
+            raise KernelConfigError(
+                "REPRO_KERNEL=native requires numpy, which failed to import"
+            )
+        return "pure"
+    if raw == "native":
+        # Forced: surface the typed NativeUnavailableError/NativeBuildError
+        # instead of silently running the numpy engine.
+        from ..native import load_kernels
+
+        load_kernels()
+        return "native"
+    if raw in _AUTO_NAMES:
+        from ..native import try_kernels
+
+        if try_kernels() is not None:
+            return "native"
+        return "numpy"
+    return "numpy"
 
 
 def _kernel(g: Graph):

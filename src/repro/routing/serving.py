@@ -80,7 +80,7 @@ from .shard_codec import (
     ChecksumError,
     ShardCodecError,
     check_pack,
-    decode_node_table,
+    decode_node_table_fast,
     encode_node_table,
     encode_pack,
     find_pack_entry,
@@ -719,7 +719,9 @@ class _ShardStoreBase:
             raise ValueError(f"vertex {v} outside 0..{self.n - 1}")
         blob = self._read_shard(v)
         try:
-            record = decode_node_table(blob)
+            # Native-scanner dispatch (kernel-mode gated); identical
+            # results and errors to the pure decoder in every mode.
+            record = decode_node_table_fast(blob)
         except ShardCodecError:
             self._diagnose(v)
             raise

@@ -76,6 +76,7 @@ real on-disk cost next to the paper's word bounds.
 from __future__ import annotations
 
 import struct
+import threading
 import zlib
 from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -89,6 +90,7 @@ __all__ = [
     "ChecksumError",
     "encode_node_table",
     "decode_node_table",
+    "decode_node_table_fast",
     "encoded_size",
     "encode_value",
     "decode_value",
@@ -362,6 +364,170 @@ def decode_node_table(data: Buffer) -> NodeTable:
         raise ShardCodecError(
             f"{len(data) - pos} trailing bytes after shard payload"
         )
+    return NodeTable(
+        owner=owner,
+        neighbors=tuple(zip(ids, weights)),
+        label=label,
+        categories=categories,
+    )
+
+
+# ----------------------------------------------------------------------
+# native-accelerated decode
+# ----------------------------------------------------------------------
+#: string-span packing of the native scanner's aux words (offset in the
+#: low bits, length above) — mirrored by STR_OFFSET_BITS in _kernels.c
+_STR_OFFSET_BITS = 40
+_STR_OFFSET_MASK = (1 << _STR_OFFSET_BITS) - 1
+#: pseudo-tag the native scanner emits for bare (untagged) counts
+_T_COUNT = 0xF1
+
+
+class _ScanScratch(threading.local):
+    """Per-thread reusable buffers for the native payload scanner.
+
+    The serving stores decode under a threaded TCP server, so the
+    scratch is thread-local; buffers grow to the largest payload seen
+    and are reused for every later decode on that thread.
+    """
+
+    def __init__(self) -> None:
+        self.size = 0
+        self.ids: Any = None
+        self.wts: Any = None
+        self.tags: Any = None
+        self.aux: Any = None
+        self.meta: Any = None
+
+    def ensure(self, n: int) -> "_ScanScratch":
+        if self.size < n:
+            import numpy as np
+
+            cap = max(1024, 1 << max(1, (n - 1).bit_length()))
+            self.ids = np.empty(cap, dtype=np.int64)
+            self.wts = np.empty(cap, dtype=np.float64)
+            self.tags = np.empty(cap, dtype=np.uint8)
+            self.aux = np.empty(cap, dtype=np.int64)
+            self.meta = np.empty(4, dtype=np.int64)
+            self.size = cap
+        return self
+
+
+_SCRATCH = _ScanScratch()
+
+
+def _native_scanner() -> Any:
+    """The native kernel handle, iff the resolved kernel mode is native."""
+    from ..graph.shortest_paths import kernel_mode
+
+    if kernel_mode() != "native":
+        return None
+    from .. import native
+
+    return native.try_kernels()
+
+
+def _build_value(
+    tags: List[int], aux: List[int], data: Buffer, i: int
+) -> Tuple[Any, int]:
+    """One value from the scanner's preorder token stream.
+
+    The scanner already validated structure and bounds, so this walker
+    only materialises: ints/floats/bools straight from the aux word,
+    strings from their (offset, length) span over the original buffer.
+    """
+    tag = tags[i]
+    a = aux[i]
+    i += 1
+    # ints and floats are the bulk of real payloads (bunch/cluster
+    # dicts); their aux words are already the final Python values —
+    # floats were bulk bit-cast before the walk (see the caller).
+    if tag == _T_INT or tag == _T_FLOAT:
+        return a, i
+    if tag == _T_STR:
+        off = a & _STR_OFFSET_MASK
+        end = off + (a >> _STR_OFFSET_BITS)
+        return bytes(data[off:end]).decode("utf-8"), i
+    if tag == _T_NONE:
+        return None, i
+    if tag == _T_TRUE:
+        return True, i
+    if tag == _T_FALSE:
+        return False, i
+    if tag in (_T_TUPLE, _T_LIST):
+        items = []
+        for _ in range(a):
+            item, i = _build_value(tags, aux, data, i)
+            items.append(item)
+        return (tuple(items) if tag == _T_TUPLE else items), i
+    # _T_DICT: the scanner admits no other tag into the stream
+    result = {}
+    for _ in range(a):
+        k, i = _build_value(tags, aux, data, i)
+        v, i = _build_value(tags, aux, data, i)
+        result[k] = v
+    return result, i
+
+
+def decode_node_table_fast(data: Buffer) -> NodeTable:
+    """:func:`decode_node_table` through the native scanner when on.
+
+    Dispatches on the resolved ``REPRO_KERNEL`` mode: under ``native``
+    the payload is tokenised by the C scanner (varints, zigzag
+    unpacking, weight block, string spans) in one pass and assembled
+    here from the token stream.  *Any* anomaly the scanner meets —
+    truncation, foreign version, a non-string category name, an unknown
+    tag — makes it stand down and this function re-run the pure
+    decoder, so error messages and edge-case behaviour stay identical
+    across kernel modes.  Pure/numpy modes call the pure decoder
+    directly.
+    """
+    kernels = _native_scanner()
+    if kernels is None:
+        return decode_node_table(data)
+    import numpy as np
+
+    buf = np.frombuffer(data, dtype=np.uint8)
+    scratch = _SCRATCH.ensure(buf.size)
+    ok = kernels.scan_table(
+        buf, scratch.ids, scratch.wts, scratch.tags, scratch.aux,
+        scratch.meta,
+    )
+    if not ok:
+        return decode_node_table(data)
+    owner = int(scratch.meta[0])
+    degree = int(scratch.meta[1])
+    unit = bool(scratch.meta[2])
+    ntok = int(scratch.meta[3])
+    ids = scratch.ids[:degree].tolist()
+    weights = [1.0] * degree if unit else scratch.wts[:degree].tolist()
+    tags_arr = scratch.tags[:ntok]
+    aux_arr = scratch.aux[:ntok]
+    tags = tags_arr.tolist()
+    aux = aux_arr.tolist()
+    # Bulk bit-cast every float token's aux word to its Python float up
+    # front — the walker then reads finals only (no per-token struct).
+    is_float = tags_arr == _T_FLOAT
+    if is_float.any():
+        for j, val in zip(
+            np.flatnonzero(is_float).tolist(),
+            aux_arr.view(np.float64)[is_float].tolist(),
+        ):
+            aux[j] = val
+    label, i = _build_value(tags, aux, data, 0)
+    cat_count = aux[i]  # _T_COUNT
+    i += 1
+    categories = {}
+    for _ in range(cat_count):
+        cat, i = _build_value(tags, aux, data, i)
+        entry_count = aux[i]  # _T_COUNT
+        i += 1
+        entries = {}
+        for _ in range(entry_count):
+            k, i = _build_value(tags, aux, data, i)
+            v, i = _build_value(tags, aux, data, i)
+            entries[k] = v
+        categories[cat] = entries
     return NodeTable(
         owner=owner,
         neighbors=tuple(zip(ids, weights)),

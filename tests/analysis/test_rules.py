@@ -480,3 +480,123 @@ def test_codec001_real_codecs_match_declared_layouts():
         assert report.findings == [], [
             f.render() for f in report.findings
         ]
+
+
+# ----------------------------------------------------------------------
+# native tier coverage: ERR001 / RES001 scope, CODEC001 C mode
+# ----------------------------------------------------------------------
+def test_err001_covers_native_modules():
+    bad = "raise RuntimeError('compiler exploded')\n"
+    assert rules_fired(bad, "repro/native/__init__.py", "ERR001") == [
+        "ERR001"
+    ]
+    good = """\
+        class NativeBuildError(RuntimeError):
+            pass
+
+        def build():
+            raise NativeBuildError("cc failed")
+        """
+    assert rules_fired(good, "repro/native/__init__.py", "ERR001") == []
+
+
+def test_res001_flags_unowned_cdll_and_tempdirs():
+    source = """\
+        import ctypes
+        import tempfile
+
+        def load(path):
+            lib = ctypes.CDLL(path)
+            scratch = tempfile.mkdtemp()
+            return lib, scratch
+        """
+    assert rules_fired(source, "repro/native/__init__.py", "RES001") == [
+        "RES001",
+        "RES001",
+    ]
+
+
+def test_res001_allows_owned_cdll_and_tempdirs():
+    source = """\
+        import ctypes
+        import tempfile
+
+        class Kernels:
+            def __init__(self, path):
+                self.lib = ctypes.CDLL(path)
+
+            def close(self):
+                self.lib = None
+
+        def build(cc, target):
+            with tempfile.TemporaryDirectory() as tmp:
+                compile_into(cc, tmp, target)
+        """
+    assert rules_fired(source, "repro/native/__init__.py", "RES001") == []
+
+
+CODEC_C_FIXTURE = """\
+#define RT_MAGIC_0 0x52
+#define RT_MAGIC_1 0x54
+#define RT_CODEC_VERSION 1
+#define RT_FLAG_UNIT_WEIGHTS 0x01
+#define RT_T_NONE 0x00
+#define RT_T_FALSE 0x01
+#define RT_T_TRUE 0x02
+#define RT_T_INT 0x03
+#define RT_T_FLOAT 0x04
+#define RT_T_STR 0x05
+#define RT_T_TUPLE 0x06
+#define RT_T_LIST 0x07
+#define RT_T_DICT 0x08
+#define RT_T_COUNT 0xF1
+#define STR_OFFSET_BITS 40
+"""
+
+
+def test_codec001_c_mode_accepts_matching_defines():
+    report = check(CODEC_C_FIXTURE, "repro/native/_kernels.c", "CODEC001")
+    assert report.findings == []
+
+
+def test_codec001_c_mode_flags_value_drift():
+    drifted = CODEC_C_FIXTURE.replace(
+        "#define RT_T_DICT 0x08", "#define RT_T_DICT 0x09"
+    )
+    report = check(drifted, "repro/native/_kernels.c", "CODEC001")
+    assert [f.rule for f in report.findings] == ["CODEC001"]
+    assert "RT_T_DICT" in report.findings[0].message
+
+
+def test_codec001_c_mode_flags_missing_define():
+    gone = CODEC_C_FIXTURE.replace("#define RT_T_COUNT 0xF1\n", "")
+    report = check(gone, "repro/native/_kernels.c", "CODEC001")
+    assert any("RT_T_COUNT" in f.message for f in report.findings)
+
+
+def test_codec001_c_mode_honors_slash_noqa():
+    drifted = CODEC_C_FIXTURE.replace(
+        "#define RT_T_DICT 0x08",
+        "#define RT_T_DICT 0x09 // repro: noqa CODEC001 - fixture",
+    )
+    report = check(drifted, "repro/native/_kernels.c", "CODEC001")
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+def test_codec001_real_c_scanner_matches_declared_layout():
+    import repro.native as native
+
+    with open(native.source_path(), encoding="utf-8") as fh:
+        source = fh.read()
+    report = analyze_source(
+        source, "repro/native/_kernels.c", select=["CODEC001"]
+    )
+    assert report.findings == [], [f.render() for f in report.findings]
+
+
+def test_c_files_pass_through_pure_ast_rules():
+    # DET001 scopes all of repro/ but is a pure-AST rule: the text-mode
+    # dispatch must leave it inert on C sources instead of crashing.
+    report = check("int x = 1;\n", "repro/native/_kernels.c", "DET001")
+    assert report.findings == []

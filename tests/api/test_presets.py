@@ -77,7 +77,8 @@ class TestBuildIntegration:
         g = preferential_attachment(60, 2, seed=5)
         session = build("warmup3", g, seed=2, preset="ba", eps=0.9)
         assert session.params["eps"] == 0.9
-        assert session.params["alpha"] == 0.75
+        # the preset_frontier-calibrated ba alpha (see _family_presets)
+        assert session.params["alpha"] == 1.25
 
     def test_registered_presets_build_on_their_family(self):
         """Each family preset actually constructs on that topology."""
